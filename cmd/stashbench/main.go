@@ -1,0 +1,75 @@
+// Command stashbench regenerates the paper's tables and figures against the
+// simulated cluster. Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Usage:
+//
+//	stashbench -exp fig6a            # one experiment
+//	stashbench -exp fig6a,fig7c      # several
+//	stashbench -exp all              # everything
+//	stashbench -exp all -full        # paper-scale request counts (slow)
+//	stashbench -list                 # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stash/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		list   = flag.Bool("list", false, "list available experiment ids and exit")
+		nodes  = flag.Int("nodes", 16, "simulated cluster size (paper: 120)")
+		seed   = flag.Int64("seed", 42, "workload and dataset seed")
+		points = flag.Int("points", 512, "observations per storage block")
+		full   = flag.Bool("full", false, "paper-scale request counts (slow)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "stashbench: -exp required (try -list)")
+		os.Exit(2)
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = bench.Experiments()
+	}
+
+	opts := bench.Options{
+		Nodes:          *nodes,
+		Seed:           *seed,
+		PointsPerBlock: *points,
+		Quick:          !*full,
+		Out:            os.Stdout,
+	}
+
+	start := time.Now()
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if _, err := bench.Run(id, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "stashbench: %s: %v\n", id, err)
+			failed++
+		}
+	}
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,236 @@
+// Command stashd runs a STASH cluster in-process and serves aggregation
+// queries over HTTP/JSON — the role the paper's Grafana WorldMap front-end
+// talks to (§VI-A). Any client that can POST JSON can drive it; the
+// examples/dashboard program is one.
+//
+// Endpoints:
+//
+//	POST /query    evaluate an aggregation query (JSON body, see QueryRequest)
+//	GET  /stats    cluster counters (cache hits, disk reads, handoffs, ...)
+//	GET  /healthz  liveness
+//
+// Usage:
+//
+//	stashd -addr :8080 -nodes 16 -points 512
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"time"
+
+	"stash"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		nodes  = flag.Int("nodes", 16, "simulated cluster size")
+		seed   = flag.Uint64("seed", 42, "synthetic dataset seed")
+		points = flag.Int("points", 512, "observations per storage block")
+		repl   = flag.Bool("replication", true, "enable hotspot clique replication")
+		hists  = flag.Bool("histograms", false, "maintain per-attribute histograms in result cells")
+	)
+	flag.Parse()
+
+	cfg := stash.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.Seed = *seed
+	cfg.PointsPerBlock = *points
+	cfg.Histograms = *hists
+	cfg.Sleeper = stash.NewRealSleeper()
+	if *repl {
+		cfg.Replication = stash.DefaultReplicationConfig()
+	}
+	sys, err := stash.NewCluster(cfg)
+	if err != nil {
+		log.Fatalf("stashd: %v", err)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	srv := &server{sys: sys}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", srv.handleQuery)
+	mux.HandleFunc("GET /stats", srv.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	log.Printf("stashd: %d nodes, serving on %s", *nodes, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type server struct {
+	sys *stash.Cluster
+}
+
+// QueryRequest is the JSON body of POST /query.
+type QueryRequest struct {
+	MinLat      float64 `json:"minLat"`
+	MaxLat      float64 `json:"maxLat"`
+	MinLon      float64 `json:"minLon"`
+	MaxLon      float64 `json:"maxLon"`
+	Start       string  `json:"start"` // RFC 3339
+	End         string  `json:"end"`   // RFC 3339
+	SpatialRes  int     `json:"spatialRes"`
+	TemporalRes string  `json:"temporalRes"` // Year|Month|Day|Hour
+}
+
+// CellResponse is one aggregated cell in the response, carrying the center
+// point so map panels can place it directly.
+type CellResponse struct {
+	Geohash string               `json:"geohash"`
+	Time    string               `json:"time"`
+	Lat     float64              `json:"lat"`
+	Lon     float64              `json:"lon"`
+	Stats   map[string]StatBlock `json:"stats"`
+}
+
+// StatBlock is one attribute's aggregate in the response.
+type StatBlock struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Histogram is present when the server runs with -histograms.
+	Histogram *HistogramBlock `json:"histogram,omitempty"`
+}
+
+// HistogramBlock is an attribute's distribution in the response.
+type HistogramBlock struct {
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+	Under   int64   `json:"under"`
+	Over    int64   `json:"over"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	Cells     []CellResponse `json:"cells"`
+	LatencyMS float64        `json:"latencyMs"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := buildQuery(req)
+	if err != nil {
+		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	begin := time.Now()
+	res, err := s.sys.Client().Query(q)
+	if err != nil {
+		http.Error(w, "query failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	switch format := r.URL.Query().Get("format"); format {
+	case "geojson":
+		w.Header().Set("Content-Type", "application/geo+json")
+		if err := stash.WriteGeoJSON(w, res); err != nil {
+			log.Printf("stashd: geojson export: %v", err)
+		}
+		return
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := stash.WriteCSV(w, res); err != nil {
+			log.Printf("stashd: csv export: %v", err)
+		}
+		return
+	case "", "json":
+		// fall through to the native JSON shape below
+	default:
+		http.Error(w, "unknown format "+format, http.StatusBadRequest)
+		return
+	}
+
+	resp := QueryResponse{LatencyMS: float64(time.Since(begin).Microseconds()) / 1000}
+	for key, sum := range res.Cells {
+		box, err := stash.DecodeGeohash(key.Geohash)
+		if err != nil {
+			continue
+		}
+		lat, lon := box.Center()
+		cr := CellResponse{
+			Geohash: key.Geohash,
+			Time:    key.Time.Text,
+			Lat:     lat,
+			Lon:     lon,
+			Stats:   map[string]StatBlock{},
+		}
+		for _, attr := range sum.Attrs() {
+			st := sum.Stats[attr]
+			mean := st.Mean()
+			if math.IsNaN(mean) {
+				mean = 0
+			}
+			block := StatBlock{Count: st.Count, Sum: st.Sum, Min: st.Min, Max: st.Max, Mean: mean}
+			if h := sum.Hist(attr); h != nil {
+				block.Histogram = &HistogramBlock{
+					Lo: h.Lo, Hi: h.Hi, Under: h.Under, Over: h.Over, Buckets: h.Counts,
+				}
+			}
+			cr.Stats[attr] = block
+		}
+		resp.Cells = append(resp.Cells, cr)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.sys.TotalStats())
+}
+
+func buildQuery(req QueryRequest) (stash.Query, error) {
+	start, err := time.Parse(time.RFC3339, req.Start)
+	if err != nil {
+		return stash.Query{}, fmt.Errorf("start: %w", err)
+	}
+	end, err := time.Parse(time.RFC3339, req.End)
+	if err != nil {
+		return stash.Query{}, fmt.Errorf("end: %w", err)
+	}
+	tr, err := stash.NewTimeRange(start, end)
+	if err != nil {
+		return stash.Query{}, err
+	}
+	var res stash.Resolution
+	switch req.TemporalRes {
+	case "Year":
+		res = stash.Year
+	case "Month":
+		res = stash.Month
+	case "Day", "":
+		res = stash.Day
+	case "Hour":
+		res = stash.Hour
+	default:
+		return stash.Query{}, fmt.Errorf("unknown temporal resolution %q", req.TemporalRes)
+	}
+	q := stash.Query{
+		Box:         stash.Box{MinLat: req.MinLat, MaxLat: req.MaxLat, MinLon: req.MinLon, MaxLon: req.MaxLon},
+		Time:        tr,
+		SpatialRes:  req.SpatialRes,
+		TemporalRes: res,
+	}
+	return q, q.Validate()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("stashd: encode response: %v", err)
+	}
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stash"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	cfg := stash.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.PointsPerBlock = 32
+	sys, err := stash.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+	return &server{sys: sys}
+}
+
+func validBody() string {
+	return `{
+		"minLat": 35, "maxLat": 35.6, "minLon": -98, "maxLon": -96.8,
+		"start": "2015-02-02T00:00:00Z", "end": "2015-02-03T00:00:00Z",
+		"spatialRes": 4, "temporalRes": "Day"
+	}`
+}
+
+func TestHandleQueryOK(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(validBody()))
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) == 0 {
+		t.Fatal("no cells in response")
+	}
+	for _, c := range resp.Cells {
+		if c.Geohash == "" || c.Time == "" {
+			t.Fatalf("cell missing labels: %+v", c)
+		}
+		st, ok := c.Stats["temperature"]
+		if !ok {
+			t.Fatalf("cell missing temperature: %+v", c)
+		}
+		if st.Count <= 0 || st.Min > st.Max {
+			t.Fatalf("implausible stat: %+v", st)
+		}
+	}
+	if resp.LatencyMS < 0 {
+		t.Error("negative latency")
+	}
+}
+
+func TestHandleQueryBadJSON(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader("{nope"))
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status %d for malformed JSON", rec.Code)
+	}
+}
+
+func TestHandleQueryInvalidQuery(t *testing.T) {
+	srv := testServer(t)
+	bad := strings.Replace(validBody(), `"spatialRes": 4`, `"spatialRes": 0`, 1)
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(bad))
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status %d for invalid query", rec.Code)
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	srv := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var stats stash.NodeStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildQueryValidation(t *testing.T) {
+	good := QueryRequest{
+		MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1,
+		Start: "2015-02-02T00:00:00Z", End: "2015-02-03T00:00:00Z",
+		SpatialRes: 3, TemporalRes: "Day",
+	}
+	if _, err := buildQuery(good); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+
+	cases := []func(*QueryRequest){
+		func(r *QueryRequest) { r.Start = "not-a-time" },
+		func(r *QueryRequest) { r.End = "not-a-time" },
+		func(r *QueryRequest) { r.End = r.Start }, // empty range
+		func(r *QueryRequest) { r.TemporalRes = "Fortnight" },
+		func(r *QueryRequest) { r.SpatialRes = 0 },
+		func(r *QueryRequest) { r.MinLat, r.MaxLat = 5, 1 },
+	}
+	for i, mutate := range cases {
+		req := good
+		mutate(&req)
+		if _, err := buildQuery(req); err == nil {
+			t.Errorf("case %d: invalid request accepted: %+v", i, req)
+		}
+	}
+
+	// Default temporal resolution is Day.
+	req := good
+	req.TemporalRes = ""
+	q, err := buildQuery(req)
+	if err != nil || q.TemporalRes != stash.Day {
+		t.Errorf("empty temporal resolution: %v %v", q.TemporalRes, err)
+	}
+	// All named resolutions parse.
+	for _, name := range []string{"Year", "Month", "Day", "Hour"} {
+		req.TemporalRes = name
+		if _, err := buildQuery(req); err != nil {
+			t.Errorf("resolution %q rejected: %v", name, err)
+		}
+	}
+}
+
+func TestHandleQueryFormats(t *testing.T) {
+	srv := testServer(t)
+	for _, tc := range []struct {
+		format   string
+		wantCode int
+		wantBody string
+	}{
+		{"geojson", http.StatusOK, "FeatureCollection"},
+		{"csv", http.StatusOK, "geohash,time,lat,lon"},
+		{"json", http.StatusOK, `"cells"`},
+		{"protobuf", http.StatusBadRequest, ""},
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/query?format="+tc.format, strings.NewReader(validBody()))
+		rec := httptest.NewRecorder()
+		srv.handleQuery(rec, req)
+		if rec.Code != tc.wantCode {
+			t.Errorf("format %q: status %d, want %d", tc.format, rec.Code, tc.wantCode)
+			continue
+		}
+		if tc.wantBody != "" && !strings.Contains(rec.Body.String(), tc.wantBody) {
+			t.Errorf("format %q: body missing %q", tc.format, tc.wantBody)
+		}
+	}
+}
+
+func TestHandleQueryHistograms(t *testing.T) {
+	cfg := stash.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.PointsPerBlock = 32
+	cfg.Histograms = true
+	sys, err := stash.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+	srv := &server{sys: sys}
+
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(validBody()))
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range resp.Cells {
+		if st, ok := c.Stats["temperature"]; ok && st.Histogram != nil {
+			found = true
+			var total int64 = st.Histogram.Under + st.Histogram.Over
+			for _, b := range st.Histogram.Buckets {
+				total += b
+			}
+			if total != st.Count {
+				t.Fatalf("histogram total %d != count %d", total, st.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no histogram in any cell despite -histograms")
+	}
+}

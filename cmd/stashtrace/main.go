@@ -1,0 +1,151 @@
+// Command stashtrace records and replays visual-exploration session traces
+// (JSON-lines of timestamped queries). Record captures a synthetic session
+// driven against a live cluster; replay re-drives any trace — recorded here
+// or by a real front-end — against a fresh cluster, so configurations can be
+// compared on identical workloads.
+//
+// Usage:
+//
+//	stashtrace -record session.jsonl -session panning -steps 20
+//	stashtrace -replay session.jsonl -nodes 32
+//	stashtrace -replay session.jsonl -paced            # honor think-time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"stash/internal/cluster"
+	"stash/internal/query"
+	"stash/internal/simnet"
+	"stash/internal/stash"
+	"stash/internal/trace"
+	"stash/internal/workload"
+)
+
+func main() {
+	var (
+		record  = flag.String("record", "", "record a synthetic session to this file")
+		replay  = flag.String("replay", "", "replay a trace file")
+		session = flag.String("session", "panning", "synthetic session kind: panning|dicing|zoom")
+		steps   = flag.Int("steps", 12, "synthetic session length")
+		nodes   = flag.Int("nodes", 16, "cluster size")
+		seed    = flag.Int64("seed", 42, "workload/dataset seed")
+		points  = flag.Int("points", 512, "observations per storage block")
+		paced   = flag.Bool("paced", false, "honor recorded think-time during replay (capped at 2s)")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "" && *replay != "":
+		log.Fatal("stashtrace: -record and -replay are mutually exclusive")
+	case *record != "":
+		if err := doRecord(*record, *session, *steps, *nodes, *seed, *points); err != nil {
+			log.Fatal(err)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *nodes, *seed, *points, *paced); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("stashtrace: one of -record or -replay is required")
+	}
+}
+
+func buildCluster(nodes int, seed int64, points int) (*cluster.Cluster, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Seed = uint64(seed)
+	cfg.PointsPerBlock = points
+	cfg.Sleeper = simnet.NewReal()
+	sc := stash.DefaultConfig()
+	cfg.Stash = &sc
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	return c, nil
+}
+
+func synthSession(kind string, steps int, seed int64) ([]query.Query, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "panning":
+		start := workload.RandomQuery(rng, workload.State)
+		return workload.PanningSession(start, steps, 0.10, rng), nil
+	case "dicing":
+		start := workload.RandomQuery(rng, workload.Country)
+		return workload.DicingDescending(start, steps, 0.20), nil
+	case "zoom":
+		base := workload.RandomQuery(rng, workload.State)
+		return workload.DrillDownSession(base, 2, 5), nil
+	default:
+		return nil, fmt.Errorf("stashtrace: unknown session kind %q", kind)
+	}
+}
+
+func doRecord(path, kind string, steps, nodes int, seed int64, points int) error {
+	qs, err := synthSession(kind, steps, seed)
+	if err != nil {
+		return err
+	}
+	c, err := buildCluster(nodes, seed, points)
+	if err != nil {
+		return err
+	}
+	defer c.Stop()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec := trace.NewRecorder(f)
+	for _, q := range qs {
+		_, lat, err := c.Client().TimedQuery(q)
+		if err != nil {
+			return err
+		}
+		if err := rec.Record(q, lat); err != nil {
+			return err
+		}
+		time.Sleep(20 * time.Millisecond) // think-time lands in offsets
+	}
+	if err := rec.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d queries (%s session) to %s\n", len(qs), kind, path)
+	return nil
+}
+
+func doReplay(path string, nodes int, seed int64, points int, paced bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	events, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	c, err := buildCluster(nodes, seed, points)
+	if err != nil {
+		return err
+	}
+	defer c.Stop()
+
+	stats, err := trace.Replay(events, c.Client(), paced, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d queries (%d failed) on %d nodes\n", stats.Queries, stats.Failed, nodes)
+	fmt.Printf("latency: mean %v  max %v\n",
+		stats.Mean().Round(time.Microsecond), stats.Max.Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,66 @@
+// Explorer: the paper's §IX-A future work in action — a front-end tier with
+// its own small STASH graph and a navigation predictor. A user pans steadily
+// east; after two steps the predictor locks onto the momentum and prefetches
+// the next viewport while the user is still looking at the current one, so
+// subsequent pans never touch the back-end at all.
+//
+//	go run ./examples/explorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stash"
+)
+
+func main() {
+	cfg := stash.DefaultConfig()
+	cfg.Nodes = 8
+	cfg.Sleeper = stash.NewRealSleeper()
+	sys, err := stash.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	fe := stash.NewFrontendClient(sys.Client(), stash.DefaultFrontendConfig())
+
+	q := stash.Query{
+		Box:         stash.Box{MinLat: 38, MaxLat: 42, MinLon: -110, MaxLon: -102},
+		Time:        stash.DayRange(2015, 2, 2),
+		SpatialRes:  4,
+		TemporalRes: stash.Day,
+	}
+
+	fmt.Println("panning east with a prefetching front-end:")
+	fmt.Println("step  latency     back-end round trip?")
+	var prevLocal int64
+	for i := 0; i < 8; i++ {
+		begin := time.Now()
+		if _, err := fe.Query(q); err != nil {
+			log.Fatal(err)
+		}
+		lat := time.Since(begin)
+
+		st := fe.Stats()
+		trip := "yes"
+		if st.FullyLocal > prevLocal {
+			trip = "no — served entirely from the front-end cache"
+		}
+		prevLocal = st.FullyLocal
+		fmt.Printf("%4d  %-10v  %s\n", i+1, lat.Round(time.Microsecond), trip)
+
+		// User think-time: the predictor's prefetch lands during this.
+		time.Sleep(60 * time.Millisecond)
+		q = q.Pan(stash.East, 0.10)
+	}
+
+	st := fe.Stats()
+	fmt.Printf("\nfront-end: %d/%d queries fully local, %d prefetches issued\n",
+		st.FullyLocal, st.Queries, st.Prefetches)
+	fmt.Printf("cells: %d from front cache, %d from back-end\n",
+		st.CellsFromCache, st.CellsFromBack)
+}

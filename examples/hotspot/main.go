@@ -1,0 +1,94 @@
+// Hotspot: flood one county-sized region with concurrent requests — a burst
+// of public attention after an event — and watch a node detect the hotspot,
+// hand its hottest cliques to an antipode helper, and reroute traffic
+// (the paper's §VII).
+//
+//	go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"stash"
+)
+
+func main() {
+	repl := stash.DefaultReplicationConfig()
+	repl.QueueThreshold = 50
+	repl.RerouteProbability = 0.7
+
+	cfg := stash.DefaultConfig()
+	cfg.Nodes = 8
+	cfg.Workers = 1 // easy to saturate, so the demo triggers quickly
+	cfg.QueueSize = 1024
+	cfg.Replication = repl
+	cfg.Sleeper = stash.NewRealSleeper()
+	model := stash.DefaultCostModel()
+	model.MemCell = 200 * time.Microsecond // aggregation work saturates a flooded node
+	cfg.Model = model
+
+	sys, err := stash.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	// Everyone looks at the same county; each user jitters by small pans.
+	base := stash.Query{
+		Box:         stash.Box{MinLat: 35.0, MaxLat: 35.6, MinLon: -98.0, MaxLon: -96.8},
+		Time:        stash.DayRange(2015, 2, 2),
+		SpatialRes:  4,
+		TemporalRes: stash.Day,
+	}
+
+	const requests = 500
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]stash.Query, requests)
+	for i := range queries {
+		queries[i] = base.Pan(stash.Direction(rng.Intn(8)), 0.1*rng.Float64())
+	}
+
+	fmt.Printf("flooding %d concurrent county-level requests at one region...\n", requests)
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 128)
+	for _, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(q stash.Query) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := sys.Client().Query(q); err != nil {
+				log.Printf("query: %v", err)
+			}
+		}(q)
+	}
+	wg.Wait()
+	fmt.Printf("all served in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	stats := sys.TotalStats()
+	fmt.Printf("clique handoffs:     %d\n", stats.Handoffs)
+	fmt.Printf("requests rerouted:   %d\n", stats.Rerouted)
+	fmt.Printf("cells guest-served:  %d\n", stats.GuestServed)
+	fmt.Printf("peak queue length:   %d\n", stats.QueuePeak)
+
+	for _, n := range sys.Nodes() {
+		s := n.Stats()
+		if s.Processed == 0 {
+			continue
+		}
+		role := ""
+		if n.Routing().Len() > 0 {
+			role = "  <- hotspotted (owns routing entries)"
+		}
+		if n.Guest() != nil && n.Guest().Len() > 0 {
+			role = fmt.Sprintf("  <- helper (%d guest cells)", n.Guest().Len())
+		}
+		fmt.Printf("  %v: processed=%d queuePeak=%d%s\n", n.ID(), s.Processed, s.QueuePeak, role)
+	}
+}

@@ -1,0 +1,67 @@
+// Panning: simulate a visual-exploration session — a user pans a state-level
+// viewport across the map — and watch per-step latency collapse as the STASH
+// graph accumulates the neighborhood's cells (the paper's §VIII-D3).
+//
+//	go run ./examples/panning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stash"
+)
+
+func main() {
+	cfg := stash.DefaultConfig()
+	cfg.Nodes = 8
+	cfg.Sleeper = stash.NewRealSleeper()
+	sys, err := stash.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+	client := sys.Client()
+
+	// Start over the Great Plains; pan 10% of the viewport per step,
+	// sweeping clockwise through the compass.
+	q := stash.Query{
+		Box:         stash.Box{MinLat: 38, MaxLat: 42, MinLon: -102, MaxLon: -94},
+		Time:        stash.DayRange(2015, 2, 2),
+		SpatialRes:  4,
+		TemporalRes: stash.Day,
+	}
+	directions := []stash.Direction{
+		stash.East, stash.East, stash.NorthEast, stash.North,
+		stash.West, stash.West, stash.SouthWest, stash.South,
+	}
+
+	fmt.Println("step  direction  cells  latency")
+	var first time.Duration
+	for i := 0; ; i++ {
+		res, lat, err := client.TimedQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			first = lat
+			fmt.Printf("%4d  %-9s  %5d  %v\n", i+1, "start", res.Len(), lat.Round(time.Microsecond))
+		} else {
+			fmt.Printf("%4d  %-9s  %5d  %v  (%.0f%% below first)\n",
+				i+1, directions[i-1], res.Len(), lat.Round(time.Microsecond),
+				100*(1-float64(lat)/float64(first)))
+		}
+		if i == len(directions) {
+			break
+		}
+		// User think-time; background population lands meanwhile.
+		time.Sleep(50 * time.Millisecond)
+		q = q.Pan(directions[i], 0.10)
+	}
+
+	stats := sys.TotalStats()
+	hitRate := float64(stats.CacheHits) / float64(stats.CacheHits+stats.CacheMisses)
+	fmt.Printf("\nsession cache hit rate: %.0f%%\n", hitRate*100)
+}

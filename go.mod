@@ -1,0 +1,3 @@
+module stash
+
+go 1.22

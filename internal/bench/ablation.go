@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"stash/internal/cluster"
+	"stash/internal/dht"
+	"stash/internal/replication"
+	"stash/internal/stash"
+	"stash/internal/workload"
+)
+
+func init() {
+	registry["abl-freshness"] = AblationFreshness
+	registry["abl-plm"] = AblationPLM
+	registry["abl-antipode"] = AblationAntipode
+}
+
+// AblationFreshness isolates §V-C's region-level replacement: a user pans
+// around region A, unrelated traffic then fills the (capacity-constrained)
+// cache past its threshold, and the user returns to A. With dispersion, A's
+// cells carry neighborhood boosts and out-score the one-shot filler, so the
+// return visit hits; without it, A ties with the filler and gets evicted.
+func AblationFreshness(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "abl-freshness",
+		Title:   "cell replacement with vs without freshness dispersion (constrained cache)",
+		Columns: []string{"dispersion", "return_hits", "return_misses", "return_hit_rate"},
+	}
+	run := func(disperse bool) (int64, int64, error) {
+		c, err := buildCluster(opts, stashSystem, replication.Config{}, func(cfg *cluster.Config) {
+			cfg.Nodes = 1 // single shard: capacity pressure is direct
+			sc := stash.DefaultConfig()
+			sc.Capacity = 100
+			sc.SafeFraction = 0.5
+			sc.Disperse = disperse
+			cfg.Stash = &sc
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer c.Stop()
+		rng := newRng(opts, 13)
+
+		regionA := workload.RandomQuery(rng, workload.County)
+		visit := workload.PanningStar(regionA, 0.25)
+		for _, q := range visit {
+			if _, err := c.Client().Query(q); err != nil {
+				return 0, 0, err
+			}
+			settle(c, q)
+		}
+		// Unrelated one-shot traffic breaching the capacity threshold.
+		for i := 0; i < opts.pick(16, 32); i++ {
+			q := workload.RandomQuery(rng, workload.County)
+			if _, err := c.Client().Query(q); err != nil {
+				return 0, 0, err
+			}
+			settle(c, q)
+		}
+		// Return to region A; measure hits on the revisit only.
+		before := c.TotalStats()
+		for _, q := range visit {
+			if _, err := c.Client().Query(q); err != nil {
+				return 0, 0, err
+			}
+		}
+		after := c.TotalStats()
+		return after.CacheHits - before.CacheHits, after.CacheMisses - before.CacheMisses, nil
+	}
+
+	var rates [2]float64
+	for i, disperse := range []bool{true, false} {
+		hits, misses, err := run(disperse)
+		if err != nil {
+			return rep, err
+		}
+		rates[i] = float64(hits) / float64(hits+misses)
+		rep.AddRow(fmt.Sprintf("%v", disperse),
+			fmt.Sprintf("%d", hits), fmt.Sprintf("%d", misses),
+			fmt.Sprintf("%.1f%%", rates[i]*100))
+	}
+	rep.AddNote("return-visit hit rate: dispersion %.1f%% vs ablated %.1f%%", rates[0]*100, rates[1]*100)
+	return rep, nil
+}
+
+// AblationPLM isolates the precision-level map (§IV-D): without it a node
+// cannot identify which chunks are missing and refetches whole requests, so
+// partially overlapping queries pay near-full disk cost.
+func AblationPLM(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "abl-plm",
+		Title:   "PLM missing-chunk identification vs whole-request refetch",
+		Columns: []string{"plm", "disk_cells", "pan_avg_ms"},
+	}
+	start := workload.RandomQuery(newRng(opts, 14), workload.State)
+	qs := workload.PanningStar(start, 0.10)
+
+	run := func(disable bool) (int64, time.Duration, error) {
+		c, err := buildCluster(opts, stashSystem, replication.Config{}, func(cfg *cluster.Config) {
+			cfg.DisablePLM = disable
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer c.Stop()
+		lat, err := sessionLatencies(c, qs)
+		if err != nil {
+			return 0, 0, err
+		}
+		return c.TotalStats().DiskCells, avg(lat[1:]), nil
+	}
+
+	withCells, withLat, err := run(false)
+	if err != nil {
+		return rep, err
+	}
+	withoutCells, withoutLat, err := run(true)
+	if err != nil {
+		return rep, err
+	}
+	rep.AddRow("on", fmt.Sprintf("%d", withCells), ms(withLat))
+	rep.AddRow("off", fmt.Sprintf("%d", withoutCells), ms(withoutLat))
+	rep.AddNote("PLM should fetch fewer cells from disk (%d vs %d) and lower pan latency", withCells, withoutCells)
+	return rep, nil
+}
+
+// AblationAntipode isolates helper selection (§VII-B3): antipode-directed
+// placement should put replicas on nodes that are NOT already serving the
+// hotspot, while random placement sometimes lands on loaded nodes.
+// Measured as the overlap between helper nodes and hotspot owner nodes.
+func AblationAntipode(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "abl-antipode",
+		Title:   "helper selection: antipode-directed vs uniform random",
+		Columns: []string{"strategy", "trials", "helper_on_hotspot_owner"},
+	}
+	trials := opts.pick(200, 2000)
+	ring, err := dht.NewRing(opts.Nodes, 2)
+	if err != nil {
+		return rep, err
+	}
+	rng := newRng(opts, 15)
+	cfg := replication.DefaultConfig()
+
+	antipodeHits, randomHits := 0, 0
+	for i := 0; i < trials; i++ {
+		q := workload.RandomQuery(rng, workload.County)
+		keys, err := q.Footprint()
+		if err != nil || len(keys) == 0 {
+			continue
+		}
+		// Owners serving the hotspot region.
+		owners := map[dht.NodeID]bool{}
+		for _, k := range keys {
+			owners[ring.Owner(k.Geohash)] = true
+		}
+		root := keys[0].Geohash
+		self := ring.Owner(root)
+
+		cands := replication.CandidateHelpers(root, ring, self, cfg, rng)
+		if len(cands) > 0 && owners[cands[0]] {
+			antipodeHits++
+		}
+		if owners[ring.Nodes()[rng.Intn(ring.Size())]] {
+			randomHits++
+		}
+	}
+	rep.AddRow("antipode", fmt.Sprintf("%d", trials), fmt.Sprintf("%d", antipodeHits))
+	rep.AddRow("random", fmt.Sprintf("%d", trials), fmt.Sprintf("%d", randomHits))
+	rep.AddNote("antipode placement should land on hotspot-serving nodes less often than random")
+	return rep, nil
+}

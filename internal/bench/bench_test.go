@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Nodes <= 0 || o.PointsPerBlock <= 0 || o.Out == nil {
+		t.Errorf("normalization incomplete: %+v", o)
+	}
+}
+
+func TestOptionsPick(t *testing.T) {
+	q := Options{Quick: true}
+	f := Options{Quick: false}
+	if q.pick(1, 10) != 1 || f.pick(1, 10) != 10 {
+		t.Error("pick selected wrong scale")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure of the paper's evaluation must have a registered runner.
+	want := []string{
+		"fig6a", "fig6b", "fig6c", "fig6d",
+		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e",
+		"fig8a", "fig8b", "fig8c",
+		"abl-freshness", "abl-plm", "abl-antipode",
+		"ext-frontend",
+	}
+	have := map[string]bool{}
+	for _, id := range Experiments() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(have), len(want), Experiments())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99x", DefaultOptions()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	rep := Report{
+		ID:      "t1",
+		Title:   "test report",
+		Columns: []string{"name", "value"},
+	}
+	rep.AddRow("alpha", "1")
+	rep.AddRow("longer-name", "22")
+	rep.AddNote("a note with %d args", 2)
+
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"t1", "test report", "alpha", "longer-name", "a note with 2 args"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed report missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must be aligned: both data rows start their value column at
+	// the same offset.
+	lines := strings.Split(out, "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "alpha") || strings.Contains(l, "longer-name") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 2 {
+		t.Fatalf("data lines = %d", len(dataLines))
+	}
+	if strings.Index(dataLines[0], "1") != strings.Index(dataLines[1], "22") {
+		t.Errorf("columns not aligned:\n%s\n%s", dataLines[0], dataLines[1])
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.50" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := ratio(10*time.Millisecond, 2*time.Millisecond); got != "5.0x" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(time.Second, 0); got != "inf" {
+		t.Errorf("ratio/0 = %q", got)
+	}
+	if got := pct(10*time.Millisecond, 4*time.Millisecond); got != "60.0%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := pct(0, time.Millisecond); got != "0%" {
+		t.Errorf("pct base 0 = %q", got)
+	}
+}
+
+func TestAvg(t *testing.T) {
+	if avg(nil) != 0 {
+		t.Error("avg of nothing should be 0")
+	}
+	if got := avg([]time.Duration{time.Second, 3 * time.Second}); got != 2*time.Second {
+		t.Errorf("avg = %v", got)
+	}
+}
+
+func TestExperimentModelOrdering(t *testing.T) {
+	m := experimentModel()
+	if !(m.DiskSeek > m.NetHop && m.NetHop > m.MemCell) {
+		t.Errorf("cost ordering violated: %+v", m)
+	}
+	if m.DiskPoint <= 0 {
+		t.Error("per-point disk cost must dominate; zero disables the contrast")
+	}
+}
+
+// TestRunAblationAntipodeSmoke runs the cheapest registered experiment end
+// to end through the public entry point.
+func TestRunAblationAntipodeSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Nodes = 8
+	opts.Out = &buf
+	rep, err := Run("abl-antipode", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	anti, err1 := strconv.Atoi(rep.Rows[0][2])
+	rnd, err2 := strconv.Atoi(rep.Rows[1][2])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable counts: %v", rep.Rows)
+	}
+	if anti > rnd {
+		t.Errorf("antipode helpers on hotspot owners (%d) exceed random (%d)", anti, rnd)
+	}
+	if !strings.Contains(buf.String(), "abl-antipode") {
+		t.Error("report not printed to Out")
+	}
+}
+
+func TestNewRngDeterministic(t *testing.T) {
+	a := newRng(Options{Seed: 7}, 3)
+	b := newRng(Options{Seed: 7}, 3)
+	if a.Int63() != b.Int63() {
+		t.Error("rng not deterministic per (seed, salt)")
+	}
+	c := newRng(Options{Seed: 7}, 4)
+	if a.Int63() == c.Int63() {
+		t.Error("different salts should diverge (probabilistically)")
+	}
+}

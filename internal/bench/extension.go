@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"stash/internal/frontend"
+	"stash/internal/geohash"
+	"stash/internal/query"
+	"stash/internal/replication"
+	"stash/internal/workload"
+)
+
+func init() {
+	registry["ext-frontend"] = ExtFrontend
+}
+
+// ExtFrontend evaluates the paper's proposed future work (§IX-A): a
+// smaller-capacity STASH graph at the front-end plus predictive prefetching.
+// A user pans steadily through a state-sized viewport; the runner contrasts
+// per-step latency and back-end round trips for (a) the plain coordinator,
+// (b) a front-end cache, and (c) a front-end cache with prefetching.
+func ExtFrontend(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "ext-frontend",
+		Title:   "front-end STASH graph + prefetching (paper future work)",
+		Columns: []string{"tier", "steps", "avg_pan_ms", "fully_local", "back_cells"},
+	}
+	steps := opts.pick(8, 16)
+	start := workload.RandomQuery(newRng(opts, 16), workload.State)
+	// A deterministic straight pan: the pattern prefetching is built for.
+	session := make([]query.Query, 0, steps+1)
+	q := start
+	for i := 0; i <= steps; i++ {
+		session = append(session, q)
+		q = q.Pan(geohash.East, 0.10)
+	}
+
+	type tier struct {
+		name     string
+		frontend bool
+		prefetch bool
+	}
+	for _, tr := range []tier{
+		{"coordinator", false, false},
+		{"front-cache", true, false},
+		{"front-cache+prefetch", true, true},
+	} {
+		c, err := buildCluster(opts, stashSystem, replication.Config{}, nil)
+		if err != nil {
+			return rep, err
+		}
+		var lat []time.Duration
+		var fullyLocal, backCells int64
+
+		if !tr.frontend {
+			lat, err = sessionLatencies(c, session)
+			if err != nil {
+				c.Stop()
+				return rep, err
+			}
+			backCells = c.TotalStats().DiskCells // informational only
+		} else {
+			fc := frontend.NewClient(c.Client(), frontend.Config{
+				CacheCells: 50_000,
+				Prefetch:   tr.prefetch,
+			})
+			for _, qq := range session {
+				t0 := time.Now()
+				if _, err := fc.Query(qq); err != nil {
+					c.Stop()
+					return rep, err
+				}
+				lat = append(lat, time.Since(t0))
+				// Think-time lets background population and prefetch land.
+				settle(c, qq)
+				fc.Wait()
+			}
+			st := fc.Stats()
+			fullyLocal = st.FullyLocal
+			backCells = st.CellsFromBack
+		}
+		c.Stop()
+
+		rep.AddRow(tr.name, fmt.Sprintf("%d", len(session)),
+			ms(avg(lat[1:])), fmt.Sprintf("%d", fullyLocal), fmt.Sprintf("%d", backCells))
+	}
+	rep.AddNote("prefetching should make most pans fully local (zero back-end round trips)")
+	return rep, nil
+}

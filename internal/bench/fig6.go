@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"stash/internal/cluster"
+	"stash/internal/query"
+	"stash/internal/replication"
+	"stash/internal/workload"
+)
+
+func init() {
+	registry["fig6a"] = Fig6aLatency
+	registry["fig6b"] = Fig6bThroughput
+	registry["fig6c"] = Fig6cMaintenance
+	registry["fig6d"] = Fig6dHotspot
+}
+
+// Fig6aLatency reproduces Fig. 6a: average query latency per size class
+// under three scenarios — the basic system, an empty STASH graph
+// (worst case) and a fully populated STASH graph (best case, a duplicate
+// query). Expected shape: warm STASH ~5x faster than basic at country/state
+// sizes; empty STASH slightly slower than basic (lookup overhead).
+func Fig6aLatency(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "fig6a",
+		Title:   "query latency vs query size (basic / empty STASH / warm STASH)",
+		Columns: []string{"size", "basic_ms", "empty_stash_ms", "warm_stash_ms", "warm_vs_basic"},
+	}
+	rng := newRng(opts, 1)
+
+	for _, size := range workload.Sizes() {
+		// Small queries are cheap but noisy (timer-slack floor), so run
+		// more repetitions of them.
+		reps := opts.pick(2, 5)
+		if size == workload.County || size == workload.City {
+			reps = opts.pick(6, 15)
+		}
+		var basicTot, coldTot, warmTot time.Duration
+		for r := 0; r < reps; r++ {
+			q := workload.RandomQuery(rng, size)
+
+			basic, err := buildCluster(opts, basicSystem, replication.Config{}, nil)
+			if err != nil {
+				return rep, err
+			}
+			dBasic, err := timedQuery(basic, q)
+			basic.Stop()
+			if err != nil {
+				return rep, err
+			}
+
+			cached, err := buildCluster(opts, stashSystem, replication.Config{}, nil)
+			if err != nil {
+				return rep, err
+			}
+			dCold, err := timedQuery(cached, q) // empty graph: worst case
+			if err != nil {
+				cached.Stop()
+				return rep, err
+			}
+			settle(cached, q)
+			dWarm, err := timedQuery(cached, q) // duplicate query: best case
+			cached.Stop()
+			if err != nil {
+				return rep, err
+			}
+
+			basicTot += dBasic
+			coldTot += dCold
+			warmTot += dWarm
+		}
+		n := time.Duration(reps)
+		basicAvg, coldAvg, warmAvg := basicTot/n, coldTot/n, warmTot/n
+		rep.AddRow(size.String(), ms(basicAvg), ms(coldAvg), ms(warmAvg), ratio(basicAvg, warmAvg))
+		if size == workload.Country || size == workload.State {
+			rep.AddNote("%s: warm STASH beats basic by %s (paper: ~5x)", size, ratio(basicAvg, warmAvg))
+		}
+	}
+	return rep, nil
+}
+
+// Fig6bThroughput reproduces Fig. 6b: sustained throughput of a basic vs a
+// STASH-enabled system under a locality-heavy mix (random rectangles, each
+// panned repeatedly). The paper reports 5.7x/4x/3.7x improvements for
+// state/county/city.
+func Fig6bThroughput(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "fig6b",
+		Title:   "throughput vs query size (basic / STASH)",
+		Columns: []string{"size", "requests", "basic_qps", "stash_qps", "improvement"},
+	}
+	rects := opts.pick(12, 100)
+	pans := opts.pick(29, 99)
+	inflight := 32
+
+	for _, size := range []workload.SizeClass{workload.State, workload.County, workload.City} {
+		sessions := workload.ThroughputSessions(newRng(opts, 2), size, rects, pans, 0.10)
+		n := 0
+		for _, s := range sessions {
+			n += len(s)
+		}
+
+		basic, err := buildCluster(opts, basicSystem, replication.Config{}, nil)
+		if err != nil {
+			return rep, err
+		}
+		basicTotal, err := runSessions(basic, sessions, inflight)
+		basic.Stop()
+		if err != nil {
+			return rep, err
+		}
+
+		cached, err := buildCluster(opts, stashSystem, replication.Config{}, nil)
+		if err != nil {
+			return rep, err
+		}
+		stashTotal, err := runSessions(cached, sessions, inflight)
+		cached.Stop()
+		if err != nil {
+			return rep, err
+		}
+
+		basicQPS := float64(n) / basicTotal.Seconds()
+		stashQPS := float64(n) / stashTotal.Seconds()
+		rep.AddRow(size.String(), fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", basicQPS), fmt.Sprintf("%.0f", stashQPS),
+			fmt.Sprintf("%.1fx", stashQPS/basicQPS))
+		rep.AddNote("%s: STASH throughput %.1fx basic (paper: 5.7x/4x/3.7x for state/county/city)",
+			size, stashQPS/basicQPS)
+	}
+	return rep, nil
+}
+
+// Fig6cMaintenance reproduces Fig. 6c: the cold-start STASH maintenance
+// cost — time to populate the graph with every cell of a query — which
+// shrinks with query size.
+func Fig6cMaintenance(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "fig6c",
+		Title:   "STASH maintenance (cold-start cell population) vs query size",
+		Columns: []string{"size", "cells", "population_ms"},
+	}
+	reps := opts.pick(3, 10)
+	rng := newRng(opts, 3)
+
+	var prev time.Duration
+	for _, size := range workload.Sizes() {
+		var tot time.Duration
+		var cells int
+		for r := 0; r < reps; r++ {
+			q := workload.RandomQuery(rng, size)
+			c, err := buildCluster(opts, stashSystem, replication.Config{}, nil)
+			if err != nil {
+				return rep, err
+			}
+			if _, err := c.Client().Query(q); err != nil {
+				c.Stop()
+				return rep, err
+			}
+			settle(c, q)
+			st := c.TotalStats()
+			tot += st.PopulationTime
+			cells += int(st.PopulatedCells)
+			c.Stop()
+		}
+		avgPop := tot / time.Duration(reps)
+		rep.AddRow(size.String(), fmt.Sprintf("%d", cells/reps), ms(avgPop))
+		if prev > 0 && avgPop > prev {
+			rep.AddNote("%s population (%s ms) exceeds the larger class above it — unexpected", size, ms(avgPop))
+		}
+		prev = avgPop
+	}
+	rep.AddNote("population time decreases with query size (paper Fig. 6c)")
+	return rep, nil
+}
+
+// Fig6dHotspot reproduces Fig. 6d: responses per second over time when a
+// single region is flooded, with and without dynamic clique replication.
+// The replicated run should sustain higher response rates and finish
+// earlier (~20s earlier on the paper's testbed).
+func Fig6dHotspot(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "fig6d",
+		Title:   "hotspot autoscaling: responses/sec, replication vs none",
+		Columns: []string{"second", "no_replication", "with_replication"},
+	}
+	n := opts.pick(600, 1000)
+	qs := workload.HotspotWorkload(newRng(opts, 4), workload.County, n, 0.10)
+
+	run := func(repl replication.Config) ([]time.Duration, time.Duration, error) {
+		c, err := buildCluster(opts, stashSystem, repl, func(cfg *cluster.Config) {
+			cfg.Workers = 1
+			cfg.QueueSize = 2048
+			// Aggregation work priced so a flooded node saturates (the
+			// paper's nodes bottleneck on query processing, not only disk).
+			cfg.Model.MemCell = 200 * time.Microsecond
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer c.Stop()
+		return runConcurrent(c, qs, 256)
+	}
+
+	noRepl, noReplTotal, err := run(replication.Config{})
+	if err != nil {
+		return rep, err
+	}
+	rc := replication.DefaultConfig()
+	rc.QueueThreshold = 100
+	rc.Cooldown = time.Hour // paper: "cooldown time was set high"
+	rc.RouteTTL = time.Hour
+	rc.GuestTTL = time.Hour
+	withRepl, withReplTotal, err := run(rc)
+	if err != nil {
+		return rep, err
+	}
+
+	bucket := 250 * time.Millisecond
+	buckets := int(maxDur(noReplTotal, withReplTotal)/bucket) + 1
+	histNo := make([]int, buckets)
+	histWith := make([]int, buckets)
+	for _, d := range noRepl {
+		histNo[int(d/bucket)]++
+	}
+	for _, d := range withRepl {
+		histWith[int(d/bucket)]++
+	}
+	for i := 0; i < buckets; i++ {
+		rep.AddRow(fmt.Sprintf("%.2f", float64(i)*bucket.Seconds()),
+			fmt.Sprintf("%d", histNo[i]), fmt.Sprintf("%d", histWith[i]))
+	}
+	rep.AddNote("makespan: no-replication %s ms, with-replication %s ms (%s faster; paper: finishes ~20s earlier)",
+		ms(noReplTotal), ms(withReplTotal), pct(noReplTotal, withReplTotal))
+	return rep, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// warmFraction pre-stocks the cluster's caches with a contiguous REGION
+// covering the given fraction of a query's footprint (used by fig7d/e's
+// 50/75/100% scenarios). The paper stacks the graph "with regions covering
+// 50%, 75% and 100% of all the relevant Cells" — regions, not scattered
+// cells: a contiguous stock leaves the missing cells concentrated in few
+// storage blocks, which is what makes a partial stock pay off.
+func warmFraction(c *cluster.Cluster, q query.Query, frac float64, salt int64) error {
+	if frac <= 0 {
+		return nil
+	}
+	sub := q
+	if frac < 1 {
+		// Shrink toward the southwest corner to an area fraction of frac.
+		lin := 1.0
+		if frac < 1 {
+			lin = sqrt(frac)
+		}
+		sub.Box.MaxLat = sub.Box.MinLat + sub.Box.Height()*lin
+		sub.Box.MaxLon = sub.Box.MinLon + sub.Box.Width()*lin
+	}
+	pick, err := sub.Footprint()
+	if err != nil {
+		return err
+	}
+	if len(pick) == 0 {
+		return nil
+	}
+	if _, err := c.Client().Fetch(pick); err != nil {
+		return err
+	}
+	// Wait for population of the picked share.
+	byOwner := c.Client().GroupByOwner(pick)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for id, owned := range byOwner {
+			g := c.Node(id).Graph()
+			if g == nil {
+				return nil
+			}
+			if g.PLM().Completeness(owned) < 1 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"stash/internal/query"
+	"stash/internal/replication"
+	"stash/internal/workload"
+)
+
+func init() {
+	registry["fig7a"] = Fig7aDicingDescending
+	registry["fig7b"] = Fig7bDicingAscending
+	registry["fig7c"] = Fig7cPanning
+	registry["fig7d"] = Fig7dDrillDown
+	registry["fig7e"] = Fig7eRollUp
+}
+
+// dicingSession runs one iterative-dicing sequence against a basic and a
+// STASH cluster and reports per-step latency.
+func dicingSession(opts Options, id, title string, build func(start query.Query) []query.Query) (Report, error) {
+	rep := Report{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"step", "basic_ms", "stash_ms", "reduction_vs_basic"},
+	}
+	start := workload.RandomQuery(newRng(opts, 7), workload.Country)
+	qs := build(start)
+
+	basic, err := buildCluster(opts, basicSystem, replication.Config{}, nil)
+	if err != nil {
+		return rep, err
+	}
+	basicLat, err := sessionLatencies(basic, qs)
+	basic.Stop()
+	if err != nil {
+		return rep, err
+	}
+
+	cached, err := buildCluster(opts, stashSystem, replication.Config{}, nil)
+	if err != nil {
+		return rep, err
+	}
+	stashLat, err := sessionLatencies(cached, qs)
+	cached.Stop()
+	if err != nil {
+		return rep, err
+	}
+
+	for i := range qs {
+		rep.AddRow(fmt.Sprintf("%d", i+1), ms(basicLat[i]), ms(stashLat[i]), pct(basicLat[i], stashLat[i]))
+	}
+	if len(qs) > 1 {
+		rep.AddNote("steps 2+: STASH averages %s vs basic %s",
+			ms(avg(stashLat[1:])), ms(avg(basicLat[1:])))
+	}
+	return rep, nil
+}
+
+// Fig7aDicingDescending reproduces Fig. 7a: 5 queries shrinking the spatial
+// area 20% per step from country size. From the second query on, the STASH
+// footprint is fully nested in cached cells, so latency collapses.
+func Fig7aDicingDescending(opts Options) (Report, error) {
+	return dicingSession(opts, "fig7a", "descending iterative dicing (5 steps, -20% area each)",
+		func(start query.Query) []query.Query {
+			return workload.DicingDescending(start, 5, 0.20)
+		})
+}
+
+// Fig7bDicingAscending reproduces Fig. 7b: the same queries in reverse
+// order. Each step finds only a fraction of its footprint cached, so the
+// improvement is real but smaller than descending.
+func Fig7bDicingAscending(opts Options) (Report, error) {
+	return dicingSession(opts, "fig7b", "ascending iterative dicing (5 steps, +area each)",
+		func(start query.Query) []query.Query {
+			return workload.DicingAscending(start, 5, 0.20)
+		})
+}
+
+// Fig7cPanning reproduces Fig. 7c: a state-level query panned by
+// 10/20/25% in all 8 directions; basic vs STASH average latency of the
+// panned queries. Paper: 60-73% latency reduction at 25% pan.
+func Fig7cPanning(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "fig7c",
+		Title:   "panning a state-level query (8 directions per fraction)",
+		Columns: []string{"pan", "basic_ms", "stash_ms", "reduction"},
+	}
+	start := workload.RandomQuery(newRng(opts, 8), workload.State)
+
+	for _, frac := range []float64{0.10, 0.20, 0.25} {
+		qs := workload.PanningStar(start, frac)
+
+		basic, err := buildCluster(opts, basicSystem, replication.Config{}, nil)
+		if err != nil {
+			return rep, err
+		}
+		basicLat, err := sessionLatencies(basic, qs)
+		basic.Stop()
+		if err != nil {
+			return rep, err
+		}
+
+		cached, err := buildCluster(opts, stashSystem, replication.Config{}, nil)
+		if err != nil {
+			return rep, err
+		}
+		stashLat, err := sessionLatencies(cached, qs)
+		cached.Stop()
+		if err != nil {
+			return rep, err
+		}
+
+		// Average over the 8 panned queries (steps 2..9), as in the figure.
+		b, s := avg(basicLat[1:]), avg(stashLat[1:])
+		rep.AddRow(fmt.Sprintf("%.0f%%", frac*100), ms(b), ms(s), pct(b, s))
+		if frac == 0.25 {
+			rep.AddNote("25%% pan: STASH reduces latency by %s (paper: 60-73%%)", pct(b, s))
+		}
+	}
+	return rep, nil
+}
+
+// zoomSession measures a drill-down or roll-up ladder against the basic
+// system and STASH graphs pre-stocked with 50/75/100% of the relevant cells
+// (paper §VIII-D2; expect >= 40% improvement in every partial scenario).
+func zoomSession(opts Options, id, title string, build func(base query.Query) []query.Query) (Report, error) {
+	rep := Report{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"step(res)", "basic_ms", "stash50_ms", "stash75_ms", "stash100_ms"},
+	}
+	base := workload.RandomQuery(newRng(opts, 9), workload.State)
+	qs := build(base)
+
+	basic, err := buildCluster(opts, basicSystem, replication.Config{}, nil)
+	if err != nil {
+		return rep, err
+	}
+	basicLat, err := sessionLatencies(basic, qs)
+	basic.Stop()
+	if err != nil {
+		return rep, err
+	}
+
+	fracs := []float64{0.50, 0.75, 1.00}
+	lats := make([][]time.Duration, len(fracs))
+	for fi, frac := range fracs {
+		cached, err := buildCluster(opts, stashSystem, replication.Config{}, nil)
+		if err != nil {
+			return rep, err
+		}
+		for _, q := range qs {
+			if err := warmFraction(cached, q, frac, opts.Seed+int64(fi)); err != nil {
+				cached.Stop()
+				return rep, err
+			}
+		}
+		l, err := sessionLatencies(cached, qs)
+		cached.Stop()
+		if err != nil {
+			return rep, err
+		}
+		lats[fi] = l
+	}
+
+	for i, q := range qs {
+		rep.AddRow(fmt.Sprintf("%d(res%d)", i+1, q.SpatialRes),
+			ms(basicLat[i]), ms(lats[0][i]), ms(lats[1][i]), ms(lats[2][i]))
+	}
+	rep.AddNote("session avg: basic %s, 50%%=%s, 75%%=%s, 100%%=%s (paper: >=40%% improvement at any partial stock)",
+		ms(avg(basicLat)), ms(avg(lats[0])), ms(avg(lats[1])), ms(avg(lats[2])))
+	return rep, nil
+}
+
+// zoomLadder is the simulation-scale analogue of the paper's resolution
+// 2..6 ladder: 2..5 keeps the per-step x32 cell growth while the finest
+// level stays tractable in one process (see EXPERIMENTS.md).
+const (
+	zoomFromRes = 2
+	zoomToRes   = 5
+)
+
+// Fig7dDrillDown reproduces Fig. 7d: drill-down (zoom-in) over a state
+// area, spatial resolution increasing one step per query.
+func Fig7dDrillDown(opts Options) (Report, error) {
+	return zoomSession(opts, "fig7d", "drill-down (zoom-in) with 50/75/100% pre-stocked cells",
+		func(base query.Query) []query.Query {
+			return workload.DrillDownSession(base, zoomFromRes, zoomToRes)
+		})
+}
+
+// Fig7eRollUp reproduces Fig. 7e: roll-up (zoom-out), the drill-down ladder
+// in reverse.
+func Fig7eRollUp(opts Options) (Report, error) {
+	return zoomSession(opts, "fig7e", "roll-up (zoom-out) with 50/75/100% pre-stocked cells",
+		func(base query.Query) []query.Query {
+			return workload.RollUpSession(base, zoomFromRes, zoomToRes)
+		})
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"stash/internal/elastic"
+	"stash/internal/query"
+	"stash/internal/replication"
+	"stash/internal/simnet"
+	"stash/internal/workload"
+)
+
+func init() {
+	registry["fig8a"] = Fig8aPanningVsES
+	registry["fig8b"] = Fig8bDicingAscVsES
+	registry["fig8c"] = Fig8cDicingDescVsES
+}
+
+// buildElastic assembles the comparator engine with the same dataset and
+// cost model as the STASH cluster.
+func buildElastic(opts Options) *elastic.Engine {
+	cfg := elastic.DefaultConfig()
+	cfg.Seed = uint64(opts.Seed)
+	cfg.PointsPerBlock = opts.PointsPerBlock
+	cfg.Model = experimentModel()
+	cfg.Sleeper = simnet.NewReal()
+	cfg.Shards = opts.pick(60, 600)
+	return elastic.New(cfg)
+}
+
+// esSession measures per-query latency of a session against the ES
+// comparator.
+func esSession(e *elastic.Engine, qs []query.Query) ([]time.Duration, error) {
+	out := make([]time.Duration, 0, len(qs))
+	for _, q := range qs {
+		start := time.Now()
+		if _, err := e.Query(q); err != nil {
+			return nil, err
+		}
+		out = append(out, time.Since(start))
+	}
+	return out, nil
+}
+
+// vsESSession contrasts sessions on STASH and on ES, reporting per-step
+// latency (averaged across the sessions, which damps wall-clock noise) and
+// the reduction relative to each system's own first query — the metric
+// Fig. 8 plots. note, if non-empty, is appended with the two session-average
+// drops.
+func vsESSession(opts Options, id, title, note string, sessions [][]query.Query) (Report, error) {
+	rep := Report{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"step", "stash_ms", "stash_drop", "es_ms", "es_drop"},
+	}
+	steps := len(sessions[0])
+	stashLat := make([]time.Duration, steps)
+	esLat := make([]time.Duration, steps)
+
+	for _, qs := range sessions {
+		// Fresh systems per session: sessions are independent users on
+		// independent regions; averaging their per-step latencies damps
+		// noise without cross-session cache pollution.
+		cached, err := buildCluster(opts, stashSystem, replication.Config{}, nil)
+		if err != nil {
+			return rep, err
+		}
+		sl, err := sessionLatencies(cached, qs)
+		cached.Stop()
+		if err != nil {
+			return rep, err
+		}
+		es := buildElastic(opts)
+		el, err := esSession(es, qs)
+		if err != nil {
+			return rep, err
+		}
+		for i := 0; i < steps; i++ {
+			stashLat[i] += sl[i]
+			esLat[i] += el[i]
+		}
+	}
+	n := time.Duration(len(sessions))
+	for i := 0; i < steps; i++ {
+		stashLat[i] /= n
+		esLat[i] /= n
+	}
+
+	for i := 0; i < steps; i++ {
+		rep.AddRow(fmt.Sprintf("%d", i+1),
+			ms(stashLat[i]), pct(stashLat[0], stashLat[i]),
+			ms(esLat[i]), pct(esLat[0], esLat[i]))
+	}
+	if steps > 1 && note != "" {
+		rep.AddNote("steps 2+ drop vs first query: STASH %s, ES %s (%s)",
+			pct(stashLat[0], avg(stashLat[1:])), pct(esLat[0], avg(esLat[1:])), note)
+	}
+	return rep, nil
+}
+
+// Fig8aPanningVsES reproduces Fig. 8a: the panning session on STASH vs
+// ElasticSearch.
+func Fig8aPanningVsES(opts Options) (Report, error) {
+	rng := newRng(opts, 10)
+	var sessions [][]query.Query
+	for i := 0; i < opts.pick(4, 8); i++ {
+		sessions = append(sessions, workload.PanningStar(workload.RandomQuery(rng, workload.State), 0.10))
+	}
+	return vsESSession(opts, "fig8a", "panning: STASH vs ElasticSearch",
+		"paper: STASH ~49.7-70%, ES ~0.6-2%", sessions)
+}
+
+// Fig8bDicingAscVsES reproduces Fig. 8b: ascending iterative dicing on
+// STASH vs ElasticSearch.
+func Fig8bDicingAscVsES(opts Options) (Report, error) {
+	rng := newRng(opts, 11)
+	var sessions [][]query.Query
+	for i := 0; i < opts.pick(2, 4); i++ {
+		sessions = append(sessions, workload.DicingAscending(workload.RandomQuery(rng, workload.Country), 5, 0.20))
+	}
+	return vsESSession(opts, "fig8b", "ascending dicing: STASH vs ElasticSearch",
+		"paper: STASH drops much steeper from step 2 on; ES grows with query size", sessions)
+}
+
+// Fig8cDicingDescVsES reproduces Fig. 8c: descending iterative dicing on
+// STASH vs ElasticSearch.
+func Fig8cDicingDescVsES(opts Options) (Report, error) {
+	rng := newRng(opts, 12)
+	var sessions [][]query.Query
+	for i := 0; i < opts.pick(2, 4); i++ {
+		sessions = append(sessions, workload.DicingDescending(workload.RandomQuery(rng, workload.Country), 5, 0.20))
+	}
+	return vsESSession(opts, "fig8c", "descending dicing: STASH vs ElasticSearch",
+		"paper: STASH near-total drop from step 2; ES falls only with shrinking query size", sessions)
+}

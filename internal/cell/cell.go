@@ -1,0 +1,437 @@
+// Package cell defines the STASH Cell, the minimum unit of storage in the
+// STASH graph (paper §IV-A, Table I). A Cell couples
+//
+//  1. spatiotemporal labels — a Geohash plus a temporal label that fix the
+//     Cell's bounds and resolutions,
+//  2. aggregated summary statistics — mergeable per-attribute aggregates
+//     (count/sum/min/max) over the raw observations in those bounds, and
+//  3. edge information — the lateral and hierarchical neighborhood, which
+//     STASH derives algebraically from the labels rather than storing
+//     pointers (paper §IV-D).
+//
+// The package also carries the freshness state used by the cache-replacement
+// policy (paper §V-C).
+package cell
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"stash/internal/geohash"
+	"stash/internal/temporal"
+)
+
+// MaxSpatialPrecision is the paper's n_s: the count of spatial resolutions
+// STASH distinguishes. Visual workloads in the paper use precisions 1-6;
+// we allow up to 8 to leave drill-down headroom.
+const MaxSpatialPrecision = 8
+
+// ErrBadKey reports a malformed cell key.
+var ErrBadKey = errors.New("cell: bad key")
+
+// Key identifies a Cell: a spatial label (Geohash, whose length is the
+// spatial resolution) and a temporal label (whose Res is the temporal
+// resolution).
+type Key struct {
+	Geohash string
+	Time    temporal.Label
+}
+
+// NewKey validates and builds a cell key.
+func NewKey(gh string, t temporal.Label) (Key, error) {
+	if err := geohash.Validate(gh); err != nil {
+		return Key{}, fmt.Errorf("%w: %v", ErrBadKey, err)
+	}
+	if len(gh) > MaxSpatialPrecision {
+		return Key{}, fmt.Errorf("%w: geohash %q exceeds max precision %d", ErrBadKey, gh, MaxSpatialPrecision)
+	}
+	if !t.Valid() {
+		return Key{}, fmt.Errorf("%w: temporal label %q at %v", ErrBadKey, t.Text, t.Res)
+	}
+	return Key{Geohash: gh, Time: t}, nil
+}
+
+// MustKey is NewKey for known-good literals; it panics on error.
+func MustKey(gh, timeText string, r temporal.Resolution) Key {
+	k, err := NewKey(gh, temporal.MustParse(timeText, r))
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// SpatialRes returns the cell's spatial resolution (geohash length).
+func (k Key) SpatialRes() int { return len(k.Geohash) }
+
+// TemporalRes returns the cell's temporal resolution.
+func (k Key) TemporalRes() temporal.Resolution { return k.Time.Res }
+
+// Level returns the cell's depth in the STASH hierarchy. The paper (§IV-C)
+// computes it as n_j*n_t + n_i over the current spatial (n_i) and temporal
+// (n_j) resolutions; we instantiate that with n_i = geohash length - 1 and a
+// row stride wide enough to keep every (spatial, temporal) pair on a distinct
+// level: level = n_j*MaxSpatialPrecision + n_i.
+func (k Key) Level() int {
+	return int(k.Time.Res)*MaxSpatialPrecision + (len(k.Geohash) - 1)
+}
+
+// NumLevels is the count of distinct hierarchy levels.
+const NumLevels = temporal.NumResolutions * MaxSpatialPrecision
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s@%s", k.Geohash, k.Time.Text)
+}
+
+// Box returns the cell's spatial bounding box.
+func (k Key) Box() (geohash.Box, error) { return geohash.DecodeBox(k.Geohash) }
+
+// SpatialNeighbors returns the keys of the up-to-8 laterally adjacent cells
+// in space (same resolutions, adjacent geohashes).
+func (k Key) SpatialNeighbors() ([]Key, error) {
+	ghs, err := geohash.Neighbors(k.Geohash)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Key, len(ghs))
+	for i, g := range ghs {
+		out[i] = Key{Geohash: g, Time: k.Time}
+	}
+	return out, nil
+}
+
+// TemporalNeighbors returns the two laterally adjacent cells in time
+// (previous and next label at the same resolutions).
+func (k Key) TemporalNeighbors() ([]Key, error) {
+	ls, err := k.Time.Neighbors()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Key, len(ls))
+	for i, l := range ls {
+		out[i] = Key{Geohash: k.Geohash, Time: l}
+	}
+	return out, nil
+}
+
+// LateralNeighbors returns the full lateral edge set of the cell: spatial
+// neighbors followed by temporal neighbors (paper Fig. 1).
+func (k Key) LateralNeighbors() ([]Key, error) {
+	sp, err := k.SpatialNeighbors()
+	if err != nil {
+		return nil, err
+	}
+	tp, err := k.TemporalNeighbors()
+	if err != nil {
+		return nil, err
+	}
+	return append(sp, tp...), nil
+}
+
+// Parents returns the cell's hierarchical parents. Per the paper (§IV-B) a
+// cell has up to three parents: one step coarser in space, one step coarser
+// in time, and one step coarser in both.
+func (k Key) Parents() []Key {
+	var out []Key
+	sp, hasSpatial := geohash.Parent(k.Geohash)
+	tp, hasTemporal := k.Time.Parent()
+	if hasSpatial {
+		out = append(out, Key{Geohash: sp, Time: k.Time})
+	}
+	if hasTemporal {
+		out = append(out, Key{Geohash: k.Geohash, Time: tp})
+	}
+	if hasSpatial && hasTemporal {
+		out = append(out, Key{Geohash: sp, Time: tp})
+	}
+	return out
+}
+
+// SpatialChildren returns the 32 cells one spatial resolution finer. ok is
+// false at the maximum spatial precision.
+func (k Key) SpatialChildren() ([]Key, bool) {
+	if len(k.Geohash) >= MaxSpatialPrecision {
+		return nil, false
+	}
+	ghs := geohash.Children(k.Geohash)
+	out := make([]Key, len(ghs))
+	for i, g := range ghs {
+		out[i] = Key{Geohash: g, Time: k.Time}
+	}
+	return out, true
+}
+
+// TemporalChildren returns the cells one temporal resolution finer. ok is
+// false at the finest temporal resolution.
+func (k Key) TemporalChildren() ([]Key, bool) {
+	ls, ok := k.Time.Children()
+	if !ok {
+		return nil, false
+	}
+	out := make([]Key, len(ls))
+	for i, l := range ls {
+		out[i] = Key{Geohash: k.Geohash, Time: l}
+	}
+	return out, true
+}
+
+// Children returns every hierarchical child of the cell: spatial children,
+// temporal children, and (resolution permitting) the spatiotemporal children
+// one step finer in both dimensions.
+func (k Key) Children() []Key {
+	var out []Key
+	sc, hasSpatial := k.SpatialChildren()
+	out = append(out, sc...)
+	tc, hasTemporal := k.TemporalChildren()
+	out = append(out, tc...)
+	if hasSpatial && hasTemporal {
+		for _, s := range sc {
+			stc, _ := s.TemporalChildren()
+			out = append(out, stc...)
+		}
+	}
+	return out
+}
+
+// Encloses reports whether k's spatiotemporal bounds fully contain o's
+// (the hierarchical-edge containment property, paper §IV).
+func (k Key) Encloses(o Key) bool {
+	if k.Geohash != o.Geohash && !geohash.IsAncestor(k.Geohash, o.Geohash) {
+		return false
+	}
+	ks, err := k.Time.Start()
+	if err != nil {
+		return false
+	}
+	ke, _ := k.Time.End()
+	os, err := o.Time.Start()
+	if err != nil {
+		return false
+	}
+	oe, _ := o.Time.End()
+	return !os.Before(ks) && !oe.After(ke)
+}
+
+// Stat is a mergeable aggregate over one observed attribute.
+type Stat struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Observe folds one raw value into the aggregate.
+func (s *Stat) Observe(v float64) {
+	if s.Count == 0 {
+		s.Min, s.Max = v, v
+	} else {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Count++
+	s.Sum += v
+}
+
+// Merge folds another aggregate into this one. Merging is commutative and
+// associative, which is what lets STASH combine cached cells with
+// disk-computed cells in any order.
+func (s *Stat) Merge(o Stat) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = o
+		return
+	}
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty aggregate.
+func (s Stat) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Summary is the per-attribute aggregate payload of a Cell — the content
+// returned to clients (paper Table I, "aggregated summary statistics").
+// Hists optionally carries per-attribute distributions for histogram
+// rendering; it is nil unless the aggregation pipeline maintains them.
+type Summary struct {
+	Stats map[string]Stat
+	Hists map[string]*Histogram
+}
+
+// NewSummary returns an empty summary ready for observations.
+func NewSummary() Summary { return Summary{Stats: map[string]Stat{}} }
+
+// Observe folds one raw value for the named attribute.
+func (s *Summary) Observe(attr string, v float64) {
+	if s.Stats == nil {
+		s.Stats = map[string]Stat{}
+	}
+	st := s.Stats[attr]
+	st.Observe(v)
+	s.Stats[attr] = st
+}
+
+// Merge folds another summary into this one, attribute-wise. Histograms
+// merge where both sides keep them with matching shapes; a mismatched or
+// one-sided histogram is dropped rather than silently skewed.
+func (s *Summary) Merge(o Summary) {
+	if s.Stats == nil {
+		s.Stats = map[string]Stat{}
+	}
+	for attr, st := range o.Stats {
+		cur := s.Stats[attr]
+		cur.Merge(st)
+		s.Stats[attr] = cur
+	}
+	for attr, oh := range o.Hists {
+		if oh == nil {
+			continue
+		}
+		if s.Hists == nil {
+			// Nothing accumulated yet on this side for any attribute: a
+			// clone of the other side's histogram is exact only if this
+			// side has no observations for the attribute.
+			if s.Stats[attr].Count == oh.Total() {
+				s.Hists = map[string]*Histogram{attr: oh.Clone()}
+			}
+			continue
+		}
+		h, ok := s.Hists[attr]
+		if !ok {
+			if s.Stats[attr].Count == oh.Total() {
+				s.Hists[attr] = oh.Clone()
+			}
+			continue
+		}
+		if err := h.Merge(oh); err != nil {
+			delete(s.Hists, attr)
+		}
+	}
+	// Drop histograms the other side tracked stats for but no histogram:
+	// they would under-count relative to Stats.
+	for attr := range s.Hists {
+		if _, inOther := o.Stats[attr]; inOther {
+			if _, histInOther := o.Hists[attr]; !histInOther {
+				delete(s.Hists, attr)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the summary.
+func (s Summary) Clone() Summary {
+	out := Summary{Stats: make(map[string]Stat, len(s.Stats))}
+	for k, v := range s.Stats {
+		out.Stats[k] = v
+	}
+	if s.Hists != nil {
+		out.Hists = make(map[string]*Histogram, len(s.Hists))
+		for k, h := range s.Hists {
+			out.Hists[k] = h.Clone()
+		}
+	}
+	return out
+}
+
+// Count returns the observation count for the named attribute.
+func (s Summary) Count(attr string) int64 { return s.Stats[attr].Count }
+
+// Attrs returns the attribute names in sorted order.
+func (s Summary) Attrs() []string {
+	out := make([]string, 0, len(s.Stats))
+	for k := range s.Stats {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Empty reports whether the summary holds no observations at all.
+func (s Summary) Empty() bool {
+	for _, st := range s.Stats {
+		if st.Count > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Cell is a vertex of the STASH graph: a key, its aggregate payload, and the
+// freshness bookkeeping driving cache replacement. Edge information is not
+// stored; it is derived from the Key (see the Key methods above).
+type Cell struct {
+	Key     Key
+	Summary Summary
+
+	// Freshness is the replacement score (paper §V-C1): the product of
+	// access frequency and a time-decay factor, maintained incrementally.
+	Freshness float64
+	// Accesses counts direct hits on this cell.
+	Accesses int64
+	// LastTouch is the logical tick of the last freshness update, used to
+	// apply decay lazily.
+	LastTouch int64
+}
+
+// New returns a cell for the given key with an empty summary.
+func New(k Key) *Cell {
+	return &Cell{Key: k, Summary: NewSummary()}
+}
+
+// DecayFunc computes the multiplicative freshness decay over elapsed logical
+// ticks. It must map 0 to 1 and be non-increasing.
+type DecayFunc func(elapsed int64) float64
+
+// ExpDecay returns an exponential decay with the given half-life in ticks.
+// A non-positive half-life yields no decay.
+func ExpDecay(halfLife int64) DecayFunc {
+	if halfLife <= 0 {
+		return func(int64) float64 { return 1 }
+	}
+	lambda := math.Ln2 / float64(halfLife)
+	return func(elapsed int64) float64 {
+		if elapsed <= 0 {
+			return 1
+		}
+		return math.Exp(-lambda * float64(elapsed))
+	}
+}
+
+// FreshnessAt returns the decayed freshness as of the given tick without
+// mutating the cell.
+func (c *Cell) FreshnessAt(tick int64, decay DecayFunc) float64 {
+	return c.Freshness * decay(tick-c.LastTouch)
+}
+
+// Touch records a direct access at the given tick: decay is applied, the
+// increment is added, and access counters advance (paper §V-C2).
+func (c *Cell) Touch(tick int64, inc float64, decay DecayFunc) {
+	c.Freshness = c.FreshnessAt(tick, decay) + inc
+	c.Accesses++
+	c.LastTouch = tick
+}
+
+// Disperse records an indirect (neighborhood) freshness boost at the given
+// tick: the fraction of the increment dispersed to neighbors of an accessed
+// region. It does not count as an access.
+func (c *Cell) Disperse(tick int64, inc float64, decay DecayFunc) {
+	c.Freshness = c.FreshnessAt(tick, decay) + inc
+	c.LastTouch = tick
+}

@@ -1,0 +1,466 @@
+package cell
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stash/internal/temporal"
+)
+
+func key(t *testing.T, gh, text string, r temporal.Resolution) Key {
+	t.Helper()
+	k, err := NewKey(gh, temporal.MustParse(text, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestNewKeyValidation(t *testing.T) {
+	if _, err := NewKey("9q8a7", temporal.MustParse("2015-03", temporal.Month)); err == nil {
+		t.Error("invalid geohash accepted")
+	}
+	if _, err := NewKey("9q8y7aaaa", temporal.MustParse("2015-03", temporal.Month)); err == nil {
+		t.Error("over-long geohash accepted")
+	}
+	if _, err := NewKey("9q8y7", temporal.Label{Res: temporal.Month, Text: "bogus"}); err == nil {
+		t.Error("invalid temporal label accepted")
+	}
+	k, err := NewKey("9q8y7", temporal.MustParse("2015-03", temporal.Month))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.SpatialRes() != 5 || k.TemporalRes() != temporal.Month {
+		t.Errorf("resolutions: %d %v", k.SpatialRes(), k.TemporalRes())
+	}
+	if k.String() != "9q8y7@2015-03" {
+		t.Errorf("String = %q", k.String())
+	}
+}
+
+func TestMustKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustKey on bad key should panic")
+		}
+	}()
+	MustKey("bad geohash!", "2015-03", temporal.Month)
+}
+
+func TestLevelDistinctPerResolutionPair(t *testing.T) {
+	seen := map[int]string{}
+	for _, res := range []temporal.Resolution{temporal.Year, temporal.Month, temporal.Day, temporal.Hour} {
+		gh := ""
+		for p := 1; p <= MaxSpatialPrecision; p++ {
+			gh += "9"
+			k := Key{Geohash: gh, Time: temporal.MustParse("2015", temporal.Year)}
+			k.Time.Res = res // resolution is what Level reads
+			lvl := Key{Geohash: gh, Time: temporal.Label{Res: res, Text: ""}}.Level()
+			label := string(rune('a'+int(res))) + gh
+			if prev, dup := seen[lvl]; dup {
+				t.Fatalf("level collision: %q and %q both map to %d", prev, label, lvl)
+			}
+			seen[lvl] = label
+			if lvl < 0 || lvl >= NumLevels {
+				t.Fatalf("level %d out of range [0,%d)", lvl, NumLevels)
+			}
+			_ = k
+		}
+	}
+}
+
+func TestLevelOrdering(t *testing.T) {
+	coarse := key(t, "9q", "2015", temporal.Year)
+	finerSpace := key(t, "9q8", "2015", temporal.Year)
+	finerTime := key(t, "9q", "2015-03", temporal.Month)
+	if !(coarse.Level() < finerSpace.Level()) {
+		t.Error("finer space must increase level")
+	}
+	if !(coarse.Level() < finerTime.Level()) {
+		t.Error("finer time must increase level")
+	}
+}
+
+// TestPaperLateralEdges reproduces the paper's Fig. 1 example: cell 9q8y7 at
+// 2015-03 has 8 spatial neighbors and temporal neighbors 2015-02/2015-04.
+func TestPaperLateralEdges(t *testing.T) {
+	k := key(t, "9q8y7", "2015-03", temporal.Month)
+	sp, err := k.SpatialNeighbors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 8 {
+		t.Errorf("spatial neighbors = %d, want 8", len(sp))
+	}
+	for _, n := range sp {
+		if n.Time != k.Time {
+			t.Errorf("spatial neighbor changed time: %v", n)
+		}
+	}
+	tp, err := k.TemporalNeighbors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp) != 2 || tp[0].Time.Text != "2015-02" || tp[1].Time.Text != "2015-04" {
+		t.Errorf("temporal neighbors = %v", tp)
+	}
+	all, err := k.LateralNeighbors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Errorf("lateral edge set = %d, want 10", len(all))
+	}
+}
+
+// TestThreeParents checks the paper's claim (§IV-B) that a cell has three
+// parent precisions: spatial, temporal, spatiotemporal.
+func TestThreeParents(t *testing.T) {
+	k := key(t, "9q8y7", "2015-03", temporal.Month)
+	ps := k.Parents()
+	if len(ps) != 3 {
+		t.Fatalf("parents = %d, want 3", len(ps))
+	}
+	var haveSpatial, haveTemporal, haveBoth bool
+	for _, p := range ps {
+		switch {
+		case p.Geohash == "9q8y" && p.Time.Text == "2015-03":
+			haveSpatial = true
+		case p.Geohash == "9q8y7" && p.Time.Text == "2015":
+			haveTemporal = true
+		case p.Geohash == "9q8y" && p.Time.Text == "2015":
+			haveBoth = true
+		}
+		if !p.Encloses(k) {
+			t.Errorf("parent %v does not enclose child %v", p, k)
+		}
+	}
+	if !haveSpatial || !haveTemporal || !haveBoth {
+		t.Errorf("missing parent kind: %v", ps)
+	}
+}
+
+func TestParentsAtHierarchyEdges(t *testing.T) {
+	top := key(t, "9", "2015", temporal.Year)
+	if got := top.Parents(); len(got) != 0 {
+		t.Errorf("top-of-hierarchy cell has parents: %v", got)
+	}
+	spatialOnly := key(t, "9", "2015-03", temporal.Month)
+	if got := spatialOnly.Parents(); len(got) != 1 || got[0].Time.Res != temporal.Year {
+		t.Errorf("coarsest-space cell parents = %v", got)
+	}
+}
+
+func TestSpatialChildren(t *testing.T) {
+	k := key(t, "9q8y", "2015-03", temporal.Month)
+	ch, ok := k.SpatialChildren()
+	if !ok || len(ch) != 32 {
+		t.Fatalf("spatial children = %d,%v; want 32", len(ch), ok)
+	}
+	for _, c := range ch {
+		if !k.Encloses(c) {
+			t.Errorf("child %v escapes parent %v", c, k)
+		}
+	}
+	deep := Key{Geohash: "12345678", Time: temporal.MustParse("2015", temporal.Year)}
+	if _, ok := deep.SpatialChildren(); ok {
+		t.Error("max-precision cell should have no spatial children")
+	}
+}
+
+func TestChildrenCounts(t *testing.T) {
+	k := key(t, "9q8y", "2015-03", temporal.Month)
+	ch := k.Children()
+	// 32 spatial + 31 temporal (March days) + 32*31 spatiotemporal.
+	want := 32 + 31 + 32*31
+	if len(ch) != want {
+		t.Errorf("children = %d, want %d", len(ch), want)
+	}
+	for _, c := range ch {
+		if !k.Encloses(c) {
+			t.Errorf("child %v escapes %v", c, k)
+		}
+	}
+}
+
+func TestEncloses(t *testing.T) {
+	outer := key(t, "9q", "2015", temporal.Year)
+	inner := key(t, "9q8y7", "2015-03-15", temporal.Day)
+	if !outer.Encloses(inner) {
+		t.Error("outer should enclose inner")
+	}
+	if inner.Encloses(outer) {
+		t.Error("inner should not enclose outer")
+	}
+	if !outer.Encloses(outer) {
+		t.Error("cell should enclose itself")
+	}
+	disjoint := key(t, "dr5r", "2015-03", temporal.Month)
+	if outer.Encloses(disjoint) {
+		t.Error("spatially disjoint cell enclosed")
+	}
+	laterYear := key(t, "9q8y", "2016-03", temporal.Month)
+	if outer.Encloses(laterYear) {
+		t.Error("temporally disjoint cell enclosed")
+	}
+}
+
+func TestStatObserve(t *testing.T) {
+	var s Stat
+	for _, v := range []float64{3, -1, 7, 2} {
+		s.Observe(v)
+	}
+	if s.Count != 4 || s.Sum != 11 || s.Min != -1 || s.Max != 7 {
+		t.Errorf("stat = %+v", s)
+	}
+	if got := s.Mean(); math.Abs(got-2.75) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestStatMeanEmpty(t *testing.T) {
+	var s Stat
+	if !math.IsNaN(s.Mean()) {
+		t.Error("empty stat mean should be NaN")
+	}
+}
+
+func TestStatMergeCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c []float64) bool {
+		mk := func(vs []float64) Stat {
+			var s Stat
+			for _, v := range vs {
+				s.Observe(boundVal(v))
+			}
+			return s
+		}
+		sa, sb, sc := mk(a), mk(b), mk(c)
+
+		ab := sa
+		ab.Merge(sb)
+		ba := sb
+		ba.Merge(sa)
+		if ab != ba {
+			return false
+		}
+
+		abc1 := ab
+		abc1.Merge(sc)
+		bc := sb
+		bc.Merge(sc)
+		abc2 := sa
+		abc2.Merge(bc)
+		return statsClose(abc1, abc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// boundVal maps arbitrary quick-generated floats into a realistic observation
+// range so Sum cannot overflow; the invariants under test are about
+// aggregation logic, not float saturation.
+func boundVal(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+func statsClose(a, b Stat) bool {
+	if a.Count != b.Count {
+		return false
+	}
+	const eps = 1e-9
+	rel := func(x, y float64) bool {
+		d := math.Abs(x - y)
+		return d <= eps || d <= eps*math.Max(math.Abs(x), math.Abs(y))
+	}
+	return rel(a.Sum, b.Sum) && rel(a.Min, b.Min) && rel(a.Max, b.Max)
+}
+
+func TestStatMergeMatchesObserveAll(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var sa, sb, all Stat
+		for _, v := range a {
+			v = boundVal(v)
+			sa.Observe(v)
+			all.Observe(v)
+		}
+		for _, v := range b {
+			v = boundVal(v)
+			sb.Observe(v)
+			all.Observe(v)
+		}
+		sa.Merge(sb)
+		return statsClose(sa, all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatMergeEmpty(t *testing.T) {
+	var empty Stat
+	s := Stat{Count: 2, Sum: 4, Min: 1, Max: 3}
+	merged := s
+	merged.Merge(empty)
+	if merged != s {
+		t.Error("merging empty changed stat")
+	}
+	empty.Merge(s)
+	if empty != s {
+		t.Error("merging into empty should copy")
+	}
+}
+
+func TestSummaryObserveMerge(t *testing.T) {
+	a := NewSummary()
+	a.Observe("temperature", 20)
+	a.Observe("temperature", 30)
+	a.Observe("humidity", 0.4)
+
+	b := NewSummary()
+	b.Observe("temperature", 10)
+	b.Observe("precipitation", 1.5)
+
+	a.Merge(b)
+	if a.Count("temperature") != 3 {
+		t.Errorf("temperature count = %d", a.Count("temperature"))
+	}
+	if st := a.Stats["temperature"]; st.Min != 10 || st.Max != 30 {
+		t.Errorf("temperature stat = %+v", st)
+	}
+	if a.Count("precipitation") != 1 || a.Count("humidity") != 1 {
+		t.Error("attribute union lost entries")
+	}
+	attrs := a.Attrs()
+	if len(attrs) != 3 || attrs[0] != "humidity" {
+		t.Errorf("attrs = %v", attrs)
+	}
+}
+
+func TestSummaryZeroValueUsable(t *testing.T) {
+	var s Summary
+	s.Observe("x", 1)
+	if s.Count("x") != 1 {
+		t.Error("zero-value summary should accept observations")
+	}
+	var m Summary
+	m.Merge(s)
+	if m.Count("x") != 1 {
+		t.Error("zero-value summary should accept merges")
+	}
+}
+
+func TestSummaryCloneIndependent(t *testing.T) {
+	s := NewSummary()
+	s.Observe("x", 5)
+	c := s.Clone()
+	c.Observe("x", 7)
+	if s.Count("x") != 1 || c.Count("x") != 2 {
+		t.Error("clone not independent")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary()
+	if !s.Empty() {
+		t.Error("new summary should be empty")
+	}
+	s.Observe("x", 0)
+	if s.Empty() {
+		t.Error("summary with observation reported empty")
+	}
+}
+
+func TestExpDecay(t *testing.T) {
+	d := ExpDecay(10)
+	if d(0) != 1 {
+		t.Error("decay at 0 must be 1")
+	}
+	if got := d(10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("decay at half-life = %v, want 0.5", got)
+	}
+	if d(20) >= d(10) || d(10) >= d(5) {
+		t.Error("decay must be decreasing")
+	}
+	nod := ExpDecay(0)
+	if nod(1000) != 1 {
+		t.Error("zero half-life should disable decay")
+	}
+}
+
+func TestCellTouchAccumulates(t *testing.T) {
+	c := New(MustKey("9q8y7", "2015-03", temporal.Month))
+	d := ExpDecay(0) // no decay: freshness is pure access count * inc
+	c.Touch(1, 1.0, d)
+	c.Touch(2, 1.0, d)
+	c.Touch(3, 1.0, d)
+	if c.Freshness != 3 || c.Accesses != 3 || c.LastTouch != 3 {
+		t.Errorf("cell after 3 touches: %+v", c)
+	}
+}
+
+func TestCellFreshnessDecays(t *testing.T) {
+	c := New(MustKey("9q8y7", "2015-03", temporal.Month))
+	d := ExpDecay(10)
+	c.Touch(0, 8, d)
+	if got := c.FreshnessAt(10, d); math.Abs(got-4) > 1e-9 {
+		t.Errorf("freshness after one half-life = %v, want 4", got)
+	}
+	// Touching later first decays, then adds.
+	c.Touch(10, 1, d)
+	if math.Abs(c.Freshness-5) > 1e-9 {
+		t.Errorf("freshness after decayed touch = %v, want 5", c.Freshness)
+	}
+}
+
+func TestDisperseDoesNotCountAccess(t *testing.T) {
+	c := New(MustKey("9q8y7", "2015-03", temporal.Month))
+	d := ExpDecay(0)
+	c.Disperse(1, 0.25, d)
+	if c.Accesses != 0 {
+		t.Error("dispersion must not count as access")
+	}
+	if c.Freshness != 0.25 {
+		t.Errorf("freshness = %v", c.Freshness)
+	}
+}
+
+// TestRecencyBeatsStaleFrequency encodes the paper's freshness intent: a cell
+// accessed often long ago eventually scores below a recently accessed one.
+func TestRecencyBeatsStaleFrequency(t *testing.T) {
+	d := ExpDecay(50)
+	old := New(MustKey("9q8y7", "2015-03", temporal.Month))
+	for i := int64(0); i < 20; i++ {
+		old.Touch(i, 1, d)
+	}
+	recent := New(MustKey("9q8y6", "2015-03", temporal.Month))
+	recent.Touch(500, 1, d)
+	recent.Touch(501, 1, d)
+
+	now := int64(502)
+	if old.FreshnessAt(now, d) >= recent.FreshnessAt(now, d) {
+		t.Errorf("stale frequent cell (%v) should score below recent cell (%v)",
+			old.FreshnessAt(now, d), recent.FreshnessAt(now, d))
+	}
+}
+
+func BenchmarkSummaryObserve(b *testing.B) {
+	s := NewSummary()
+	for i := 0; i < b.N; i++ {
+		s.Observe("temperature", float64(i%40))
+	}
+}
+
+func BenchmarkKeyChildren(b *testing.B) {
+	k := MustKey("9q8y", "2015-03", temporal.Month)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := k.Children(); len(got) == 0 {
+			b.Fatal("no children")
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package cell
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(10, 5, 4); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil || h.Buckets() != 5 {
+		t.Fatalf("valid histogram rejected: %v", err)
+	}
+}
+
+func TestMustHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustHistogram should panic on bad shape")
+		}
+	}()
+	MustHistogram(1, 0, 4)
+}
+
+func TestHistogramObserveBuckets(t *testing.T) {
+	h := MustHistogram(0, 10, 5) // buckets of width 2
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Observe(v)
+	}
+	if h.Under != 1 {
+		t.Errorf("under = %d", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("over = %d", h.Over)
+	}
+	want := []int64{2, 1, 1, 0, 1} // {0,1.9}, {2}, {5}, {}, {9.99}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, c, want[i], h.Counts)
+			break
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+	h.Observe(math.NaN())
+	if h.Total() != 8 {
+		t.Error("NaN counted")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := MustHistogram(0, 10, 5)
+	b := MustHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		a.Observe(float64(i))
+		b.Observe(float64(i) / 2)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 20 {
+		t.Errorf("merged total = %d", a.Total())
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Error("nil merge should be a no-op")
+	}
+	c := MustHistogram(0, 20, 5)
+	if err := a.Merge(c); err == nil {
+		t.Error("mismatched bounds accepted")
+	}
+	d := MustHistogram(0, 10, 7)
+	if err := a.Merge(d); err == nil {
+		t.Error("mismatched bucket count accepted")
+	}
+}
+
+func TestHistogramMergeEquivalentToObserveAll(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		a := MustHistogram(-100, 100, 16)
+		b := MustHistogram(-100, 100, 16)
+		all := MustHistogram(-100, 100, 16)
+		for _, v := range xs {
+			v = math.Mod(v, 300)
+			a.Observe(v)
+			all.Observe(v)
+		}
+		for _, v := range ys {
+			v = math.Mod(v, 300)
+			b.Observe(v)
+			all.Observe(v)
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if a.Under != all.Under || a.Over != all.Over {
+			return false
+		}
+		for i := range a.Counts {
+			if a.Counts[i] != all.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := MustHistogram(0, 10, 5)
+	h.Observe(3)
+	c := h.Clone()
+	c.Observe(3)
+	if h.Counts[1] != 1 || c.Counts[1] != 2 {
+		t.Error("clone not independent")
+	}
+	var nilH *Histogram
+	if nilH.Clone() != nil {
+		t.Error("nil clone should be nil")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := MustHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 10 {
+		t.Errorf("median = %v, want ~50", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); math.Abs(q-100) > 10 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := h.Quantile(0.9); math.Abs(q-90) > 10 {
+		t.Errorf("p90 = %v", q)
+	}
+	empty := MustHistogram(0, 1, 2)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Error("out-of-range q should be NaN")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := MustHistogram(-50, 50, 12)
+		for _, v := range xs {
+			h.Observe(math.Mod(v, 120))
+		}
+		if h.Total() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryObserveHist(t *testing.T) {
+	s := NewSummary()
+	spec := HistogramSpec{Lo: 0, Hi: 10, Buckets: 5}
+	for _, v := range []float64{1, 3, 5} {
+		s.Observe("x", v)
+		if err := s.ObserveHist("x", v, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := s.Hist("x")
+	if h == nil || h.Total() != 3 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if s.Hist("missing") != nil {
+		t.Error("absent attribute returned a histogram")
+	}
+	if err := s.ObserveHist("y", 1, HistogramSpec{Lo: 5, Hi: 1, Buckets: 3}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestSummaryMergeHistograms(t *testing.T) {
+	spec := HistogramSpec{Lo: 0, Hi: 10, Buckets: 5}
+	mk := func(vals ...float64) Summary {
+		s := NewSummary()
+		for _, v := range vals {
+			s.Observe("x", v)
+			_ = s.ObserveHist("x", v, spec)
+		}
+		return s
+	}
+	a := mk(1, 2)
+	b := mk(3, 4, 5)
+	a.Merge(b)
+	if got := a.Hist("x").Total(); got != 5 {
+		t.Errorf("merged hist total = %d", got)
+	}
+	if a.Count("x") != 5 {
+		t.Errorf("merged stat count = %d", a.Count("x"))
+	}
+}
+
+func TestSummaryMergeDropsUndercountingHist(t *testing.T) {
+	spec := HistogramSpec{Lo: 0, Hi: 10, Buckets: 5}
+	withHist := NewSummary()
+	withHist.Observe("x", 1)
+	_ = withHist.ObserveHist("x", 1, spec)
+
+	statsOnly := NewSummary()
+	statsOnly.Observe("x", 2)
+
+	// Merging a stats-only summary in must drop the histogram: it would
+	// under-count relative to the merged Stats.
+	withHist.Merge(statsOnly)
+	if withHist.Hist("x") != nil {
+		t.Error("undercounting histogram survived merge")
+	}
+
+	// Conversely, merging a hist-carrying summary into a stats-only one
+	// adopts the histogram only if it covers every merged observation.
+	statsOnly2 := NewSummary()
+	statsOnly2.Observe("x", 2)
+	full := NewSummary()
+	full.Observe("x", 1)
+	_ = full.ObserveHist("x", 1, spec)
+	statsOnly2.Merge(full)
+	if statsOnly2.Hist("x") != nil {
+		t.Error("partial histogram adopted")
+	}
+}
+
+func TestSummaryCloneDeepCopiesHists(t *testing.T) {
+	s := NewSummary()
+	_ = s.ObserveHist("x", 1, HistogramSpec{Lo: 0, Hi: 10, Buckets: 5})
+	c := s.Clone()
+	c.Hist("x").Observe(2)
+	if s.Hist("x").Total() != 1 || c.Hist("x").Total() != 2 {
+		t.Error("clone shares histogram storage")
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"stash/internal/cell"
+	"stash/internal/dht"
+	"stash/internal/geohash"
+	"stash/internal/query"
+)
+
+// Client is the coordinator the front-end talks to: it splits a query's
+// footprint across the owning nodes (the zero-hop DHT lookup, §IV-D), fans
+// the sub-requests out in parallel, and merges the partial results.
+type Client struct {
+	cluster *Cluster
+}
+
+// Query evaluates an aggregation query against the cluster and returns the
+// merged result.
+func (cl *Client) Query(q query.Query) (query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, err
+	}
+	keys, err := q.Footprint()
+	if err != nil {
+		return query.Result{}, err
+	}
+	return cl.Fetch(keys)
+}
+
+// Fetch retrieves the summaries of an explicit cell-key set, grouped and
+// routed by owner.
+func (cl *Client) Fetch(keys []cell.Key) (query.Result, error) {
+	if cl.cluster.isStopped() {
+		return query.Result{}, ErrStopped
+	}
+	byNode := cl.groupByOwner(keys)
+
+	type part struct {
+		res query.Result
+		err error
+	}
+	parts := make([]part, 0, len(byNode))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id, ks := range byNode {
+		wg.Add(1)
+		go func(id dht.NodeID, ks []cell.Key) {
+			defer wg.Done()
+			res, err := cl.cluster.nodes[id].Submit(ks)
+			mu.Lock()
+			parts = append(parts, part{res: res, err: err})
+			mu.Unlock()
+		}(id, ks)
+	}
+	wg.Wait()
+
+	merged := query.NewResult()
+	for _, p := range parts {
+		if p.err != nil {
+			return query.Result{}, p.err
+		}
+		merged.Merge(p.res)
+	}
+	return merged, nil
+}
+
+// TimedQuery evaluates a query and reports its wall-clock latency.
+func (cl *Client) TimedQuery(q query.Query) (query.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := cl.Query(q)
+	return res, time.Since(start), err
+}
+
+// GroupByOwner exposes the coordinator's owner assignment: every key mapped
+// to the node(s) owning its backing partitions. Harnesses use it to check
+// per-node cache completeness.
+func (cl *Client) GroupByOwner(keys []cell.Key) map[dht.NodeID][]cell.Key {
+	return cl.groupByOwner(keys)
+}
+
+// groupByOwner assigns every key to the node(s) owning its backing
+// partitions. Keys at or finer than the partition prefix have exactly one
+// owner; coarser keys span every extending partition, and each owner
+// computes its partial summary (partials merge associatively).
+func (cl *Client) groupByOwner(keys []cell.Key) map[dht.NodeID][]cell.Key {
+	ring := cl.cluster.ring
+	plen := ring.PrefixLen()
+	out := map[dht.NodeID][]cell.Key{}
+	for _, k := range keys {
+		if len(k.Geohash) >= plen {
+			id := ring.Owner(k.Geohash)
+			out[id] = append(out[id], k)
+			continue
+		}
+		// Coarse key: fan out to every owner of an extending partition,
+		// deduplicating per node.
+		prefixes := []string{k.Geohash}
+		for len(prefixes[0]) < plen {
+			var next []string
+			for _, p := range prefixes {
+				next = append(next, geohash.Children(p)...)
+			}
+			prefixes = next
+		}
+		seen := map[dht.NodeID]bool{}
+		for _, p := range prefixes {
+			id := ring.OwnerOfPartition(p)
+			if !seen[id] {
+				seen[id] = true
+				out[id] = append(out[id], k)
+			}
+		}
+	}
+	return out
+}
+
+// Describe formats a one-line summary of a result for logging and examples.
+func Describe(res query.Result, attr string) string {
+	return fmt.Sprintf("%d cells, %d %s observations", res.Len(), res.TotalCount(attr), attr)
+}

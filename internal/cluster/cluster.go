@@ -1,0 +1,227 @@
+// Package cluster simulates the paper's deployment in-process: a set of
+// nodes, each pairing a Galileo storage shard with a STASH graph shard, a
+// request queue, and the clique-handoff machinery; plus the client-side
+// coordinator that splits queries across owners and merges partial results
+// (paper §VI, §VII).
+//
+// Every node runs real goroutine workers draining a bounded request queue,
+// so concurrent load produces genuine queueing — the signal hotspot
+// detection triggers on. Network and disk costs are injected through
+// simnet, preserving the testbed's cost ordering.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"stash/internal/dht"
+	"stash/internal/namgen"
+	"stash/internal/replication"
+	"stash/internal/simnet"
+	"stash/internal/stash"
+	"stash/internal/temporal"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	// Nodes is the cluster size (the paper's testbed used 120).
+	Nodes int
+	// PrefixLen is the DHT partitioning prefix (paper: 2).
+	PrefixLen int
+	// Seed namespaces the synthetic dataset.
+	Seed uint64
+	// PointsPerBlock sets the synthetic block density.
+	PointsPerBlock int
+	// Stash configures the per-node cache shard; nil builds the basic
+	// system (no STASH), the paper's baseline.
+	Stash *stash.Config
+	// GuestCapacity is the per-node guest graph capacity (cells). Zero
+	// defaults to the Stash capacity.
+	GuestCapacity int
+	// Replication configures hotspot handling; a zero value disables it.
+	Replication replication.Config
+	// Histograms makes the storage scan maintain per-attribute histograms
+	// (namgen.HistogramSpecs) so result cells can drive histogram panels.
+	Histograms bool
+	// DisablePLM is the abl-plm ablation: without the precision-level map a
+	// node cannot identify *which* chunks are missing, so any miss forces a
+	// refetch of the entire requested key set from disk.
+	DisablePLM bool
+	// Model and Sleeper inject simulated I/O costs.
+	Model   simnet.Model
+	Sleeper simnet.Sleeper
+	// QueueSize bounds each node's pending-request queue.
+	QueueSize int
+	// Workers is the number of request-serving goroutines per node
+	// (the paper's nodes were 8-core machines).
+	Workers int
+}
+
+// DefaultConfig returns a mid-sized experiment cluster configuration with
+// STASH enabled and metered (non-sleeping) costs.
+func DefaultConfig() Config {
+	sc := stash.DefaultConfig()
+	return Config{
+		Nodes:          16,
+		PrefixLen:      dht.DefaultPrefixLen,
+		Seed:           42,
+		PointsPerBlock: namgen.DefaultPointsPerBlock,
+		Stash:          &sc,
+		Replication:    replication.Config{}, // disabled unless asked for
+		Model:          simnet.Default(),
+		Sleeper:        simnet.NewMeter(),
+		QueueSize:      512,
+		Workers:        4,
+	}
+}
+
+// ErrStopped reports a request submitted to a stopped cluster.
+var ErrStopped = errors.New("cluster: stopped")
+
+// Cluster is the running system: ring, nodes, and shared cost plumbing.
+type Cluster struct {
+	cfg   Config
+	ring  *dht.Ring
+	gen   *namgen.Generator
+	nodes map[dht.NodeID]*Node
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+}
+
+// New assembles a cluster. Call Start before submitting queries and Stop
+// when done.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = DefaultConfig().QueueSize
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultConfig().Workers
+	}
+	if cfg.Sleeper == nil {
+		cfg.Sleeper = simnet.NewMeter()
+	}
+	if cfg.PointsPerBlock <= 0 {
+		cfg.PointsPerBlock = namgen.DefaultPointsPerBlock
+	}
+	ring, err := dht.NewRing(cfg.Nodes, cfg.PrefixLen)
+	if err != nil {
+		return nil, err
+	}
+	gen := &namgen.Generator{Seed: cfg.Seed, PointsPerBlock: cfg.PointsPerBlock}
+	c := &Cluster{cfg: cfg, ring: ring, gen: gen, nodes: make(map[dht.NodeID]*Node, cfg.Nodes)}
+	for _, id := range ring.Nodes() {
+		c.nodes[id] = newNode(id, c, gen)
+	}
+	return c, nil
+}
+
+// Ring returns the cluster's partition map.
+func (c *Cluster) Ring() *dht.Ring { return c.ring }
+
+// Node returns one cluster member.
+func (c *Cluster) Node(id dht.NodeID) *Node { return c.nodes[id] }
+
+// Nodes returns all members in ring order.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.nodes))
+	for _, id := range c.ring.Nodes() {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
+// Client returns a coordinator bound to this cluster. Clients are cheap;
+// create one per concurrent user if desired (they are also safe to share).
+func (c *Cluster) Client() *Client {
+	return &Client{cluster: c}
+}
+
+// Start launches every node's workers. Idempotent.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, n := range c.nodes {
+		n.start(c.cfg.Workers)
+	}
+}
+
+// Stop drains and terminates all nodes. Requests submitted after Stop fail
+// with ErrStopped.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped || !c.started {
+		c.stopped = true
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	for _, n := range c.nodes {
+		n.stop()
+	}
+}
+
+func (c *Cluster) isStopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
+}
+
+// UpdateBlock simulates real-time ingest rewriting one backing block: the
+// synthetic dataset advances the block's version (its content changes
+// deterministically) and every cached summary drawing on it is invalidated,
+// so the next access recomputes from the new data.
+func (c *Cluster) UpdateBlock(prefix string, day temporal.Label) {
+	c.gen.Bump(prefix, day)
+	c.InvalidateBlock(prefix, day)
+}
+
+// InvalidateBlock broadcasts a storage-update invalidation: every node's
+// local and guest PLM marks the block stale, so cached summaries drawing on
+// it are recomputed on next access, and stale clique replicas stop serving
+// redirected requests (paper §IV-D, §VII-A). Cells cached after this call
+// are current by construction (epoch semantics in stash.PLM).
+func (c *Cluster) InvalidateBlock(prefix string, day temporal.Label) {
+	ref := stash.BlockRef{Prefix: prefix, Day: day}
+	for _, n := range c.nodes {
+		if n.graph != nil {
+			n.graph.PLM().MarkStale(ref)
+		}
+		if n.guest != nil {
+			n.guest.PLM().MarkStale(ref)
+		}
+	}
+}
+
+// TotalStats aggregates node metrics across the cluster.
+func (c *Cluster) TotalStats() NodeStats {
+	var total NodeStats
+	for _, n := range c.nodes {
+		s := n.Stats()
+		total.Processed += s.Processed
+		total.CacheHits += s.CacheHits
+		total.CacheMisses += s.CacheMisses
+		total.Derived += s.Derived
+		total.DiskCells += s.DiskCells
+		total.BlocksRead += s.BlocksRead
+		total.Rerouted += s.Rerouted
+		total.Handoffs += s.Handoffs
+		total.GuestServed += s.GuestServed
+		total.PopulationTime += s.PopulationTime
+		total.PopulatedCells += s.PopulatedCells
+		if s.QueuePeak > total.QueuePeak {
+			total.QueuePeak = s.QueuePeak
+		}
+	}
+	return total
+}

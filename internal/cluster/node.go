@@ -1,0 +1,585 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stash/internal/cell"
+	"stash/internal/dht"
+	"stash/internal/galileo"
+	"stash/internal/namgen"
+	"stash/internal/query"
+	"stash/internal/replication"
+	"stash/internal/stash"
+	"stash/internal/wire"
+)
+
+// approxKeyBytes and approxCellBytes price message payloads for the network
+// cost model: a key is a short string pair, a result cell adds four stats
+// per attribute.
+const (
+	approxKeyBytes  = 24
+	approxCellBytes = 160
+)
+
+// NodeStats is a snapshot of one node's counters.
+type NodeStats struct {
+	Processed      int64         // fetch tasks served
+	CacheHits      int64         // cells served from the local STASH graph
+	CacheMisses    int64         // cells that missed the local graph
+	Derived        int64         // cells computed from cached children
+	DiskCells      int64         // cells fetched from the backing store
+	BlocksRead     int64         // backing-store blocks read
+	Rerouted       int64         // requests redirected to a helper
+	Handoffs       int64         // clique handoffs completed
+	GuestServed    int64         // cells served from the guest graph
+	PopulatedCells int64         // cells inserted during cache population
+	PopulationTime time.Duration // wall time spent populating the cache
+	QueuePeak      int64         // maximum observed queue length
+}
+
+type fetchTask struct {
+	keys  []cell.Key
+	guest bool
+	reply chan fetchReply
+}
+
+type fetchReply struct {
+	result  query.Result
+	missing []cell.Key
+	err     error
+}
+
+type distressMsg struct {
+	root  cell.Key
+	cells int
+	reply chan bool
+}
+
+type replicateMsg struct {
+	root    cell.Key
+	keys    []cell.Key
+	payload query.Result
+	reply   chan bool
+}
+
+type guestEntry struct {
+	keys     []cell.Key
+	lastUsed time.Time
+}
+
+// Node is one cluster member: a Galileo shard plus (optionally) a STASH
+// graph shard, a guest graph for replicated cliques, a bounded request
+// queue served by worker goroutines, and the hotspot-handling state.
+type Node struct {
+	id      dht.NodeID
+	cluster *Cluster
+	store   *galileo.Store
+	graph   *stash.Graph // nil in the basic system
+	guest   *stash.Graph
+	routing *replication.Table
+
+	requests chan fetchTask
+	control  chan any
+	done     chan struct{}
+	wg       sync.WaitGroup
+	popWG    sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	lastHandoff   atomic.Int64 // unix nanos
+	handoffActive atomic.Bool
+
+	guestMu      sync.Mutex
+	guestCliques map[cell.Key]*guestEntry
+
+	processed      atomic.Int64
+	derived        atomic.Int64
+	diskCells      atomic.Int64
+	rerouted       atomic.Int64
+	handoffs       atomic.Int64
+	guestServed    atomic.Int64
+	populatedCells atomic.Int64
+	populationNs   atomic.Int64
+	queuePeak      atomic.Int64
+}
+
+func newNode(id dht.NodeID, c *Cluster, gen *namgen.Generator) *Node {
+	n := &Node{
+		id:           id,
+		cluster:      c,
+		store:        galileo.NewStore(c.ring, id, gen, c.cfg.Model, c.cfg.Sleeper),
+		routing:      replication.NewTable(),
+		requests:     make(chan fetchTask, c.cfg.QueueSize),
+		control:      make(chan any, 64),
+		done:         make(chan struct{}),
+		rng:          rand.New(rand.NewSource(int64(id)*7919 + 1)),
+		guestCliques: map[cell.Key]*guestEntry{},
+	}
+	if c.cfg.Histograms {
+		n.store.SetHistograms(true)
+	}
+	if c.cfg.Stash != nil {
+		sc := *c.cfg.Stash
+		sc.Model = c.cfg.Model
+		sc.Sleeper = c.cfg.Sleeper
+		n.graph = stash.NewGraph(sc)
+
+		gc := sc
+		if c.cfg.GuestCapacity > 0 {
+			gc.Capacity = c.cfg.GuestCapacity
+		}
+		n.guest = stash.NewGraph(gc)
+	}
+	return n
+}
+
+// ID returns the node's ring identity.
+func (n *Node) ID() dht.NodeID { return n.id }
+
+// Graph returns the node's local STASH shard (nil in the basic system).
+func (n *Node) Graph() *stash.Graph { return n.graph }
+
+// Guest returns the node's guest STASH shard (nil in the basic system).
+func (n *Node) Guest() *stash.Graph { return n.guest }
+
+// Store returns the node's Galileo shard.
+func (n *Node) Store() *galileo.Store { return n.store }
+
+// Routing returns the node's replication routing table.
+func (n *Node) Routing() *replication.Table { return n.routing }
+
+// QueueLen returns the number of pending requests.
+func (n *Node) QueueLen() int { return len(n.requests) }
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		Processed:      n.processed.Load(),
+		CacheHits:      n.graphStat(func(s stash.Stats) int64 { return s.Hits }),
+		CacheMisses:    n.graphStat(func(s stash.Stats) int64 { return s.Misses }),
+		Derived:        n.derived.Load(),
+		DiskCells:      n.diskCells.Load(),
+		BlocksRead:     n.store.BlocksRead(),
+		Rerouted:       n.rerouted.Load(),
+		Handoffs:       n.handoffs.Load(),
+		GuestServed:    n.guestServed.Load(),
+		PopulatedCells: n.populatedCells.Load(),
+		PopulationTime: time.Duration(n.populationNs.Load()),
+		QueuePeak:      n.queuePeak.Load(),
+	}
+}
+
+func (n *Node) graphStat(f func(stash.Stats) int64) int64 {
+	if n.graph == nil {
+		return 0
+	}
+	return f(n.graph.Stats())
+}
+
+func (n *Node) start(workers int) {
+	for i := 0; i < workers; i++ {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			for {
+				select {
+				case t := <-n.requests:
+					n.handle(t)
+				case <-n.done:
+					return
+				}
+			}
+		}()
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.controlLoop()
+	}()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.janitorLoop()
+	}()
+}
+
+func (n *Node) stop() {
+	close(n.done)
+	n.popWG.Wait()
+	n.wg.Wait()
+}
+
+// Submit evaluates a cell fetch on this node on behalf of a client. When the
+// node has active replicas covering the request, the call is
+// probabilistically redirected to the helper (paper §VII-C); any cells the
+// helper no longer holds fall back to the local path.
+func (n *Node) Submit(keys []cell.Key) (query.Result, error) {
+	cfg := n.cluster.cfg.Replication
+	if cfg.Enabled() && n.routing.Len() > 0 {
+		if helper, ok := n.routing.Lookup(keys); ok && n.flip(cfg.RerouteProbability) {
+			n.rerouted.Add(1)
+			rep, err := n.cluster.nodes[helper].enqueue(keys, true)
+			if err != nil {
+				return query.Result{}, err
+			}
+			if len(rep.missing) == 0 {
+				return rep.result, nil
+			}
+			local, err := n.enqueue(rep.missing, false)
+			if err != nil {
+				return query.Result{}, err
+			}
+			rep.result.Merge(local.result)
+			return rep.result, nil
+		}
+	}
+	rep, err := n.enqueue(keys, false)
+	if err != nil {
+		return query.Result{}, err
+	}
+	return rep.result, nil
+}
+
+// enqueue pushes a task through the node's request queue and waits for the
+// worker's reply. The caller pays the request and response network costs,
+// so client-perceived latency includes both directions.
+func (n *Node) enqueue(keys []cell.Key, guest bool) (fetchReply, error) {
+	c := n.cluster
+	c.cfg.Sleeper.Apply(c.cfg.Model.NetCost(len(keys) * approxKeyBytes))
+
+	t := fetchTask{keys: keys, guest: guest, reply: make(chan fetchReply, 1)}
+	select {
+	case n.requests <- t:
+	case <-n.done:
+		return fetchReply{}, ErrStopped
+	}
+	if q := int64(len(n.requests)); q > n.queuePeak.Load() {
+		n.queuePeak.Store(q)
+	}
+	n.maybeHandoff()
+
+	select {
+	case rep := <-t.reply:
+		if rep.err == nil {
+			c.cfg.Sleeper.Apply(c.cfg.Model.NetCost(rep.result.Len() * approxCellBytes))
+		}
+		return rep, rep.err
+	case <-n.done:
+		return fetchReply{}, ErrStopped
+	}
+}
+
+func (n *Node) flip(p float64) bool {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64() < p
+}
+
+// handle serves one fetch task on a worker goroutine.
+func (n *Node) handle(t fetchTask) {
+	n.processed.Add(1)
+	if t.guest {
+		t.reply <- n.handleGuest(t.keys)
+		return
+	}
+	t.reply <- n.handleLocal(t.keys)
+}
+
+// handleGuest serves a rerouted request purely from the guest graph; cells
+// the guest no longer holds are reported back as missing for the caller to
+// fall back on (paper §VII-C).
+func (n *Node) handleGuest(keys []cell.Key) fetchReply {
+	if n.guest == nil {
+		return fetchReply{result: query.NewResult(), missing: keys}
+	}
+	found, missing := n.guest.Get(keys)
+	n.guestServed.Add(int64(found.Len()))
+	n.touchGuestCliques(keys)
+	return fetchReply{result: found, missing: missing}
+}
+
+// handleLocal serves an owner-path request: STASH graph first, then
+// derivation from cached children, then the backing store for whatever is
+// still missing; fetched cells populate the cache in the background (the
+// paper's separate population thread, §VIII-C2).
+func (n *Node) handleLocal(keys []cell.Key) fetchReply {
+	if n.graph == nil {
+		res, err := n.store.FetchCells(keys)
+		if err == nil {
+			n.diskCells.Add(int64(len(keys)))
+		}
+		return fetchReply{result: res, err: err}
+	}
+
+	found, missing := n.graph.Get(keys)
+	if len(missing) == 0 {
+		return fetchReply{result: found}
+	}
+	if n.cluster.cfg.DisablePLM {
+		// abl-plm: without per-cell completeness tracking the node cannot
+		// tell which chunks are missing and re-evaluates the whole request.
+		res, err := n.store.FetchCells(keys)
+		if err != nil {
+			return fetchReply{result: found, err: err}
+		}
+		n.diskCells.Add(int64(len(keys)))
+		n.populateAsync(res, keys)
+		return fetchReply{result: res}
+	}
+
+	var unfetched []cell.Key
+	for _, k := range missing {
+		if sum, ok := n.graph.DeriveFromChildren(k); ok {
+			found.Add(k, sum)
+			n.derived.Add(1)
+			continue
+		}
+		unfetched = append(unfetched, k)
+	}
+	if len(unfetched) == 0 {
+		return fetchReply{result: found}
+	}
+
+	diskRes, err := n.store.FetchCells(unfetched)
+	if err != nil {
+		return fetchReply{result: found, err: err}
+	}
+	n.diskCells.Add(int64(len(unfetched)))
+	found.Merge(diskRes)
+	n.populateAsync(diskRes, unfetched)
+	return fetchReply{result: found}
+}
+
+// populateAsync inserts fetched cells into the cache off the response path
+// (the paper's separate population thread, §VIII-C2), negative-caching
+// requested keys that held no data.
+func (n *Node) populateAsync(res query.Result, requested []cell.Key) {
+	n.popWG.Add(1)
+	go func() {
+		defer n.popWG.Done()
+		start := time.Now()
+		n.graph.Put(res)
+		var empties []cell.Key
+		for _, k := range requested {
+			if _, ok := res.Cells[k]; !ok {
+				empties = append(empties, k)
+			}
+		}
+		if len(empties) > 0 {
+			n.graph.PutEmpty(empties)
+		}
+		n.populationNs.Add(int64(time.Since(start)))
+		n.populatedCells.Add(int64(len(requested)))
+	}()
+}
+
+// --- hotspot handling (paper §VII) ---
+
+// maybeHandoff checks the hotspot condition (pending queue over threshold,
+// §VII-B1) and, respecting the cooldown, runs a clique handoff in the
+// background.
+func (n *Node) maybeHandoff() {
+	cfg := n.cluster.cfg.Replication
+	if !cfg.Enabled() || n.graph == nil {
+		return
+	}
+	if len(n.requests) <= cfg.QueueThreshold {
+		return
+	}
+	last := n.lastHandoff.Load()
+	if time.Since(time.Unix(0, last)) < cfg.Cooldown {
+		return
+	}
+	if !n.handoffActive.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer n.handoffActive.Store(false)
+		// The cooldown starts only after a handoff that actually shipped
+		// replicas; an attempt on a still-cold graph (nothing to hand off)
+		// must not suppress retries while the hotspot persists.
+		if n.runHandoff() > 0 {
+			n.lastHandoff.Store(time.Now().UnixNano())
+		}
+	}()
+}
+
+// runHandoff executes §VII-B: pick the hottest cliques, find helpers via
+// antipode selection, ship replicas, and record routes. It returns the
+// number of cliques successfully replicated.
+func (n *Node) runHandoff() int {
+	cfg := n.cluster.cfg.Replication
+	done := 0
+	cliques := n.graph.TopCliques(cfg.CliqueDepth, cfg.MaxReplicaCells)
+	for _, cl := range cliques {
+		n.rngMu.Lock()
+		cands := replication.CandidateHelpers(cl.Root.Geohash, n.cluster.ring, n.id, cfg, n.rng)
+		n.rngMu.Unlock()
+		for _, cand := range cands {
+			helper := n.cluster.nodes[cand]
+			if helper == nil || !helper.askDistress(cl.Root, cl.Size()) {
+				continue // negative ack: retry around the antipode
+			}
+			payload := n.graph.Snapshot(cl.Keys)
+			if helper.askReplicate(cl.Root, cl.Keys, payload) {
+				n.routing.Add(cl.Root, cand, cl.Keys, time.Now())
+				n.handoffs.Add(1)
+				done++
+			}
+			break
+		}
+	}
+	return done
+}
+
+// askDistress delivers a distress request to this node (as helper
+// candidate) and reports its acknowledgement (§VII-B3).
+func (n *Node) askDistress(root cell.Key, cells int) bool {
+	n.cluster.cfg.Sleeper.Apply(n.cluster.cfg.Model.NetCost(approxKeyBytes))
+	m := distressMsg{root: root, cells: cells, reply: make(chan bool, 1)}
+	select {
+	case n.control <- m:
+	case <-n.done:
+		return false
+	}
+	select {
+	case ok := <-m.reply:
+		return ok
+	case <-n.done:
+		return false
+	}
+}
+
+// askReplicate ships a clique replica to this node (as helper) and reports
+// acceptance (§VII-B4). Replication is infrequent, so its payload is priced
+// at the exact wire-encoded size rather than the per-cell approximation the
+// hot path uses.
+func (n *Node) askReplicate(root cell.Key, keys []cell.Key, payload query.Result) bool {
+	n.cluster.cfg.Sleeper.Apply(n.cluster.cfg.Model.NetCost(wire.ResultSize(payload)))
+	m := replicateMsg{root: root, keys: keys, payload: payload, reply: make(chan bool, 1)}
+	select {
+	case n.control <- m:
+	case <-n.done:
+		return false
+	}
+	select {
+	case ok := <-m.reply:
+		return ok
+	case <-n.done:
+		return false
+	}
+}
+
+// controlLoop serializes replication control traffic so guest admission
+// decisions are race-free without locking the data path.
+func (n *Node) controlLoop() {
+	cfg := n.cluster.cfg.Replication
+	for {
+		select {
+		case msg := <-n.control:
+			switch m := msg.(type) {
+			case distressMsg:
+				// Accept unless hotspotted ourselves or out of guest room.
+				ok := n.guest != nil &&
+					len(n.requests) <= cfg.QueueThreshold &&
+					n.guest.Len()+m.cells <= n.guestCapacity()
+				m.reply <- ok
+			case replicateMsg:
+				if n.guest == nil {
+					m.reply <- false
+					continue
+				}
+				n.guest.Put(m.payload)
+				n.guestMu.Lock()
+				n.guestCliques[m.root] = &guestEntry{keys: m.keys, lastUsed: time.Now()}
+				n.guestMu.Unlock()
+				m.reply <- true
+			}
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) guestCapacity() int {
+	if n.cluster.cfg.GuestCapacity > 0 {
+		return n.cluster.cfg.GuestCapacity
+	}
+	if n.cluster.cfg.Stash != nil && n.cluster.cfg.Stash.Capacity > 0 {
+		return n.cluster.cfg.Stash.Capacity
+	}
+	return stash.DefaultConfig().Capacity
+}
+
+// touchGuestCliques refreshes the last-used stamp of guest cliques serving
+// the given keys, keeping live replicas from being purged (§VII-D).
+func (n *Node) touchGuestCliques(keys []cell.Key) {
+	n.guestMu.Lock()
+	defer n.guestMu.Unlock()
+	if len(n.guestCliques) == 0 {
+		return
+	}
+	now := time.Now()
+	for _, e := range n.guestCliques {
+		for _, k := range e.keys {
+			if containsKey(keys, k) {
+				e.lastUsed = now
+				break
+			}
+		}
+	}
+}
+
+func containsKey(keys []cell.Key, k cell.Key) bool {
+	for _, c := range keys {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+// janitorLoop purges expired routing-table entries and unused guest cliques
+// (paper §VII-D).
+func (n *Node) janitorLoop() {
+	cfg := n.cluster.cfg.Replication
+	if !cfg.Enabled() {
+		return
+	}
+	interval := cfg.Cooldown / 2
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			now := time.Now()
+			n.routing.Purge(now, cfg.RouteTTL)
+			n.purgeGuests(now, cfg.GuestTTL)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) purgeGuests(now time.Time, ttl time.Duration) {
+	if n.guest == nil {
+		return
+	}
+	n.guestMu.Lock()
+	defer n.guestMu.Unlock()
+	for root, e := range n.guestCliques {
+		if now.Sub(e.lastUsed) > ttl {
+			for _, k := range e.keys {
+				n.guest.Delete(k)
+			}
+			delete(n.guestCliques, root)
+		}
+	}
+}

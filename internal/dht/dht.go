@@ -1,0 +1,178 @@
+// Package dht implements the zero-hop distributed hash table that both
+// Galileo (the backing store) and STASH (the cache) use to place and locate
+// spatiotemporal data (paper §IV-D, §VI-C).
+//
+// "Zero-hop" means every node holds the complete partition map, so locating
+// the owner of any geohash costs a single local lookup — the paper's O(1)
+// data-discovery claim. Placement is by geohash prefix: all data whose
+// geohash shares the first PrefixLen characters lands on the same node,
+// preserving spatial locality within a partition.
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"stash/internal/geohash"
+)
+
+// DefaultPrefixLen is the partitioning prefix length used throughout the
+// paper's evaluation ("partitioned uniformly over the cluster based on the
+// first 2 characters of their Geohash").
+const DefaultPrefixLen = 2
+
+// ErrNoNodes reports a ring constructed without members.
+var ErrNoNodes = errors.New("dht: ring has no nodes")
+
+// NodeID identifies a cluster member.
+type NodeID int
+
+func (n NodeID) String() string { return fmt.Sprintf("node-%d", int(n)) }
+
+// Ring is the shared partition map. It is immutable after construction, so
+// every node can hold the same value and route without coordination.
+type Ring struct {
+	nodes     []NodeID
+	prefixLen int
+	// vnodes maps hash-space positions to nodes (consistent hashing with
+	// virtual nodes, so partitions spread evenly even for small clusters).
+	vnodeKeys   []uint64
+	vnodeOwners []NodeID
+}
+
+const vnodesPerNode = 64
+
+// NewRing builds a ring of n nodes (IDs 0..n-1) partitioning on prefixLen
+// geohash characters. prefixLen <= 0 selects DefaultPrefixLen.
+func NewRing(n, prefixLen int) (*Ring, error) {
+	if n <= 0 {
+		return nil, ErrNoNodes
+	}
+	if prefixLen <= 0 {
+		prefixLen = DefaultPrefixLen
+	}
+	if prefixLen > geohash.MaxPrecision {
+		return nil, fmt.Errorf("dht: prefix length %d exceeds max geohash precision", prefixLen)
+	}
+	r := &Ring{prefixLen: prefixLen}
+	r.nodes = make([]NodeID, n)
+	for i := range r.nodes {
+		r.nodes[i] = NodeID(i)
+	}
+	type vn struct {
+		key   uint64
+		owner NodeID
+	}
+	vns := make([]vn, 0, n*vnodesPerNode)
+	for _, id := range r.nodes {
+		for v := 0; v < vnodesPerNode; v++ {
+			vns = append(vns, vn{key: hash64(fmt.Sprintf("vnode-%d-%d", int(id), v)), owner: id})
+		}
+	}
+	sort.Slice(vns, func(i, j int) bool {
+		if vns[i].key != vns[j].key {
+			return vns[i].key < vns[j].key
+		}
+		return vns[i].owner < vns[j].owner
+	})
+	r.vnodeKeys = make([]uint64, len(vns))
+	r.vnodeOwners = make([]NodeID, len(vns))
+	for i, v := range vns {
+		r.vnodeKeys[i] = v.key
+		r.vnodeOwners[i] = v.owner
+	}
+	return r, nil
+}
+
+// Size returns the number of nodes in the ring.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Nodes returns all node IDs in ascending order.
+func (r *Ring) Nodes() []NodeID {
+	out := make([]NodeID, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// PrefixLen returns the geohash partitioning prefix length.
+func (r *Ring) PrefixLen() int { return r.prefixLen }
+
+// Partition returns the partition key (geohash prefix) that owns the given
+// geohash. Geohashes shorter than the prefix length partition on their full
+// string, so coarse cells still have a well-defined owner.
+func (r *Ring) Partition(gh string) string {
+	if len(gh) <= r.prefixLen {
+		return gh
+	}
+	return gh[:r.prefixLen]
+}
+
+// Owner returns the node owning the given geohash. This is the zero-hop
+// lookup: pure local computation, no network.
+func (r *Ring) Owner(gh string) NodeID {
+	return r.ownerOfKey(r.Partition(gh))
+}
+
+// OwnerOfPartition returns the node owning a raw partition key.
+func (r *Ring) OwnerOfPartition(part string) NodeID {
+	return r.ownerOfKey(part)
+}
+
+func (r *Ring) ownerOfKey(key string) NodeID {
+	h := hash64(key)
+	i := sort.Search(len(r.vnodeKeys), func(i int) bool { return r.vnodeKeys[i] >= h })
+	if i == len(r.vnodeKeys) {
+		i = 0
+	}
+	return r.vnodeOwners[i]
+}
+
+// Partitions enumerates every base partition key: all geohash prefixes of
+// the ring's prefix length. For the default length 2 this is the paper's
+// 32*32 = 1024 partitions.
+func (r *Ring) Partitions() []string {
+	return allPrefixes(r.prefixLen)
+}
+
+// PartitionsOf returns the partition keys assigned to one node.
+func (r *Ring) PartitionsOf(id NodeID) []string {
+	var out []string
+	for _, p := range r.Partitions() {
+		if r.ownerOfKey(p) == id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func allPrefixes(n int) []string {
+	out := []string{""}
+	for i := 0; i < n; i++ {
+		next := make([]string, 0, len(out)*len(geohash.Base32))
+		for _, p := range out {
+			for j := 0; j < len(geohash.Base32); j++ {
+				next = append(next, p+string(geohash.Base32[j]))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// hash64 hashes a key into the ring's 64-bit space. Raw FNV-1a leaves very
+// short keys (like 2-character geohash prefixes) clustered in a narrow band,
+// which would collapse all partitions onto one vnode; a splitmix64-style
+// finalizer disperses them across the full space.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

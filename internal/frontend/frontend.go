@@ -1,0 +1,217 @@
+// Package frontend implements the paper's proposed future work (§IX-A):
+//
+//  1. a smaller-capacity STASH graph at the front-end, so a user browsing a
+//     narrow spatiotemporal region is served without any round trip to the
+//     back-end, and
+//  2. a predictor of the user's access pattern that issues prefetching
+//     queries for the region it expects next, hiding back-end latency behind
+//     think-time.
+//
+// The front-end cache reuses the same stash.Graph data structure as the
+// server shards — the paper's point is precisely that the structure works at
+// any tier — just with a small capacity and no PLM invalidation traffic.
+package frontend
+
+import (
+	"sync"
+
+	"stash/internal/cell"
+	"stash/internal/cluster"
+	"stash/internal/query"
+	"stash/internal/stash"
+)
+
+// Config tunes the front-end tier.
+type Config struct {
+	// CacheCells is the front-end STASH graph capacity. The paper suggests
+	// a "smaller-capacity" graph; the default holds a handful of screens'
+	// worth of cells.
+	CacheCells int
+	// Prefetch enables predictive prefetching of the next expected query.
+	Prefetch bool
+	// Predictor overrides the navigation predictor; nil selects
+	// NewMomentumPredictor.
+	Predictor Predictor
+}
+
+// DefaultConfig returns a 20k-cell prefetching front-end.
+func DefaultConfig() Config {
+	return Config{CacheCells: 20_000, Prefetch: true}
+}
+
+// Stats counts front-end activity.
+type Stats struct {
+	Queries        int64
+	CellsFromCache int64
+	CellsFromBack  int64
+	Prefetches     int64
+	FullyLocal     int64 // queries answered without any back-end round trip
+}
+
+// Client is a front-end query client: a small local STASH graph in front of
+// the cluster coordinator, with optional prefetching. It is safe for
+// concurrent use by the handlers of one UI session.
+type Client struct {
+	inner     *cluster.Client
+	cache     *stash.Graph
+	predictor Predictor
+	prefetch  bool
+
+	mu      sync.Mutex
+	history []query.Query
+	stats   Stats
+	// inflight tracks the single outstanding prefetch so they never pile up.
+	prefetchBusy bool
+	prefetchWG   sync.WaitGroup
+}
+
+// NewClient wraps a cluster client with a front-end tier.
+func NewClient(inner *cluster.Client, cfg Config) *Client {
+	if cfg.CacheCells <= 0 {
+		cfg.CacheCells = DefaultConfig().CacheCells
+	}
+	sc := stash.DefaultConfig()
+	sc.Capacity = cfg.CacheCells
+	p := cfg.Predictor
+	if p == nil {
+		p = NewMomentumPredictor()
+	}
+	return &Client{
+		inner:     inner,
+		cache:     stash.NewGraph(sc),
+		predictor: p,
+		prefetch:  cfg.Prefetch,
+	}
+}
+
+// Stats snapshots the front-end counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Cache exposes the front-end graph (for tests and diagnostics).
+func (c *Client) Cache() *stash.Graph { return c.cache }
+
+// Query evaluates an aggregation query, serving whatever the front-end
+// graph holds and fetching only the missing cells from the back-end. On
+// return it records the query with the predictor and, if enabled, prefetches
+// the predicted next query in the background.
+func (c *Client) Query(q query.Query) (query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, err
+	}
+	keys, err := q.Footprint()
+	if err != nil {
+		return query.Result{}, err
+	}
+	res, err := c.fetch(keys)
+	if err != nil {
+		return query.Result{}, err
+	}
+
+	c.mu.Lock()
+	c.stats.Queries++
+	c.history = append(c.history, q)
+	if len(c.history) > 8 {
+		c.history = c.history[len(c.history)-8:]
+	}
+	hist := make([]query.Query, len(c.history))
+	copy(hist, c.history)
+	doPrefetch := c.prefetch && !c.prefetchBusy
+	if doPrefetch {
+		c.prefetchBusy = true
+	}
+	c.mu.Unlock()
+
+	if doPrefetch {
+		if next, ok := c.predictor.Predict(hist); ok {
+			c.prefetchWG.Add(1)
+			go func() {
+				defer c.prefetchWG.Done()
+				defer func() {
+					c.mu.Lock()
+					c.prefetchBusy = false
+					c.mu.Unlock()
+				}()
+				c.runPrefetch(next)
+			}()
+		} else {
+			c.mu.Lock()
+			c.prefetchBusy = false
+			c.mu.Unlock()
+		}
+	}
+	return res, nil
+}
+
+// fetch serves keys from the front cache, pulling misses from the back-end
+// and populating the cache.
+func (c *Client) fetch(keys []cell.Key) (query.Result, error) {
+	found, missing := c.cache.Get(keys)
+
+	c.mu.Lock()
+	c.stats.CellsFromCache += int64(len(keys) - len(missing))
+	c.stats.CellsFromBack += int64(len(missing))
+	if len(missing) == 0 {
+		c.stats.FullyLocal++
+	}
+	c.mu.Unlock()
+
+	if len(missing) == 0 {
+		return found, nil
+	}
+	back, err := c.inner.Fetch(missing)
+	if err != nil {
+		return query.Result{}, err
+	}
+	c.cache.Put(back)
+	var empties []cell.Key
+	for _, k := range missing {
+		if _, ok := back.Cells[k]; !ok {
+			empties = append(empties, k)
+		}
+	}
+	if len(empties) > 0 {
+		c.cache.PutEmpty(empties)
+	}
+	found.Merge(back)
+	return found, nil
+}
+
+// runPrefetch pulls the predicted query's missing cells into the front
+// cache without returning them to anyone.
+func (c *Client) runPrefetch(q query.Query) {
+	if err := q.Validate(); err != nil {
+		return
+	}
+	keys, err := q.Footprint()
+	if err != nil {
+		return
+	}
+	missing := c.cache.PLM().Missing(keys)
+	if len(missing) == 0 {
+		return
+	}
+	back, err := c.inner.Fetch(missing)
+	if err != nil {
+		return
+	}
+	c.cache.Put(back)
+	var empties []cell.Key
+	for _, k := range missing {
+		if _, ok := back.Cells[k]; !ok {
+			empties = append(empties, k)
+		}
+	}
+	if len(empties) > 0 {
+		c.cache.PutEmpty(empties)
+	}
+	c.mu.Lock()
+	c.stats.Prefetches++
+	c.mu.Unlock()
+}
+
+// Wait blocks until any in-flight prefetch has landed (tests and shutdown).
+func (c *Client) Wait() { c.prefetchWG.Wait() }

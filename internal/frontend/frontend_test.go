@@ -1,0 +1,262 @@
+package frontend
+
+import (
+	"testing"
+	"time"
+
+	"stash/internal/cluster"
+	"stash/internal/geohash"
+	"stash/internal/query"
+	"stash/internal/temporal"
+)
+
+func testBackend(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.PointsPerBlock = 64
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func stateQuery() query.Query {
+	return query.Query{
+		Box:         geohash.Box{MinLat: 33, MaxLat: 37, MinLon: -103, MaxLon: -95},
+		Time:        temporal.DayRange(2015, 2, 2),
+		SpatialRes:  4,
+		TemporalRes: temporal.Day,
+	}
+}
+
+func TestClientColdThenLocal(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: false})
+	q := stateQuery()
+
+	r1, err := fc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() == 0 {
+		t.Fatal("cold query empty")
+	}
+	st := fc.Stats()
+	if st.CellsFromBack == 0 || st.FullyLocal != 0 {
+		t.Fatalf("cold stats wrong: %+v", st)
+	}
+
+	// The repeat must be answered without any back-end round trip at all.
+	backBefore := back.TotalStats().Processed
+	r2, err := fc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalStats().Processed != backBefore {
+		t.Error("warm front-end query still reached the back-end")
+	}
+	if fc.Stats().FullyLocal != 1 {
+		t.Errorf("FullyLocal = %d", fc.Stats().FullyLocal)
+	}
+	if r2.TotalCount("temperature") != r1.TotalCount("temperature") {
+		t.Error("front-cache result differs from back-end result")
+	}
+}
+
+func TestClientValidates(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{Prefetch: false})
+	bad := stateQuery()
+	bad.SpatialRes = 0
+	if _, err := fc.Query(bad); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestClientPartialOverlapFetchesOnlyMissing(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: false})
+	q := stateQuery()
+	if _, err := fc.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	panned := q.Pan(geohash.East, 0.10)
+	before := fc.Stats()
+	if _, err := fc.Query(panned); err != nil {
+		t.Fatal(err)
+	}
+	after := fc.Stats()
+	fetched := after.CellsFromBack - before.CellsFromBack
+	served := after.CellsFromCache - before.CellsFromCache
+	if served == 0 {
+		t.Error("10% pan served nothing from the front cache")
+	}
+	n, _ := panned.FootprintCount()
+	if fetched >= int64(n) {
+		t.Errorf("pan fetched %d of %d cells — no reuse", fetched, n)
+	}
+}
+
+func TestPrefetchHidesNextPan(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: true})
+	q := stateQuery()
+
+	// Two eastward pans establish momentum.
+	if _, err := fc.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	q2 := q.Pan(geohash.East, 0.10)
+	if _, err := fc.Query(q2); err != nil {
+		t.Fatal(err)
+	}
+	fc.Wait() // let the prefetch of the predicted third step land
+
+	if fc.Stats().Prefetches == 0 {
+		t.Fatal("no prefetch issued despite panning momentum")
+	}
+	// The third pan must be fully local.
+	q3 := q2.Pan(geohash.East, 0.10)
+	backBefore := back.TotalStats().Processed
+	if _, err := fc.Query(q3); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalStats().Processed != backBefore {
+		t.Error("predicted pan still hit the back-end")
+	}
+}
+
+func TestPrefetchSingleFlight(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: true})
+	q := stateQuery()
+	for i := 0; i < 5; i++ {
+		q = q.Pan(geohash.East, 0.05)
+		if _, err := fc.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.Wait()
+	// No assertion on exact count; the invariant is that Wait returns (no
+	// leaked goroutines) and queries stayed correct under racing prefetches.
+	if fc.Stats().Queries != 5 {
+		t.Errorf("queries = %d", fc.Stats().Queries)
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{})
+	if fc.cache == nil || fc.predictor == nil {
+		t.Fatal("defaults not applied")
+	}
+	if _, err := fc.Query(stateQuery()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	fc.Wait()
+}
+
+// --- predictor unit tests ---
+
+func TestMomentumPredictorPanning(t *testing.T) {
+	p := NewMomentumPredictor()
+	q1 := stateQuery()
+	q2 := q1.Pan(geohash.East, 0.10)
+	next, ok := p.Predict([]query.Query{q1, q2})
+	if !ok {
+		t.Fatal("panning momentum not detected")
+	}
+	want := q2.Pan(geohash.East, 0.10)
+	if !boxNear(next.Box, want.Box) {
+		t.Errorf("predicted %v, want %v", next.Box, want.Box)
+	}
+}
+
+func TestMomentumPredictorZoom(t *testing.T) {
+	p := NewMomentumPredictor()
+	q1 := stateQuery()
+	q2, _ := q1.DrillDown()
+	next, ok := p.Predict([]query.Query{q1, q2})
+	if !ok || next.SpatialRes != q2.SpatialRes+1 {
+		t.Errorf("zoom momentum: %v %v", next.SpatialRes, ok)
+	}
+	// Roll-up direction too.
+	next, ok = p.Predict([]query.Query{q2, q1})
+	if !ok || next.SpatialRes != q1.SpatialRes-1 {
+		t.Errorf("roll-up momentum: %v %v", next.SpatialRes, ok)
+	}
+}
+
+func TestMomentumPredictorZoomStopsAtLadderEnds(t *testing.T) {
+	p := NewMomentumPredictor()
+	q1 := stateQuery()
+	q1.SpatialRes = 2
+	q2 := q1
+	q2.SpatialRes = 1
+	if _, ok := p.Predict([]query.Query{q1, q2}); ok {
+		t.Error("predicted below resolution 1")
+	}
+}
+
+func TestMomentumPredictorDicing(t *testing.T) {
+	p := NewMomentumPredictor()
+	q1 := stateQuery()
+	q2 := q1.DiceShrink(0.20)
+	next, ok := p.Predict([]query.Query{q1, q2})
+	if !ok {
+		t.Fatal("dicing momentum not detected")
+	}
+	ratio := next.Box.Area() / q2.Box.Area()
+	if ratio > 0.85 || ratio < 0.75 {
+		t.Errorf("predicted area ratio %v, want ~0.8", ratio)
+	}
+}
+
+func TestMomentumPredictorNoPattern(t *testing.T) {
+	p := NewMomentumPredictor()
+	if _, ok := p.Predict(nil); ok {
+		t.Error("predicted from empty history")
+	}
+	if _, ok := p.Predict([]query.Query{stateQuery()}); ok {
+		t.Error("predicted from single query")
+	}
+	q1 := stateQuery()
+	q2 := q1
+	q2.Time = temporal.DayRange(2015, 3, 1) // time jump: no momentum
+	if _, ok := p.Predict([]query.Query{q1, q2}); ok {
+		t.Error("predicted across a time jump")
+	}
+	if _, ok := p.Predict([]query.Query{q1, q1}); ok {
+		t.Error("predicted from identical queries")
+	}
+}
+
+func TestPredictorFuncAdapter(t *testing.T) {
+	called := false
+	p := PredictorFunc(func(h []query.Query) (query.Query, bool) {
+		called = true
+		return query.Query{}, false
+	})
+	p.Predict(nil)
+	if !called {
+		t.Error("adapter did not call the function")
+	}
+}
+
+func boxNear(a, b geohash.Box) bool {
+	const eps = 1e-9
+	return abs(a.MinLat-b.MinLat) < eps && abs(a.MaxLat-b.MaxLat) < eps &&
+		abs(a.MinLon-b.MinLon) < eps && abs(a.MaxLon-b.MaxLon) < eps
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,105 @@
+package frontend
+
+import (
+	"math"
+
+	"stash/internal/geohash"
+	"stash/internal/query"
+)
+
+// Predictor guesses the user's next query from their recent navigation
+// history (most recent last). ok is false when the history shows no usable
+// pattern.
+type Predictor interface {
+	Predict(history []query.Query) (query.Query, bool)
+}
+
+// PredictorFunc adapts a function to the Predictor interface.
+type PredictorFunc func(history []query.Query) (query.Query, bool)
+
+// Predict calls f.
+func (f PredictorFunc) Predict(history []query.Query) (query.Query, bool) {
+	return f(history)
+}
+
+// momentumPredictor extrapolates the dominant visual-navigation patterns:
+//
+//   - panning momentum: if the last two queries are a translation of each
+//     other at the same resolutions, the user is panning; predict one more
+//     step of the same displacement.
+//   - zoom momentum: same extent but the spatial resolution stepped up or
+//     down; predict the next rung in the same direction.
+//   - dicing momentum: same center but the extent scaled; predict one more
+//     scaling step with the same area factor.
+type momentumPredictor struct{}
+
+// NewMomentumPredictor returns the default navigation predictor.
+func NewMomentumPredictor() Predictor { return momentumPredictor{} }
+
+const (
+	// centerEps tolerates float drift when comparing box centers/extents.
+	centerEps = 1e-9
+	// minAreaChange below this relative area change, treat extents as equal.
+	minAreaChange = 1e-6
+)
+
+func (momentumPredictor) Predict(history []query.Query) (query.Query, bool) {
+	if len(history) < 2 {
+		return query.Query{}, false
+	}
+	prev, cur := history[len(history)-2], history[len(history)-1]
+	if prev.TemporalRes != cur.TemporalRes || prev.Time != cur.Time {
+		return query.Query{}, false
+	}
+
+	sameExtent := near(prev.Box.Width(), cur.Box.Width()) && near(prev.Box.Height(), cur.Box.Height())
+
+	// Zoom momentum: identical box, resolution stepping.
+	if prev.Box == cur.Box && prev.SpatialRes != cur.SpatialRes {
+		step := cur.SpatialRes - prev.SpatialRes
+		next := cur
+		next.SpatialRes = cur.SpatialRes + step
+		if next.SpatialRes < 1 || next.SpatialRes > maxSpatialRes {
+			return query.Query{}, false
+		}
+		return next, true
+	}
+	if prev.SpatialRes != cur.SpatialRes {
+		return query.Query{}, false
+	}
+
+	// Panning momentum: translated box, same extent.
+	if sameExtent && prev.Box != cur.Box {
+		dLat := cur.Box.MinLat - prev.Box.MinLat
+		dLon := cur.Box.MinLon - prev.Box.MinLon
+		next := cur
+		next.Box = geohash.Box{
+			MinLat: cur.Box.MinLat + dLat, MaxLat: cur.Box.MaxLat + dLat,
+			MinLon: cur.Box.MinLon + dLon, MaxLon: cur.Box.MaxLon + dLon,
+		}.Clamp()
+		if !next.Box.Valid() {
+			return query.Query{}, false
+		}
+		return next, true
+	}
+
+	// Dicing momentum: same center, scaled extent.
+	pLat, pLon := prev.Box.Center()
+	cLat, cLon := cur.Box.Center()
+	if math.Abs(pLat-cLat) < centerEps && math.Abs(pLon-cLon) < centerEps && !sameExtent {
+		factor := cur.Box.Area() / prev.Box.Area()
+		if math.Abs(factor-1) < minAreaChange || factor <= 0 {
+			return query.Query{}, false
+		}
+		if factor < 1 {
+			return cur.DiceShrink(1 - factor), true
+		}
+		return cur.DiceExpand(factor - 1), true
+	}
+	return query.Query{}, false
+}
+
+// maxSpatialRes mirrors cell.MaxSpatialPrecision without importing it here.
+const maxSpatialRes = 8
+
+func near(a, b float64) bool { return math.Abs(a-b) < centerEps }

@@ -1,0 +1,337 @@
+// Package galileo reimplements the substrate the paper layers STASH on:
+// Galileo, a zero-hop-DHT distributed block store for multidimensional
+// spatiotemporal observations (paper §VI-C).
+//
+// Data lives in blocks keyed by (geohash prefix, day): all observations whose
+// geohash shares the partitioning prefix and whose timestamp falls on the
+// day. Each cluster node owns the blocks of the partitions the DHT ring
+// assigns to it. A query against a node scans its relevant blocks from
+// "disk" (the deterministic namgen generator plus an injected disk-latency
+// cost) and aggregates matching observations into full-extent cells at the
+// requested spatiotemporal resolution.
+//
+// Cells are aggregated over their full spatiotemporal bounds, not clipped to
+// the query rectangle. This is what makes a cached cell reusable by any
+// later query whose footprint contains it — the property STASH's collective
+// cache rests on (§V-B).
+package galileo
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"stash/internal/cell"
+	"stash/internal/dht"
+	"stash/internal/geohash"
+	"stash/internal/namgen"
+	"stash/internal/query"
+	"stash/internal/simnet"
+	"stash/internal/temporal"
+)
+
+// ErrMixedResolution reports a cell fetch whose keys span multiple hierarchy
+// levels; fetches are per-level operations in STASH.
+var ErrMixedResolution = errors.New("galileo: fetch keys span multiple resolutions")
+
+// BlockID identifies one stored block: a geohash partition prefix and a day.
+type BlockID struct {
+	Prefix string
+	Day    temporal.Label
+}
+
+func (b BlockID) String() string { return fmt.Sprintf("%s/%s", b.Prefix, b.Day.Text) }
+
+// DefaultBlockPrefixLen is the geohash length of one stored block. Node
+// *ownership* follows the DHT ring's (coarser) partition prefix — the
+// paper's 2 characters — while the files within a partition are organized
+// at finer granularity, so a small query reads a small block rather than
+// the whole partition.
+const DefaultBlockPrefixLen = 3
+
+// Store is one node's shard of the Galileo storage system.
+type Store struct {
+	ring       *dht.Ring
+	node       dht.NodeID
+	gen        *namgen.Generator
+	model      simnet.Model
+	sleeper    simnet.Sleeper
+	blockLen   int
+	histograms bool
+
+	blocksRead    atomic.Int64
+	pointsScanned atomic.Int64
+}
+
+// NewStore returns the shard of the given node. The sleeper receives the
+// simulated disk cost of every read; pass simnet.NewMeter() in tests.
+func NewStore(ring *dht.Ring, node dht.NodeID, gen *namgen.Generator, model simnet.Model, sleeper simnet.Sleeper) *Store {
+	blockLen := DefaultBlockPrefixLen
+	if ring.PrefixLen() > blockLen {
+		blockLen = ring.PrefixLen()
+	}
+	return &Store{ring: ring, node: node, gen: gen, model: model, sleeper: sleeper, blockLen: blockLen}
+}
+
+// SetHistograms toggles per-attribute histogram maintenance during scans
+// (using namgen.HistogramSpecs), so result cells can drive histogram panels.
+func (s *Store) SetHistograms(on bool) { s.histograms = on }
+
+// SetBlockPrefixLen overrides the block granularity (clamped to at least
+// the ring's partition prefix, at most geohash.MaxPrecision).
+func (s *Store) SetBlockPrefixLen(n int) {
+	if n < s.ring.PrefixLen() {
+		n = s.ring.PrefixLen()
+	}
+	if n > geohash.MaxPrecision {
+		n = geohash.MaxPrecision
+	}
+	s.blockLen = n
+}
+
+// Node returns the owning node's ID.
+func (s *Store) Node() dht.NodeID { return s.node }
+
+// BlocksRead returns the number of blocks this shard has read since creation.
+func (s *Store) BlocksRead() int64 { return s.blocksRead.Load() }
+
+// PointsScanned returns the number of observations scanned since creation.
+func (s *Store) PointsScanned() int64 { return s.pointsScanned.Load() }
+
+// Owns reports whether this shard owns the partition of the given geohash.
+func (s *Store) Owns(gh string) bool { return s.ring.Owner(gh) == s.node }
+
+// blockPrefixes expands a cell geohash to the block prefixes storing its
+// data. Geohashes at or beyond the block prefix length map to a single
+// block prefix; coarser geohashes span every extending prefix.
+func (s *Store) blockPrefixes(gh string) []string {
+	if len(gh) >= s.blockLen {
+		return []string{gh[:s.blockLen]}
+	}
+	prefixes := []string{gh}
+	for len(prefixes[0]) < s.blockLen {
+		next := make([]string, 0, len(prefixes)*geohash.BranchFactor)
+		for _, p := range prefixes {
+			next = append(next, geohash.Children(p)...)
+		}
+		prefixes = next
+	}
+	return prefixes
+}
+
+// ownerOf returns the node owning a block prefix: ownership follows the
+// ring's coarser partition prefix.
+func (s *Store) ownerOf(blockPrefix string) dht.NodeID {
+	return s.ring.OwnerOfPartition(s.ring.Partition(blockPrefix))
+}
+
+// BlocksForKeys returns the distinct blocks owned by this shard that hold
+// raw data for any of the given cell keys.
+func (s *Store) BlocksForKeys(keys []cell.Key) ([]BlockID, error) {
+	seen := map[BlockID]bool{}
+	var out []BlockID
+	for _, k := range keys {
+		days, err := dayLabels(k.Time)
+		if err != nil {
+			return nil, err
+		}
+		for _, prefix := range s.blockPrefixes(k.Geohash) {
+			if s.ownerOf(prefix) != s.node {
+				continue
+			}
+			for _, d := range days {
+				id := BlockID{Prefix: prefix, Day: d}
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// dayLabels returns the Day-resolution labels spanned by a temporal label.
+func dayLabels(l temporal.Label) ([]temporal.Label, error) {
+	if l.Res == temporal.Day {
+		return []temporal.Label{l}, nil
+	}
+	start, err := l.Start()
+	if err != nil {
+		return nil, err
+	}
+	end, _ := l.End()
+	r := temporal.Range{Start: start, End: end}
+	return r.Cover(temporal.Day)
+}
+
+// FetchCells computes full-extent summaries for the requested cell keys from
+// this shard's raw data. All keys must share one spatiotemporal resolution
+// (one hierarchy level). Only data in partitions owned by this shard is
+// scanned; for keys spanning several nodes the caller merges the per-node
+// partial results (summaries merge associatively).
+//
+// The returned result contains an entry for every requested key whose bounds
+// hold at least one observation in this shard's partitions.
+func (s *Store) FetchCells(keys []cell.Key) (query.Result, error) {
+	res := query.NewResult()
+	if len(keys) == 0 {
+		return res, nil
+	}
+	sres, tres := keys[0].SpatialRes(), keys[0].TemporalRes()
+	want := make(map[cell.Key]bool, len(keys))
+	for _, k := range keys {
+		if k.SpatialRes() != sres || k.TemporalRes() != tres {
+			return res, fmt.Errorf("%w: %v vs (%d,%v)", ErrMixedResolution, k, sres, tres)
+		}
+		want[k] = true
+	}
+	blocks, err := s.BlocksForKeys(keys)
+	if err != nil {
+		return res, err
+	}
+	// Accumulate per cell: Observe mutates the summary's shared stats map,
+	// so one summary per key is built up across all matching points.
+	acc := map[cell.Key]cell.Summary{}
+	for _, b := range blocks {
+		obs, err := s.readBlock(b)
+		if err != nil {
+			return res, err
+		}
+		for _, o := range obs {
+			k := cell.Key{
+				Geohash: geohash.Encode(o.Lat, o.Lon, sres),
+				Time:    temporal.At(o.Time, tres),
+			}
+			if !want[k] {
+				continue
+			}
+			sum, ok := acc[k]
+			if !ok {
+				sum = cell.NewSummary()
+				if s.histograms {
+					// Pre-create the map so later copies of this struct
+					// value share it (ObserveHist mutates the shared map).
+					sum.Hists = map[string]*cell.Histogram{}
+				}
+				acc[k] = sum
+			}
+			for _, attr := range namgen.Attributes {
+				v, _ := o.Value(attr)
+				sum.Observe(attr, v)
+				if s.histograms {
+					spec := namgen.HistogramSpecs[attr]
+					_ = sum.ObserveHist(attr, v, cell.HistogramSpec{Lo: spec.Lo, Hi: spec.Hi, Buckets: spec.Buckets})
+				}
+			}
+		}
+	}
+	for k, sum := range acc {
+		res.Add(k, sum)
+	}
+	return res, nil
+}
+
+// Query evaluates an aggregation query against this shard: the basic-system
+// path with no cache in front. The result covers the footprint cells whose
+// partitions this shard owns.
+func (s *Store) Query(q query.Query) (query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, err
+	}
+	keys, err := q.Footprint()
+	if err != nil {
+		return query.Result{}, err
+	}
+	return s.FetchCells(keys)
+}
+
+// readBlock materializes a block and charges its disk cost.
+func (s *Store) readBlock(b BlockID) ([]namgen.Observation, error) {
+	obs, err := s.gen.Block(b.Prefix, b.Day)
+	if err != nil {
+		return nil, err
+	}
+	s.blocksRead.Add(1)
+	s.pointsScanned.Add(int64(len(obs)))
+	s.sleeper.Apply(s.model.DiskCost(1, len(obs)))
+	return obs, nil
+}
+
+// Cluster bundles the shards of every node: the complete basic system. It
+// answers whole queries by fanning out to each owning shard and merging —
+// the behaviour a STASH-less deployment exhibits.
+type Cluster struct {
+	ring   *dht.Ring
+	stores map[dht.NodeID]*Store
+}
+
+// NewCluster builds a store shard for every node on the ring.
+func NewCluster(ring *dht.Ring, gen *namgen.Generator, model simnet.Model, sleeper simnet.Sleeper) *Cluster {
+	c := &Cluster{ring: ring, stores: make(map[dht.NodeID]*Store, ring.Size())}
+	for _, id := range ring.Nodes() {
+		c.stores[id] = NewStore(ring, id, gen, model, sleeper)
+	}
+	return c
+}
+
+// Ring returns the cluster's partition map.
+func (c *Cluster) Ring() *dht.Ring { return c.ring }
+
+// Store returns the shard of the given node.
+func (c *Cluster) Store(id dht.NodeID) *Store { return c.stores[id] }
+
+// FetchCells fans a cell fetch out to every owning shard and merges the
+// partial summaries.
+func (c *Cluster) FetchCells(keys []cell.Key) (query.Result, error) {
+	// Group keys by owning node so each shard scans only its share.
+	byNode := map[dht.NodeID][]cell.Key{}
+	for _, k := range keys {
+		for _, prefix := range c.stores[0].blockPrefixes(k.Geohash) {
+			owner := c.stores[0].ownerOf(prefix)
+			byNode[owner] = append(byNode[owner], k)
+		}
+	}
+	res := query.NewResult()
+	for id, ks := range byNode {
+		part, err := c.stores[id].FetchCells(dedupeKeys(ks))
+		if err != nil {
+			return res, err
+		}
+		res.Merge(part)
+	}
+	return res, nil
+}
+
+// Query evaluates a whole aggregation query across the cluster.
+func (c *Cluster) Query(q query.Query) (query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return query.Result{}, err
+	}
+	keys, err := q.Footprint()
+	if err != nil {
+		return query.Result{}, err
+	}
+	return c.FetchCells(keys)
+}
+
+// BlocksRead totals block reads across all shards.
+func (c *Cluster) BlocksRead() int64 {
+	var n int64
+	for _, s := range c.stores {
+		n += s.BlocksRead()
+	}
+	return n
+}
+
+func dedupeKeys(ks []cell.Key) []cell.Key {
+	seen := make(map[cell.Key]bool, len(ks))
+	out := ks[:0]
+	for _, k := range ks {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

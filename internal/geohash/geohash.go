@@ -1,0 +1,455 @@
+// Package geohash implements the Geohash geocoding system used by STASH to
+// label, partition and relate spatial extents.
+//
+// A geohash is a Base32 string; every additional character multiplies the
+// spatial resolution by 32. STASH leans on three algebraic properties of the
+// encoding, all provided here:
+//
+//   - prefix containment: a geohash's bounding box fully encloses the boxes of
+//     all geohashes that extend it (hierarchical edges),
+//   - adjacency: the 8 same-length neighbors of a geohash tile the immediate
+//     spatial neighborhood (lateral edges),
+//   - coverage: any query rectangle can be tiled by a finite set of
+//     fixed-precision geohashes (query footprint enumeration).
+package geohash
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Base32 is the geohash alphabet. Note the absence of a, i, l and o.
+const Base32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+// MaxPrecision is the longest geohash this package produces or accepts. A
+// 12-character geohash is ~3.7cm x 1.9cm at the equator, far below anything a
+// visual-analytics workload requests.
+const MaxPrecision = 12
+
+// BranchFactor is the number of children a geohash splits into when its
+// precision increases by one (the paper's "32 nested Geohashes").
+const BranchFactor = 32
+
+var base32Index = func() [128]int8 {
+	var idx [128]int8
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i := 0; i < len(Base32); i++ {
+		idx[Base32[i]] = int8(i)
+	}
+	return idx
+}()
+
+// ErrInvalid reports a malformed geohash string.
+var ErrInvalid = errors.New("geohash: invalid geohash")
+
+// Box is a latitude/longitude bounding box. Min bounds are inclusive, max
+// bounds are exclusive (except at the +90/+180 edges of the globe), matching
+// how geohash tiles partition the globe without overlap.
+type Box struct {
+	MinLat, MaxLat float64
+	MinLon, MaxLon float64
+}
+
+// Center returns the center point of the box.
+func (b Box) Center() (lat, lon float64) {
+	return (b.MinLat + b.MaxLat) / 2, (b.MinLon + b.MaxLon) / 2
+}
+
+// Width returns the longitudinal extent of the box in degrees.
+func (b Box) Width() float64 { return b.MaxLon - b.MinLon }
+
+// Height returns the latitudinal extent of the box in degrees.
+func (b Box) Height() float64 { return b.MaxLat - b.MinLat }
+
+// Area returns the box area in square degrees. It is a planar approximation,
+// used only to compare relative query footprints.
+func (b Box) Area() float64 { return b.Width() * b.Height() }
+
+// Contains reports whether the point lies inside the box.
+func (b Box) Contains(lat, lon float64) bool {
+	return lat >= b.MinLat && lat < b.MaxLat && lon >= b.MinLon && lon < b.MaxLon
+}
+
+// ContainsBox reports whether o lies entirely inside b.
+func (b Box) ContainsBox(o Box) bool {
+	return o.MinLat >= b.MinLat && o.MaxLat <= b.MaxLat &&
+		o.MinLon >= b.MinLon && o.MaxLon <= b.MaxLon
+}
+
+// Intersects reports whether the two boxes share any area.
+func (b Box) Intersects(o Box) bool {
+	return b.MinLat < o.MaxLat && o.MinLat < b.MaxLat &&
+		b.MinLon < o.MaxLon && o.MinLon < b.MaxLon
+}
+
+// Intersection returns the overlapping region of two boxes and whether any
+// overlap exists.
+func (b Box) Intersection(o Box) (Box, bool) {
+	r := Box{
+		MinLat: math.Max(b.MinLat, o.MinLat),
+		MaxLat: math.Min(b.MaxLat, o.MaxLat),
+		MinLon: math.Max(b.MinLon, o.MinLon),
+		MaxLon: math.Min(b.MaxLon, o.MaxLon),
+	}
+	if r.MinLat >= r.MaxLat || r.MinLon >= r.MaxLon {
+		return Box{}, false
+	}
+	return r, true
+}
+
+// Clamp restricts the box to valid globe coordinates.
+func (b Box) Clamp() Box {
+	b.MinLat = math.Max(b.MinLat, -90)
+	b.MaxLat = math.Min(b.MaxLat, 90)
+	b.MinLon = math.Max(b.MinLon, -180)
+	b.MaxLon = math.Min(b.MaxLon, 180)
+	return b
+}
+
+// Valid reports whether the box has positive area and lies on the globe.
+func (b Box) Valid() bool {
+	return b.MinLat < b.MaxLat && b.MinLon < b.MaxLon &&
+		b.MinLat >= -90 && b.MaxLat <= 90 && b.MinLon >= -180 && b.MaxLon <= 180
+}
+
+func (b Box) String() string {
+	return fmt.Sprintf("[%.5f,%.5f]x[%.5f,%.5f]", b.MinLat, b.MaxLat, b.MinLon, b.MaxLon)
+}
+
+// World is the bounding box of the entire globe.
+var World = Box{MinLat: -90, MaxLat: 90, MinLon: -180, MaxLon: 180}
+
+// bits returns the number of longitude and latitude bits at the given
+// precision. Geohash interleaves bits starting with longitude, so odd total
+// bit counts give longitude one extra bit.
+func bits(precision int) (lonBits, latBits int) {
+	total := 5 * precision
+	lonBits = (total + 1) / 2
+	latBits = total / 2
+	return
+}
+
+// CellSize returns the width (degrees longitude) and height (degrees
+// latitude) of a geohash tile at the given precision.
+func CellSize(precision int) (width, height float64) {
+	lonBits, latBits := bits(precision)
+	return 360 / math.Pow(2, float64(lonBits)), 180 / math.Pow(2, float64(latBits))
+}
+
+// Encode returns the geohash of the given point at the given precision.
+// Latitude is clamped to [-90,90); longitude is wrapped into [-180,180).
+func Encode(lat, lon float64, precision int) string {
+	if precision < 1 {
+		precision = 1
+	}
+	if precision > MaxPrecision {
+		precision = MaxPrecision
+	}
+	lat = clampLat(lat)
+	lon = wrapLon(lon)
+
+	var sb strings.Builder
+	sb.Grow(precision)
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	even := true // longitude bit first
+	var ch, bit int
+	for sb.Len() < precision {
+		if even {
+			mid := (lonLo + lonHi) / 2
+			if lon >= mid {
+				ch = ch<<1 | 1
+				lonLo = mid
+			} else {
+				ch <<= 1
+				lonHi = mid
+			}
+		} else {
+			mid := (latLo + latHi) / 2
+			if lat >= mid {
+				ch = ch<<1 | 1
+				latLo = mid
+			} else {
+				ch <<= 1
+				latHi = mid
+			}
+		}
+		even = !even
+		bit++
+		if bit == 5 {
+			sb.WriteByte(Base32[ch])
+			ch, bit = 0, 0
+		}
+	}
+	return sb.String()
+}
+
+// DecodeBox returns the bounding box of the geohash.
+func DecodeBox(gh string) (Box, error) {
+	if len(gh) == 0 || len(gh) > MaxPrecision {
+		return Box{}, fmt.Errorf("%w: %q", ErrInvalid, gh)
+	}
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	even := true
+	for i := 0; i < len(gh); i++ {
+		c := gh[i]
+		if c >= 128 || base32Index[c] < 0 {
+			return Box{}, fmt.Errorf("%w: %q has invalid character %q", ErrInvalid, gh, c)
+		}
+		v := base32Index[c]
+		for mask := int8(16); mask > 0; mask >>= 1 {
+			if even {
+				mid := (lonLo + lonHi) / 2
+				if v&mask != 0 {
+					lonLo = mid
+				} else {
+					lonHi = mid
+				}
+			} else {
+				mid := (latLo + latHi) / 2
+				if v&mask != 0 {
+					latLo = mid
+				} else {
+					latHi = mid
+				}
+			}
+			even = !even
+		}
+	}
+	return Box{MinLat: latLo, MaxLat: latHi, MinLon: lonLo, MaxLon: lonHi}, nil
+}
+
+// MustBox is DecodeBox for geohashes known to be valid; it panics otherwise.
+// Intended for literals in tests and examples.
+func MustBox(gh string) Box {
+	b, err := DecodeBox(gh)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode returns the center point of the geohash's bounding box.
+func Decode(gh string) (lat, lon float64, err error) {
+	b, err := DecodeBox(gh)
+	if err != nil {
+		return 0, 0, err
+	}
+	lat, lon = b.Center()
+	return lat, lon, nil
+}
+
+// Validate reports whether gh is a well-formed geohash.
+func Validate(gh string) error {
+	_, err := DecodeBox(gh)
+	return err
+}
+
+// Direction identifies one of the eight compass neighbors of a geohash tile.
+type Direction int
+
+// The eight compass directions, clockwise from north.
+const (
+	North Direction = iota
+	NorthEast
+	East
+	SouthEast
+	South
+	SouthWest
+	West
+	NorthWest
+	numDirections
+)
+
+var directionNames = [...]string{"N", "NE", "E", "SE", "S", "SW", "W", "NW"}
+
+func (d Direction) String() string {
+	if d < 0 || int(d) >= len(directionNames) {
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+	return directionNames[d]
+}
+
+// Offsets returns the (latSteps, lonSteps) displacement of the direction in
+// units of one tile.
+func (d Direction) Offsets() (dLat, dLon int) {
+	switch d {
+	case North:
+		return 1, 0
+	case NorthEast:
+		return 1, 1
+	case East:
+		return 0, 1
+	case SouthEast:
+		return -1, 1
+	case South:
+		return -1, 0
+	case SouthWest:
+		return -1, -1
+	case West:
+		return 0, -1
+	case NorthWest:
+		return 1, -1
+	}
+	return 0, 0
+}
+
+// Directions lists all eight compass directions, clockwise from north.
+func Directions() []Direction {
+	ds := make([]Direction, numDirections)
+	for i := range ds {
+		ds[i] = Direction(i)
+	}
+	return ds
+}
+
+// Neighbor returns the same-precision geohash adjacent to gh in the given
+// direction. Longitude wraps around the antimeridian. Stepping past a pole
+// returns ok=false (the tile has no neighbor in that direction).
+func Neighbor(gh string, d Direction) (string, bool, error) {
+	b, err := DecodeBox(gh)
+	if err != nil {
+		return "", false, err
+	}
+	dLat, dLon := d.Offsets()
+	lat, lon := b.Center()
+	lat += float64(dLat) * b.Height()
+	lon += float64(dLon) * b.Width()
+	if lat >= 90 || lat < -90 {
+		return "", false, nil
+	}
+	return Encode(lat, wrapLon(lon), len(gh)), true, nil
+}
+
+// Neighbors returns the up-to-8 same-precision neighbors of gh, clockwise
+// from north. Tiles at a pole have fewer than 8.
+func Neighbors(gh string) ([]string, error) {
+	out := make([]string, 0, 8)
+	for _, d := range Directions() {
+		n, ok, err := Neighbor(gh, d)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// Parent returns the geohash one spatial resolution coarser (the enclosing
+// tile). ok is false for single-character geohashes, which have no parent.
+func Parent(gh string) (string, bool) {
+	if len(gh) <= 1 {
+		return "", false
+	}
+	return gh[:len(gh)-1], true
+}
+
+// Children returns the 32 geohashes one spatial resolution finer that tile
+// gh, in Base32 order.
+func Children(gh string) []string {
+	out := make([]string, BranchFactor)
+	for i := 0; i < BranchFactor; i++ {
+		out[i] = gh + string(Base32[i])
+	}
+	return out
+}
+
+// IsAncestor reports whether a is a strict spatial ancestor of b (a encloses
+// b and is coarser).
+func IsAncestor(a, b string) bool {
+	return len(a) < len(b) && strings.HasPrefix(b, a)
+}
+
+// Cover returns the set of geohashes at the given precision whose tiles
+// intersect the box, in row-major (south-to-north, west-to-east) order. The
+// box is clamped to the globe. Boxes spanning the antimeridian are not
+// supported (callers split them first); such boxes yield ErrInvalid.
+func Cover(b Box, precision int) ([]string, error) {
+	b = b.Clamp()
+	if !b.Valid() {
+		return nil, fmt.Errorf("%w: cover box %v", ErrInvalid, b)
+	}
+	if precision < 1 || precision > MaxPrecision {
+		return nil, fmt.Errorf("%w: cover precision %d", ErrInvalid, precision)
+	}
+	w, h := CellSize(precision)
+	// Anchor the walk on tile centers so floating-point drift cannot skip a
+	// row or column.
+	first, err := DecodeBox(Encode(b.MinLat, b.MinLon, precision))
+	if err != nil {
+		return nil, err
+	}
+	// Walk tile minimums (not centers): a box smaller than one tile must
+	// still yield the tile that contains it.
+	var out []string
+	for latMin := first.MinLat; latMin < b.MaxLat && latMin < 90; latMin += h {
+		for lonMin := first.MinLon; lonMin < b.MaxLon && lonMin < 180; lonMin += w {
+			out = append(out, Encode(latMin+h/2, lonMin+w/2, precision))
+		}
+	}
+	return out, nil
+}
+
+// CoverCount returns the number of tiles Cover would produce without
+// materializing them. Useful for query planning and admission control.
+func CoverCount(b Box, precision int) (int, error) {
+	b = b.Clamp()
+	if !b.Valid() {
+		return 0, fmt.Errorf("%w: cover box %v", ErrInvalid, b)
+	}
+	if precision < 1 || precision > MaxPrecision {
+		return 0, fmt.Errorf("%w: cover precision %d", ErrInvalid, precision)
+	}
+	w, h := CellSize(precision)
+	first, err := DecodeBox(Encode(b.MinLat, b.MinLon, precision))
+	if err != nil {
+		return 0, err
+	}
+	rows := 0
+	for latMin := first.MinLat; latMin < b.MaxLat && latMin < 90; latMin += h {
+		rows++
+	}
+	cols := 0
+	for lonMin := first.MinLon; lonMin < b.MaxLon && lonMin < 180; lonMin += w {
+		cols++
+	}
+	return rows * cols, nil
+}
+
+// Antipode returns the geohash of the point diametrically opposite gh's
+// center, at the same precision. STASH uses this to pick the helper node
+// "most isolated" from a hotspotted region (paper §VII-B3).
+func Antipode(gh string) (string, error) {
+	lat, lon, err := Decode(gh)
+	if err != nil {
+		return "", err
+	}
+	return Encode(-lat, wrapLon(lon+180), len(gh)), nil
+}
+
+func clampLat(lat float64) float64 {
+	if lat >= 90 {
+		return math.Nextafter(90, 0)
+	}
+	if lat < -90 {
+		return -90
+	}
+	return lat
+}
+
+func wrapLon(lon float64) float64 {
+	for lon >= 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return lon
+}

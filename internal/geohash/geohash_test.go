@@ -1,0 +1,511 @@
+package geohash
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeKnownValues(t *testing.T) {
+	cases := []struct {
+		lat, lon  float64
+		precision int
+		want      string
+	}{
+		{57.64911, 10.40744, 11, "u4pruydqqvj"},
+		{57.64911, 10.40744, 5, "u4pru"},
+		{37.7749, -122.4194, 5, "9q8yy"}, // San Francisco
+		{0, 0, 1, "s"},
+		{-90, -180, 4, "0000"},
+		{48.8566, 2.3522, 6, "u09tvw"}, // Paris
+	}
+	for _, c := range cases {
+		if got := Encode(c.lat, c.lon, c.precision); got != c.want {
+			t.Errorf("Encode(%v,%v,%d) = %q, want %q", c.lat, c.lon, c.precision, got, c.want)
+		}
+	}
+}
+
+func TestEncodeClampsAndWraps(t *testing.T) {
+	if got := Encode(95, 0, 3); got != Encode(89.9999999, 0, 3) {
+		t.Errorf("latitude above 90 not clamped: %q", got)
+	}
+	if got, want := Encode(10, 190, 4), Encode(10, -170, 4); got != want {
+		t.Errorf("longitude wrap: got %q want %q", got, want)
+	}
+	if got, want := Encode(10, -190, 4), Encode(10, 170, 4); got != want {
+		t.Errorf("longitude wrap negative: got %q want %q", got, want)
+	}
+}
+
+func TestEncodePrecisionBounds(t *testing.T) {
+	if got := Encode(1, 1, 0); len(got) != 1 {
+		t.Errorf("precision 0 should clamp to 1, got %q", got)
+	}
+	if got := Encode(1, 1, 99); len(got) != MaxPrecision {
+		t.Errorf("precision 99 should clamp to %d, got len %d", MaxPrecision, len(got))
+	}
+}
+
+func TestDecodeBoxRoundTrip(t *testing.T) {
+	f := func(lat, lon float64, p uint8) bool {
+		lat = math.Mod(lat, 90)
+		lon = math.Mod(lon, 180)
+		precision := int(p)%MaxPrecision + 1
+		gh := Encode(lat, lon, precision)
+		box, err := DecodeBox(gh)
+		if err != nil {
+			return false
+		}
+		return box.Contains(lat, lon)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeBoxInvalid(t *testing.T) {
+	for _, gh := range []string{"", "abc", "9q8il", "9q8o", strings.Repeat("9", 13), "9Q8"} {
+		if _, err := DecodeBox(gh); err == nil {
+			t.Errorf("DecodeBox(%q) should fail", gh)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate("9q8y7"); err != nil {
+		t.Errorf("valid geohash rejected: %v", err)
+	}
+	if err := Validate("9q8a"); err == nil {
+		t.Error("geohash with 'a' accepted")
+	}
+}
+
+func TestCellSizeHalvesAlternately(t *testing.T) {
+	// Each precision step multiplies area by 1/32 (5 bits).
+	for p := 1; p < MaxPrecision; p++ {
+		w1, h1 := CellSize(p)
+		w2, h2 := CellSize(p + 1)
+		ratio := (w1 * h1) / (w2 * h2)
+		if math.Abs(ratio-32) > 1e-9 {
+			t.Errorf("precision %d->%d area ratio = %v, want 32", p, p+1, ratio)
+		}
+	}
+}
+
+// TestPaperNeighbors checks the exact example from the paper (Fig. 1): the 8
+// spatial neighbors of 9q8y7.
+func TestPaperNeighbors(t *testing.T) {
+	got, err := Neighbors("9q8y7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"9q8yd", "9q8ye", "9q8ys", "9q8yk", "9q8yh", "9q8y5", "9q8y4", "9q8y6"}
+	sort.Strings(got)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d neighbors %v, want %d", len(got), got, len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("neighbors mismatch: got %v want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestNeighborDirections(t *testing.T) {
+	// 9q8y7's north neighbor per the paper figure is 9q8ye.
+	n, ok, err := Neighbor("9q8y7", North)
+	if err != nil || !ok {
+		t.Fatalf("Neighbor north: %v ok=%v", err, ok)
+	}
+	if n != "9q8ye" {
+		t.Errorf("north of 9q8y7 = %q, want 9q8ye", n)
+	}
+	s, ok, _ := Neighbor("9q8y7", South)
+	if !ok || s != "9q8y5" {
+		t.Errorf("south of 9q8y7 = %q, want 9q8y5", s)
+	}
+}
+
+func TestNeighborWrapsAntimeridian(t *testing.T) {
+	gh := Encode(10, 179.99, 4)
+	e, ok, err := Neighbor(gh, East)
+	if err != nil || !ok {
+		t.Fatalf("east neighbor: %v ok=%v", err, ok)
+	}
+	box, _ := DecodeBox(e)
+	if box.MinLon > -180+1 && box.MinLon < 170 {
+		t.Errorf("east neighbor of antimeridian tile should wrap, got box %v", box)
+	}
+}
+
+func TestNeighborPoleStops(t *testing.T) {
+	gh := Encode(89.9, 0, 3)
+	if _, ok, _ := Neighbor(gh, North); ok {
+		t.Error("north neighbor at pole should not exist")
+	}
+	gh = Encode(-89.9, 0, 3)
+	if _, ok, _ := Neighbor(gh, South); ok {
+		t.Error("south neighbor at south pole should not exist")
+	}
+}
+
+func TestNeighborsAreAdjacent(t *testing.T) {
+	f := func(lat, lon float64) bool {
+		lat = math.Mod(lat, 80) // keep away from poles
+		lon = math.Mod(lon, 180)
+		gh := Encode(lat, lon, 5)
+		box, _ := DecodeBox(gh)
+		ns, err := Neighbors(gh)
+		if err != nil || len(ns) != 8 {
+			return false
+		}
+		for _, n := range ns {
+			nb, err := DecodeBox(n)
+			if err != nil {
+				return false
+			}
+			// Neighbor boxes must not overlap gh's box but must touch it
+			// (within a tile of distance).
+			if nb == box {
+				return false
+			}
+			if box.Intersects(nb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParentChildren(t *testing.T) {
+	p, ok := Parent("9q8y7")
+	if !ok || p != "9q8y" {
+		t.Errorf("Parent(9q8y7) = %q,%v; want 9q8y,true", p, ok)
+	}
+	if _, ok := Parent("9"); ok {
+		t.Error("single-char geohash should have no parent")
+	}
+	ch := Children("9q8y")
+	if len(ch) != 32 {
+		t.Fatalf("Children returned %d entries, want 32", len(ch))
+	}
+	seen := map[string]bool{}
+	for _, c := range ch {
+		if len(c) != 5 || !strings.HasPrefix(c, "9q8y") {
+			t.Errorf("child %q malformed", c)
+		}
+		if seen[c] {
+			t.Errorf("duplicate child %q", c)
+		}
+		seen[c] = true
+	}
+	if !seen["9q8y7"] {
+		t.Error("9q8y7 should be a child of 9q8y")
+	}
+}
+
+func TestChildrenNestInParent(t *testing.T) {
+	parent := "u4pr"
+	pbox, _ := DecodeBox(parent)
+	for _, c := range Children(parent) {
+		cbox, err := DecodeBox(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pbox.ContainsBox(cbox) {
+			t.Errorf("child %q box %v escapes parent box %v", c, cbox, pbox)
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"9q", "9q8y7", true},
+		{"9q8y7", "9q", false},
+		{"9q8y7", "9q8y7", false},
+		{"9r", "9q8y7", false},
+	}
+	for _, c := range cases {
+		if got := IsAncestor(c.a, c.b); got != c.want {
+			t.Errorf("IsAncestor(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCoverSingleTile(t *testing.T) {
+	box := MustBox("9q8y7")
+	// Shrink slightly so we don't touch neighboring tiles.
+	eps := 1e-9
+	box.MinLat += eps
+	box.MinLon += eps
+	box.MaxLat -= eps
+	box.MaxLon -= eps
+	got, err := Cover(box, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "9q8y7" {
+		t.Errorf("Cover of own box = %v, want [9q8y7]", got)
+	}
+}
+
+func TestCoverParentYieldsAllChildren(t *testing.T) {
+	box := MustBox("9q8y")
+	eps := 1e-9
+	box.MaxLat -= eps
+	box.MaxLon -= eps
+	got, err := Cover(box, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 32 {
+		t.Fatalf("Cover(parent box, p+1) returned %d tiles, want 32", len(got))
+	}
+	want := Children("9q8y")
+	sort.Strings(got)
+	sort.Strings(want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cover mismatch:\n got %v\nwant %v", got, want)
+		}
+	}
+}
+
+func TestCoverTilesIntersectBox(t *testing.T) {
+	box := Box{MinLat: 10.1, MaxLat: 14.7, MinLon: -3.2, MaxLon: 2.9}
+	tiles, err := Cover(box, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) == 0 {
+		t.Fatal("no tiles covering non-empty box")
+	}
+	for _, gh := range tiles {
+		tb, _ := DecodeBox(gh)
+		if !tb.Intersects(box) {
+			t.Errorf("tile %q %v does not intersect %v", gh, tb, box)
+		}
+	}
+}
+
+func TestCoverCompleteness(t *testing.T) {
+	// Every point in the box must land in one of the cover tiles.
+	box := Box{MinLat: 33.3, MaxLat: 37.9, MinLon: -101.5, MaxLon: -93.2}
+	tiles, err := Cover(box, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	for _, gh := range tiles {
+		set[gh] = true
+	}
+	for lat := box.MinLat; lat < box.MaxLat; lat += 0.37 {
+		for lon := box.MinLon; lon < box.MaxLon; lon += 0.41 {
+			gh := Encode(lat, lon, 4)
+			if !set[gh] {
+				t.Fatalf("point (%v,%v) in tile %q not covered", lat, lon, gh)
+			}
+		}
+	}
+}
+
+func TestCoverCountMatchesCover(t *testing.T) {
+	boxes := []Box{
+		{MinLat: 10.1, MaxLat: 14.7, MinLon: -3.2, MaxLon: 2.9},
+		{MinLat: -5, MaxLat: 5, MinLon: -5, MaxLon: 5},
+		{MinLat: 40, MaxLat: 40.3, MinLon: -105, MaxLon: -104.5},
+	}
+	for _, b := range boxes {
+		for p := 2; p <= 4; p++ {
+			tiles, err := Cover(b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := CoverCount(b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(tiles) {
+				t.Errorf("CoverCount(%v,%d)=%d but Cover yields %d", b, p, n, len(tiles))
+			}
+		}
+	}
+}
+
+func TestCoverInvalidInputs(t *testing.T) {
+	if _, err := Cover(Box{MinLat: 5, MaxLat: 1, MinLon: 0, MaxLon: 1}, 3); err == nil {
+		t.Error("inverted box accepted")
+	}
+	if _, err := Cover(World, 0); err == nil {
+		t.Error("precision 0 accepted")
+	}
+	if _, err := CoverCount(World, 13); err == nil {
+		t.Error("precision 13 accepted by CoverCount")
+	}
+}
+
+func TestAntipode(t *testing.T) {
+	a, err := Antipode("9q8y7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat0, lon0, _ := Decode("9q8y7")
+	lat1, lon1, _ := Decode(a)
+	if math.Abs(lat0+lat1) > 1 {
+		t.Errorf("antipode latitude: %v vs %v", lat0, lat1)
+	}
+	dlon := math.Abs(math.Abs(lon0-lon1) - 180)
+	if dlon > 1 {
+		t.Errorf("antipode longitude: %v vs %v (delta from 180: %v)", lon0, lon1, dlon)
+	}
+	if len(a) != len("9q8y7") {
+		t.Errorf("antipode precision changed: %q", a)
+	}
+}
+
+func TestAntipodeInvolution(t *testing.T) {
+	f := func(lat, lon float64) bool {
+		lat = math.Mod(lat, 85)
+		lon = math.Mod(lon, 175)
+		gh := Encode(lat, lon, 4)
+		a, err := Antipode(gh)
+		if err != nil {
+			return false
+		}
+		back, err := Antipode(a)
+		if err != nil {
+			return false
+		}
+		// Antipode of antipode must be the original tile or an adjacent one
+		// (center quantization can shift by at most one tile).
+		if back == gh {
+			return true
+		}
+		ns, _ := Neighbors(gh)
+		for _, n := range ns {
+			if n == back {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxIntersection(t *testing.T) {
+	a := Box{MinLat: 0, MaxLat: 10, MinLon: 0, MaxLon: 10}
+	b := Box{MinLat: 5, MaxLat: 15, MinLon: 5, MaxLon: 15}
+	got, ok := a.Intersection(b)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	want := Box{MinLat: 5, MaxLat: 10, MinLon: 5, MaxLon: 10}
+	if got != want {
+		t.Errorf("Intersection = %v, want %v", got, want)
+	}
+	c := Box{MinLat: 20, MaxLat: 30, MinLon: 20, MaxLon: 30}
+	if _, ok := a.Intersection(c); ok {
+		t.Error("disjoint boxes reported overlapping")
+	}
+	if a.Intersects(c) {
+		t.Error("Intersects on disjoint boxes")
+	}
+}
+
+func TestBoxContainsBox(t *testing.T) {
+	outer := Box{MinLat: 0, MaxLat: 10, MinLon: 0, MaxLon: 10}
+	inner := Box{MinLat: 2, MaxLat: 8, MinLon: 2, MaxLon: 8}
+	if !outer.ContainsBox(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.ContainsBox(outer) {
+		t.Error("inner should not contain outer")
+	}
+	if !outer.ContainsBox(outer) {
+		t.Error("box should contain itself")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if North.String() != "N" || SouthWest.String() != "SW" {
+		t.Error("direction names wrong")
+	}
+	if Direction(99).String() == "" {
+		t.Error("out-of-range direction should still format")
+	}
+}
+
+func TestWorldBoxProperties(t *testing.T) {
+	if !World.Valid() {
+		t.Error("World box invalid")
+	}
+	if World.Area() != 360*180 {
+		t.Errorf("World area = %v", World.Area())
+	}
+	if !World.Contains(0, 0) || !World.Contains(-90, -180) {
+		t.Error("World should contain globe points")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(40.0150, -105.2705, 6)
+	}
+}
+
+func BenchmarkDecodeBox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBox("9xj5smj"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoverStateSize(b *testing.B) {
+	box := Box{MinLat: 33, MaxLat: 37, MinLon: -103, MaxLon: -95}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cover(box, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCoverBoxSmallerThanTile(t *testing.T) {
+	// Regression: a box entirely inside one tile, below the tile's center,
+	// must still yield that tile.
+	box := Box{MinLat: 35, MaxLat: 35.6, MinLon: -98, MaxLon: -96.8}
+	tiles, err := Cover(box, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) == 0 {
+		t.Fatal("sub-tile box yielded no cover")
+	}
+	covered := false
+	for _, gh := range tiles {
+		if b, _ := DecodeBox(gh); b.Intersects(box) {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Errorf("cover %v does not intersect box", tiles)
+	}
+	n, err := CoverCount(box, 2)
+	if err != nil || n != len(tiles) {
+		t.Errorf("CoverCount = %d,%v want %d", n, err, len(tiles))
+	}
+}

@@ -1,0 +1,173 @@
+package geohash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// triangle over the central US.
+func triangle() Polygon {
+	return Polygon{{30, -100}, {45, -90}, {30, -80}}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := triangle().Validate(); err != nil {
+		t.Errorf("valid polygon rejected: %v", err)
+	}
+	if err := (Polygon{{0, 0}, {1, 1}}).Validate(); err == nil {
+		t.Error("2-vertex polygon accepted")
+	}
+	if err := (Polygon{{0, 0}, {1, 1}, {95, 0}}).Validate(); err == nil {
+		t.Error("off-globe vertex accepted")
+	}
+}
+
+func TestPolygonBoundingBox(t *testing.T) {
+	b := triangle().BoundingBox()
+	want := Box{MinLat: 30, MaxLat: 45, MinLon: -100, MaxLon: -80}
+	if b != want {
+		t.Errorf("bbox = %v, want %v", b, want)
+	}
+	if (Polygon{}).BoundingBox() != (Box{}) {
+		t.Error("empty polygon bbox should be zero")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	tri := triangle()
+	cases := []struct {
+		lat, lon float64
+		want     bool
+	}{
+		{35, -90, true},    // centroid-ish
+		{31, -99.9, false}, // inside bbox, outside triangle (left corner)
+		{31, -80.1, false}, // inside bbox, outside triangle (right corner)
+		{44, -90, true},    // near apex
+		{29, -90, false},   // below base
+		{46, -90, false},   // above apex
+		{35, -120, false},  // far outside
+	}
+	for _, c := range cases {
+		if got := tri.Contains(c.lat, c.lon); got != c.want {
+			t.Errorf("Contains(%v,%v) = %v, want %v", c.lat, c.lon, got, c.want)
+		}
+	}
+}
+
+func TestRectPolygonMatchesBox(t *testing.T) {
+	f := func(lat, lon float64) bool {
+		lat = math.Mod(lat, 80)
+		lon = math.Mod(lon, 170)
+		b := Box{MinLat: lat, MaxLat: lat + 4, MinLon: lon, MaxLon: lon + 6}.Clamp()
+		if !b.Valid() {
+			return true
+		}
+		p := RectPolygon(b)
+		// Interior points agree between box and polygon.
+		for dl := 0.5; dl < b.Height(); dl += 1.3 {
+			for dn := 0.5; dn < b.Width(); dn += 1.7 {
+				if !p.Contains(b.MinLat+dl, b.MinLon+dn) {
+					return false
+				}
+			}
+		}
+		// Points clearly outside disagree.
+		return !p.Contains(b.MaxLat+1, b.MinLon) && !p.Contains(b.MinLat, b.MaxLon+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonIntersectsBox(t *testing.T) {
+	tri := triangle()
+	cases := []struct {
+		box  Box
+		want bool
+	}{
+		{Box{MinLat: 34, MaxLat: 36, MinLon: -91, MaxLon: -89}, true},    // fully inside
+		{Box{MinLat: 20, MaxLat: 50, MinLon: -110, MaxLon: -70}, true},   // contains polygon
+		{Box{MinLat: 29, MaxLat: 31, MinLon: -91, MaxLon: -89}, true},    // straddles base edge
+		{Box{MinLat: 50, MaxLat: 55, MinLon: -91, MaxLon: -89}, false},   // above
+		{Box{MinLat: 30, MaxLat: 32, MinLon: -130, MaxLon: -120}, false}, // far west
+		{Box{MinLat: 43, MaxLat: 46, MinLon: -100, MaxLon: -97}, false},  // bbox corner, outside slanted edge
+	}
+	for i, c := range cases {
+		if got := tri.IntersectsBox(c.box); got != c.want {
+			t.Errorf("case %d: IntersectsBox(%v) = %v, want %v", i, c.box, got, c.want)
+		}
+	}
+}
+
+func TestCoverPolygonSubsetOfBoxCover(t *testing.T) {
+	tri := triangle()
+	polyCover, err := CoverPolygon(tri, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxCover, err := Cover(tri.BoundingBox(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(polyCover) == 0 {
+		t.Fatal("empty polygon cover")
+	}
+	if len(polyCover) >= len(boxCover) {
+		t.Errorf("polygon cover (%d tiles) not smaller than bbox cover (%d) for a triangle",
+			len(polyCover), len(boxCover))
+	}
+	boxSet := map[string]bool{}
+	for _, gh := range boxCover {
+		boxSet[gh] = true
+	}
+	for _, gh := range polyCover {
+		if !boxSet[gh] {
+			t.Errorf("polygon tile %q outside bbox cover", gh)
+		}
+	}
+}
+
+func TestCoverPolygonCompleteness(t *testing.T) {
+	// Every point inside the polygon must land in a covered tile.
+	tri := triangle()
+	tiles, err := CoverPolygon(tri, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	for _, gh := range tiles {
+		set[gh] = true
+	}
+	for lat := 30.5; lat < 45; lat += 1.1 {
+		for lon := -99.5; lon < -80; lon += 1.3 {
+			if !tri.Contains(lat, lon) {
+				continue
+			}
+			if !set[Encode(lat, lon, 3)] {
+				t.Fatalf("interior point (%v,%v) not covered", lat, lon)
+			}
+		}
+	}
+}
+
+func TestCoverPolygonRectangleEqualsCover(t *testing.T) {
+	b := Box{MinLat: 33.3, MaxLat: 37.9, MinLon: -101.5, MaxLon: -93.2}
+	fromPoly, err := CoverPolygon(RectPolygon(b), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBox, err := Cover(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromPoly) != len(fromBox) {
+		t.Errorf("rect-as-polygon cover %d tiles != box cover %d", len(fromPoly), len(fromBox))
+	}
+}
+
+func TestCoverPolygonInvalid(t *testing.T) {
+	if _, err := CoverPolygon(Polygon{{0, 0}}, 3); err == nil {
+		t.Error("degenerate polygon accepted")
+	}
+}

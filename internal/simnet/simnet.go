@@ -1,0 +1,113 @@
+// Package simnet models the I/O cost asymmetries of the paper's testbed —
+// disk reads, network hops and payload transfer — inside a single process.
+//
+// The paper's headline results are relative: a warm STASH graph wins because
+// memory lookups avoid disk I/O and query forwarding. Reproducing the shape
+// of those results requires only that the simulated costs preserve the
+// ordering disk ≫ network ≫ memory. Costs here are injected either by really
+// sleeping (so concurrent experiments like the hotspot run exhibit genuine
+// queueing) or by pure accounting (so unit tests stay instant and
+// deterministic).
+package simnet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Model prices the simulated operations. The zero value is a free model
+// (all costs zero), which is what unit tests want.
+type Model struct {
+	// DiskSeek is charged once per block read from the backing store.
+	DiskSeek time.Duration
+	// DiskPoint is charged per observation scanned from a block.
+	DiskPoint time.Duration
+	// NetHop is charged per message between cluster nodes.
+	NetHop time.Duration
+	// NetByte is charged per payload byte moved between nodes.
+	NetByte time.Duration
+	// MemCell is charged per cell touched in the in-memory STASH graph.
+	MemCell time.Duration
+}
+
+// Default returns the cost model used by the experiment harness. The
+// absolute numbers are scaled down from hardware latencies (~10ms seek,
+// ~100µs LAN RTT) by 100x so full experiment suites finish in seconds while
+// preserving the disk ≫ network ≫ memory ordering.
+func Default() Model {
+	return Model{
+		DiskSeek:  100 * time.Microsecond,
+		DiskPoint: 40 * time.Nanosecond,
+		NetHop:    10 * time.Microsecond,
+		NetByte:   1 * time.Nanosecond,
+		MemCell:   30 * time.Nanosecond,
+	}
+}
+
+// DiskCost returns the cost of reading blocks containing points observations.
+func (m Model) DiskCost(blocks, points int) time.Duration {
+	return time.Duration(blocks)*m.DiskSeek + time.Duration(points)*m.DiskPoint
+}
+
+// NetCost returns the cost of one hop carrying a payload of the given size.
+func (m Model) NetCost(bytes int) time.Duration {
+	return m.NetHop + time.Duration(bytes)*m.NetByte
+}
+
+// MemCost returns the cost of touching cells in memory.
+func (m Model) MemCost(cells int) time.Duration {
+	return time.Duration(cells) * m.MemCell
+}
+
+// Sleeper applies a simulated cost. Implementations decide whether the cost
+// is real wall-clock time (Real) or bookkeeping only (Meter).
+type Sleeper interface {
+	// Apply charges the given cost.
+	Apply(d time.Duration)
+	// Elapsed returns the total cost charged so far.
+	Elapsed() time.Duration
+}
+
+// Real is a Sleeper that actually sleeps, so concurrent load produces real
+// queueing and contention. Use it in experiments and benchmarks.
+type Real struct {
+	total atomic.Int64
+}
+
+// NewReal returns a sleeping cost applier.
+func NewReal() *Real { return &Real{} }
+
+// Apply sleeps for d and records it.
+func (r *Real) Apply(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	r.total.Add(int64(d))
+	time.Sleep(d)
+}
+
+// Elapsed returns the total slept duration across all goroutines.
+func (r *Real) Elapsed() time.Duration { return time.Duration(r.total.Load()) }
+
+// Meter is a Sleeper that only accounts, never sleeps. Use it in unit tests
+// and anywhere wall-clock determinism matters.
+type Meter struct {
+	total atomic.Int64
+}
+
+// NewMeter returns an accounting-only cost applier.
+func NewMeter() *Meter { return &Meter{} }
+
+// Apply records d without sleeping.
+func (m *Meter) Apply(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.total.Add(int64(d))
+}
+
+// Elapsed returns the total recorded cost.
+func (m *Meter) Elapsed() time.Duration { return time.Duration(m.total.Load()) }
+
+// Reset clears the recorded total.
+func (m *Meter) Reset() { m.total.Store(0) }

@@ -1,0 +1,98 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroModelIsFree(t *testing.T) {
+	var m Model
+	if m.DiskCost(10, 1000) != 0 || m.NetCost(4096) != 0 || m.MemCost(50) != 0 {
+		t.Error("zero model should charge nothing")
+	}
+}
+
+func TestDefaultModelOrdering(t *testing.T) {
+	m := Default()
+	disk := m.DiskCost(1, 0)
+	net := m.NetCost(0)
+	mem := m.MemCost(1)
+	if !(disk > net && net > mem) {
+		t.Errorf("cost ordering violated: disk=%v net=%v mem=%v", disk, net, mem)
+	}
+}
+
+func TestDiskCostScalesWithBlocksAndPoints(t *testing.T) {
+	m := Default()
+	if m.DiskCost(2, 0) != 2*m.DiskSeek {
+		t.Error("block scaling wrong")
+	}
+	if m.DiskCost(0, 10) != 10*m.DiskPoint {
+		t.Error("point scaling wrong")
+	}
+	if m.DiskCost(3, 7) != 3*m.DiskSeek+7*m.DiskPoint {
+		t.Error("combined cost wrong")
+	}
+}
+
+func TestNetCost(t *testing.T) {
+	m := Default()
+	if m.NetCost(100) != m.NetHop+100*m.NetByte {
+		t.Error("net cost wrong")
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	mt := NewMeter()
+	mt.Apply(5 * time.Millisecond)
+	mt.Apply(3 * time.Millisecond)
+	mt.Apply(0)
+	mt.Apply(-time.Second) // non-positive: ignored
+	if got := mt.Elapsed(); got != 8*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 8ms", got)
+	}
+	mt.Reset()
+	if mt.Elapsed() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	mt := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				mt.Apply(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := mt.Elapsed(); got != 8000*time.Microsecond {
+		t.Errorf("concurrent Elapsed = %v, want 8ms", got)
+	}
+}
+
+func TestRealSleeps(t *testing.T) {
+	r := NewReal()
+	start := time.Now()
+	r.Apply(2 * time.Millisecond)
+	if wall := time.Since(start); wall < 2*time.Millisecond {
+		t.Errorf("Real.Apply returned after %v, want >= 2ms", wall)
+	}
+	if r.Elapsed() != 2*time.Millisecond {
+		t.Errorf("Elapsed = %v", r.Elapsed())
+	}
+}
+
+func TestRealIgnoresNonPositive(t *testing.T) {
+	r := NewReal()
+	r.Apply(0)
+	r.Apply(-time.Hour)
+	if r.Elapsed() != 0 {
+		t.Error("non-positive durations must be ignored")
+	}
+}

@@ -1,0 +1,443 @@
+// Package stash implements the paper's primary contribution: the STASH
+// graph, a distributed in-memory cache of hierarchically aggregated
+// spatiotemporal cells (paper §IV, §V).
+//
+// One Graph instance is the per-node shard of the logical G_STASH =
+// (V, {E_H, E_L}). Vertices (Cells) are stored in per-level hash maps — the
+// paper's "map of distributed hash tables" — so locating a cell costs one
+// local map lookup per level. Edges are never materialized: hierarchical and
+// lateral relationships are derived from the cell-key algebra in package
+// cell, the paper's "composable vertex discovery schemes".
+//
+// The Graph also carries the two policies the paper builds on top of the
+// data structure: freshness-based cell replacement with neighborhood
+// dispersion (§V-C) and the precision-level map (PLM) that tracks
+// completeness against the backing store (§IV-D).
+package stash
+
+import (
+	"sort"
+	"sync"
+
+	"stash/internal/cell"
+	"stash/internal/geohash"
+	"stash/internal/query"
+	"stash/internal/simnet"
+)
+
+// Config tunes a STASH graph shard. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	// Capacity is the maximum number of cells held in memory (the paper's
+	// configurable threshold on total Cells).
+	Capacity int
+	// SafeFraction is the fill level eviction drives the graph back to once
+	// Capacity is breached (the paper's "safe limit").
+	SafeFraction float64
+	// FreshInc is f_inc: the freshness added to a cell on direct access.
+	FreshInc float64
+	// DisperseFraction is the share of FreshInc granted to the
+	// spatiotemporal neighborhood of an accessed region.
+	DisperseFraction float64
+	// HalfLife is the freshness decay half-life in logical ticks (one tick
+	// advances per graph operation batch).
+	HalfLife int64
+	// Disperse enables neighborhood freshness dispersion. Disabling it is
+	// the abl-freshness ablation: replacement degenerates to per-cell
+	// frequency/recency with no region awareness.
+	Disperse bool
+	// DisperseKeyLimit skips dispersion for requests larger than this many
+	// cells. For perceptual-scale footprints the request already touches the
+	// whole region of interest and its one-cell neighborhood shell is
+	// negligible relative to it, so dispersing there buys nothing while the
+	// neighbor algebra would dominate the request cost. Zero selects the
+	// default.
+	DisperseKeyLimit int
+	// Model and Sleeper price the in-memory work (cell touches) so that
+	// experiments account for STASH's own overhead (paper Fig. 6c). A nil
+	// Sleeper disables cost accounting.
+	Model   simnet.Model
+	Sleeper simnet.Sleeper
+}
+
+// DefaultConfig returns the configuration used by the experiment harness.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:         200_000,
+		SafeFraction:     0.90,
+		FreshInc:         1.0,
+		DisperseFraction: 0.25,
+		HalfLife:         10_000,
+		Disperse:         true,
+		DisperseKeyLimit: 1024,
+	}
+}
+
+// Stats are cumulative counters of one graph shard.
+type Stats struct {
+	Hits      int64 // cells served from memory
+	Misses    int64 // cells requested but absent (or stale)
+	Inserts   int64 // cells inserted
+	Evictions int64 // cells evicted by replacement
+}
+
+// Graph is one node's shard of the STASH graph. It is safe for concurrent
+// use.
+type Graph struct {
+	mu     sync.Mutex
+	cfg    Config
+	decay  cell.DecayFunc
+	levels [cell.NumLevels]map[cell.Key]*cell.Cell
+	size   int
+	tick   int64
+	plm    *PLM
+	stats  Stats
+}
+
+// NewGraph returns an empty shard with the given configuration.
+func NewGraph(cfg Config) *Graph {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultConfig().Capacity
+	}
+	if cfg.SafeFraction <= 0 || cfg.SafeFraction > 1 {
+		cfg.SafeFraction = DefaultConfig().SafeFraction
+	}
+	if cfg.FreshInc <= 0 {
+		cfg.FreshInc = DefaultConfig().FreshInc
+	}
+	if cfg.DisperseKeyLimit <= 0 {
+		cfg.DisperseKeyLimit = DefaultConfig().DisperseKeyLimit
+	}
+	g := &Graph{cfg: cfg, decay: cell.ExpDecay(cfg.HalfLife), plm: NewPLM()}
+	return g
+}
+
+// Len returns the number of cells currently cached.
+func (g *Graph) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.size
+}
+
+// LevelLen returns the number of cells cached at one hierarchy level.
+func (g *Graph) LevelLen(level int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if level < 0 || level >= cell.NumLevels {
+		return 0
+	}
+	return len(g.levels[level])
+}
+
+// Stats returns a snapshot of the shard's counters.
+func (g *Graph) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Tick returns the current logical time.
+func (g *Graph) Tick() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tick
+}
+
+// PLM exposes the shard's precision-level map.
+func (g *Graph) PLM() *PLM {
+	return g.plm
+}
+
+// Get serves a region request from the cache: it returns the summaries of
+// every requested cell present (and fresh), and the list of missing keys the
+// caller must fetch from the backing store. Found cells are touched; if
+// dispersion is enabled, the lateral neighbors and parents of the requested
+// region receive their freshness share (paper §V-C2).
+func (g *Graph) Get(keys []cell.Key) (query.Result, []cell.Key) {
+	res := query.NewResult()
+	if len(keys) == 0 {
+		return res, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tick++
+
+	requested := make(map[cell.Key]bool, len(keys))
+	for _, k := range keys {
+		requested[k] = true
+	}
+
+	var missing []cell.Key
+	for _, k := range keys {
+		c := g.lookup(k)
+		if c == nil || g.plm.IsStale(k) {
+			if c != nil {
+				// Stale cell: drop it so the refetch replaces it.
+				g.remove(k)
+			}
+			missing = append(missing, k)
+			g.stats.Misses++
+			continue
+		}
+		c.Touch(g.tick, g.cfg.FreshInc, g.decay)
+		// Negative-cached (empty) cells count as hits but add nothing to
+		// the result, matching the disk path's omission of dataless bins.
+		if !c.Summary.Empty() {
+			res.Add(k, c.Summary)
+		}
+		g.stats.Hits++
+	}
+
+	if g.cfg.Disperse && len(keys) <= g.cfg.DisperseKeyLimit {
+		g.disperseLocked(keys, requested)
+	}
+	g.charge(len(keys))
+	return res, missing
+}
+
+// disperseLocked grants the neighborhood of the requested region its
+// freshness share. Only the region boundary matters: interior neighbors are
+// themselves requested and already touched.
+func (g *Graph) disperseLocked(keys []cell.Key, requested map[cell.Key]bool) {
+	inc := g.cfg.FreshInc * g.cfg.DisperseFraction
+	if inc <= 0 {
+		return
+	}
+	boosted := map[cell.Key]bool{}
+	boost := func(k cell.Key) {
+		if requested[k] || boosted[k] {
+			return
+		}
+		boosted[k] = true
+		if c := g.lookup(k); c != nil {
+			c.Disperse(g.tick, inc, g.decay)
+		}
+	}
+	for _, k := range keys {
+		if ns, err := k.LateralNeighbors(); err == nil {
+			for _, n := range ns {
+				boost(n)
+			}
+		}
+		for _, p := range k.Parents() {
+			boost(p)
+		}
+	}
+}
+
+// Peek returns a cell's summary without touching freshness or dispersing.
+// ok is false if the cell is absent or stale.
+func (g *Graph) Peek(k cell.Key) (cell.Summary, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := g.lookup(k)
+	if c == nil || g.plm.IsStale(k) {
+		return cell.Summary{}, false
+	}
+	return c.Summary, true
+}
+
+// Put inserts (or replaces) the cells of a fetch result, marking them fresh
+// in the PLM, then evicts down to the safe limit if the capacity threshold
+// was breached. This is the cache-population path measured by the paper's
+// maintenance experiment (Fig. 6c).
+func (g *Graph) Put(res query.Result) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tick++
+	for k, s := range res.Cells {
+		g.insert(k, s)
+	}
+	g.evictLocked()
+	g.charge(res.Len())
+}
+
+// PutEmpty records that the backing store holds no data for the given keys,
+// caching the negative result so repeated queries over sparse regions do not
+// re-scan disk. The cells carry empty summaries.
+func (g *Graph) PutEmpty(keys []cell.Key) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tick++
+	for _, k := range keys {
+		if g.lookup(k) == nil {
+			g.insert(k, cell.NewSummary())
+		}
+	}
+	g.evictLocked()
+	g.charge(len(keys))
+}
+
+func (g *Graph) insert(k cell.Key, s cell.Summary) {
+	lvl := k.Level()
+	if lvl < 0 || lvl >= cell.NumLevels {
+		return
+	}
+	if g.levels[lvl] == nil {
+		g.levels[lvl] = map[cell.Key]*cell.Cell{}
+	}
+	c, exists := g.levels[lvl][k]
+	if !exists {
+		c = cell.New(k)
+		g.levels[lvl][k] = c
+		g.size++
+		g.stats.Inserts++
+	}
+	// The graph aliases the inserted summary: results and caches share
+	// summaries under the immutable-by-convention rule (see query.Result).
+	c.Summary = s
+	c.Touch(g.tick, g.cfg.FreshInc, g.decay)
+	g.plm.MarkPresent(k)
+}
+
+func (g *Graph) lookup(k cell.Key) *cell.Cell {
+	lvl := k.Level()
+	if lvl < 0 || lvl >= cell.NumLevels || g.levels[lvl] == nil {
+		return nil
+	}
+	return g.levels[lvl][k]
+}
+
+func (g *Graph) remove(k cell.Key) {
+	lvl := k.Level()
+	if lvl < 0 || lvl >= cell.NumLevels || g.levels[lvl] == nil {
+		return
+	}
+	if _, ok := g.levels[lvl][k]; ok {
+		delete(g.levels[lvl], k)
+		g.size--
+		g.plm.MarkAbsent(k)
+	}
+}
+
+// Delete removes a cell outright (used when purging stale guest entries).
+func (g *Graph) Delete(k cell.Key) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.remove(k)
+}
+
+// evictLocked enforces the capacity threshold: if breached, cells are evicted
+// in ascending freshness order until the graph is back at the safe limit
+// (paper §V-C2: evict lowest freshness "till the capacity goes below a safe
+// limit").
+func (g *Graph) evictLocked() {
+	if g.size <= g.cfg.Capacity {
+		return
+	}
+	target := int(float64(g.cfg.Capacity) * g.cfg.SafeFraction)
+	type scored struct {
+		key   cell.Key
+		score float64
+	}
+	all := make([]scored, 0, g.size)
+	for lvl := range g.levels {
+		for k, c := range g.levels[lvl] {
+			all = append(all, scored{key: k, score: c.FreshnessAt(g.tick, g.decay)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })
+	for _, s := range all {
+		if g.size <= target {
+			break
+		}
+		g.remove(s.key)
+		g.stats.Evictions++
+	}
+}
+
+// Freshness returns a cell's current (decayed) freshness; ok is false if the
+// cell is absent.
+func (g *Graph) Freshness(k cell.Key) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := g.lookup(k)
+	if c == nil {
+		return 0, false
+	}
+	return c.FreshnessAt(g.tick, g.decay), true
+}
+
+// Keys returns every cached key at one level, in unspecified order.
+func (g *Graph) Keys(level int) []cell.Key {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if level < 0 || level >= cell.NumLevels {
+		return nil
+	}
+	out := make([]cell.Key, 0, len(g.levels[level]))
+	for k := range g.levels[level] {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Snapshot extracts the summaries of the given keys (used for clique
+// replication payloads); absent keys are skipped.
+func (g *Graph) Snapshot(keys []cell.Key) query.Result {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	res := query.NewResult()
+	for _, k := range keys {
+		if c := g.lookup(k); c != nil {
+			res.Add(k, c.Summary)
+		}
+	}
+	return res
+}
+
+// DeriveFromChildren attempts to compute a missing cell's summary from
+// cached finer-resolution cells instead of touching disk (paper §V-B: disk
+// access is required only if the missing values "are not available by
+// computing from the existing cached values"). The derivation needs a
+// complete child cover: all 32 spatial children, or all temporal children,
+// resident and fresh. On success the derived cell is inserted and returned.
+func (g *Graph) DeriveFromChildren(k cell.Key) (cell.Summary, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	try := func(children []cell.Key) (cell.Summary, bool) {
+		sum := cell.NewSummary()
+		for _, ck := range children {
+			c := g.lookup(ck)
+			if c == nil || g.plm.IsStale(ck) {
+				return cell.Summary{}, false
+			}
+			sum.Merge(c.Summary)
+		}
+		return sum, true
+	}
+
+	// Check child-level occupancy from level arithmetic alone before
+	// materializing any child keys: building temporal children parses and
+	// formats timestamps, far too costly to do per cache miss.
+	if len(k.Geohash) < cell.MaxSpatialPrecision {
+		childLvl := int(k.Time.Res)*cell.MaxSpatialPrecision + len(k.Geohash)
+		if len(g.levels[childLvl]) >= geohash.BranchFactor {
+			if children, ok := k.SpatialChildren(); ok {
+				if sum, ok := try(children); ok {
+					g.insert(k, sum)
+					return sum, true
+				}
+			}
+		}
+	}
+	if finer, ok := k.Time.Res.Finer(); ok {
+		childLvl := int(finer)*cell.MaxSpatialPrecision + len(k.Geohash) - 1
+		if len(g.levels[childLvl]) > 0 {
+			if children, ok := k.TemporalChildren(); ok {
+				if sum, ok := try(children); ok {
+					g.insert(k, sum)
+					return sum, true
+				}
+			}
+		}
+	}
+	return cell.Summary{}, false
+}
+
+func (g *Graph) charge(cells int) {
+	if g.cfg.Sleeper != nil {
+		g.cfg.Sleeper.Apply(g.cfg.Model.MemCost(cells))
+	}
+}

@@ -1,0 +1,308 @@
+// Package temporal implements the temporal half of STASH's spatiotemporal
+// hierarchy: a fixed ladder of resolutions (Year → Month → Day → Hour), label
+// encoding for each, and the parent/children/neighbor algebra that mirrors
+// what package geohash provides for space.
+//
+// The paper labels cells with strings such as "2015-03" (Month resolution);
+// this package reproduces that label format and adds Year, Day and Hour rungs
+// so that roll-up and drill-down traverse a real hierarchy.
+package temporal
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Resolution is a rung on the temporal hierarchy, ordered from coarsest (Year)
+// to finest (Hour). The zero value is Year.
+type Resolution int
+
+// The temporal resolutions supported by STASH, coarse to fine.
+const (
+	Year Resolution = iota
+	Month
+	Day
+	Hour
+	numResolutions
+)
+
+// NumResolutions is the paper's n_t: the count of temporal resolutions.
+const NumResolutions = int(numResolutions)
+
+var resolutionNames = [...]string{"Year", "Month", "Day", "Hour"}
+
+func (r Resolution) String() string {
+	if r < 0 || int(r) >= len(resolutionNames) {
+		return fmt.Sprintf("Resolution(%d)", int(r))
+	}
+	return resolutionNames[r]
+}
+
+// Valid reports whether r is one of the defined resolutions.
+func (r Resolution) Valid() bool { return r >= Year && r < numResolutions }
+
+// Finer returns the next finer resolution; ok is false at Hour.
+func (r Resolution) Finer() (Resolution, bool) {
+	if r+1 >= numResolutions {
+		return r, false
+	}
+	return r + 1, true
+}
+
+// Coarser returns the next coarser resolution; ok is false at Year.
+func (r Resolution) Coarser() (Resolution, bool) {
+	if r <= Year {
+		return r, false
+	}
+	return r - 1, true
+}
+
+// Duration returns the nominal span of one label at this resolution. Month
+// and Year use nominal civil lengths; exact spans depend on the label.
+func (r Resolution) Duration() time.Duration {
+	switch r {
+	case Year:
+		return 365 * 24 * time.Hour
+	case Month:
+		return 30 * 24 * time.Hour
+	case Day:
+		return 24 * time.Hour
+	case Hour:
+		return time.Hour
+	}
+	return 0
+}
+
+// layouts maps a resolution to its label layout in time.Format notation.
+var layouts = [...]string{"2006", "2006-01", "2006-01-02", "2006-01-02T15"}
+
+// ErrBadLabel reports a label that does not parse at the given resolution.
+var ErrBadLabel = errors.New("temporal: bad label")
+
+// Label is a temporal cell identifier: a resolution plus its formatted text,
+// e.g. {Month, "2015-03"}. The zero value is invalid; build labels with At or
+// Parse.
+type Label struct {
+	Res  Resolution
+	Text string
+}
+
+// At returns the label containing the instant t at resolution r. All labels
+// are in UTC.
+func At(t time.Time, r Resolution) Label {
+	return Label{Res: r, Text: t.UTC().Format(layouts[r])}
+}
+
+// Parse validates text as a label at resolution r.
+func Parse(text string, r Resolution) (Label, error) {
+	if !r.Valid() {
+		return Label{}, fmt.Errorf("%w: resolution %d", ErrBadLabel, int(r))
+	}
+	if _, err := time.Parse(layouts[r], text); err != nil {
+		return Label{}, fmt.Errorf("%w: %q at %v: %v", ErrBadLabel, text, r, err)
+	}
+	return Label{Res: r, Text: text}, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(text string, r Resolution) Label {
+	l, err := Parse(text, r)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func (l Label) String() string { return l.Text }
+
+// Valid reports whether the label parses at its resolution.
+func (l Label) Valid() bool {
+	_, err := Parse(l.Text, l.Res)
+	return err == nil
+}
+
+// Start returns the first instant covered by the label.
+func (l Label) Start() (time.Time, error) {
+	t, err := time.Parse(layouts[l.Res], l.Text)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%w: %q: %v", ErrBadLabel, l.Text, err)
+	}
+	return t.UTC(), nil
+}
+
+// End returns the first instant after the label's span (exclusive end).
+func (l Label) End() (time.Time, error) {
+	s, err := l.Start()
+	if err != nil {
+		return time.Time{}, err
+	}
+	switch l.Res {
+	case Year:
+		return s.AddDate(1, 0, 0), nil
+	case Month:
+		return s.AddDate(0, 1, 0), nil
+	case Day:
+		return s.AddDate(0, 0, 1), nil
+	case Hour:
+		return s.Add(time.Hour), nil
+	}
+	return time.Time{}, fmt.Errorf("%w: resolution %v", ErrBadLabel, l.Res)
+}
+
+// Contains reports whether instant t falls within the label's span.
+func (l Label) Contains(t time.Time) bool {
+	s, err := l.Start()
+	if err != nil {
+		return false
+	}
+	e, _ := l.End()
+	t = t.UTC()
+	return !t.Before(s) && t.Before(e)
+}
+
+// Parent returns the label one resolution coarser that encloses l; ok is
+// false at Year.
+func (l Label) Parent() (Label, bool) {
+	r, ok := l.Res.Coarser()
+	if !ok {
+		return Label{}, false
+	}
+	s, err := l.Start()
+	if err != nil {
+		return Label{}, false
+	}
+	return At(s, r), true
+}
+
+// Children returns the labels one resolution finer that tile l, in
+// chronological order; ok is false at Hour. The child count varies with the
+// calendar (28-31 days per month, 12 months per year, 24 hours per day).
+func (l Label) Children() ([]Label, bool) {
+	r, ok := l.Res.Finer()
+	if !ok {
+		return nil, false
+	}
+	s, err := l.Start()
+	if err != nil {
+		return nil, false
+	}
+	e, _ := l.End()
+	var out []Label
+	for t := s; t.Before(e); {
+		out = append(out, At(t, r))
+		switch r {
+		case Month:
+			t = t.AddDate(0, 1, 0)
+		case Day:
+			t = t.AddDate(0, 0, 1)
+		case Hour:
+			t = t.Add(time.Hour)
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// Next returns the chronologically following label at the same resolution.
+func (l Label) Next() (Label, error) {
+	e, err := l.End()
+	if err != nil {
+		return Label{}, err
+	}
+	return At(e, l.Res), nil
+}
+
+// Prev returns the chronologically preceding label at the same resolution.
+func (l Label) Prev() (Label, error) {
+	s, err := l.Start()
+	if err != nil {
+		return Label{}, err
+	}
+	return At(s.Add(-time.Second), l.Res), nil
+}
+
+// Neighbors returns the two lateral temporal neighbors of l (previous and
+// next), matching the paper's example of 2015-03 having neighbors 2015-02 and
+// 2015-04.
+func (l Label) Neighbors() ([]Label, error) {
+	p, err := l.Prev()
+	if err != nil {
+		return nil, err
+	}
+	n, err := l.Next()
+	if err != nil {
+		return nil, err
+	}
+	return []Label{p, n}, nil
+}
+
+// Range is a half-open time interval [Start, End).
+type Range struct {
+	Start, End time.Time
+}
+
+// NewRange builds a validated range.
+func NewRange(start, end time.Time) (Range, error) {
+	if !end.After(start) {
+		return Range{}, fmt.Errorf("%w: range end %v not after start %v", ErrBadLabel, end, start)
+	}
+	return Range{Start: start.UTC(), End: end.UTC()}, nil
+}
+
+// DayRange is a convenience constructor for the paper's single-day query
+// windows (e.g. 2015-02-02).
+func DayRange(year int, month time.Month, day int) Range {
+	s := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return Range{Start: s, End: s.AddDate(0, 0, 1)}
+}
+
+// Valid reports whether the range is non-empty.
+func (r Range) Valid() bool { return r.End.After(r.Start) }
+
+// Duration returns the span of the range.
+func (r Range) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Contains reports whether t falls inside the range.
+func (r Range) Contains(t time.Time) bool {
+	return !t.Before(r.Start) && t.Before(r.End)
+}
+
+// Intersects reports whether two ranges share any instant.
+func (r Range) Intersects(o Range) bool {
+	return r.Start.Before(o.End) && o.Start.Before(r.End)
+}
+
+// Cover returns the labels at resolution res that intersect the range, in
+// chronological order. It is the temporal analogue of geohash.Cover.
+func (r Range) Cover(res Resolution) ([]Label, error) {
+	if !r.Valid() {
+		return nil, fmt.Errorf("%w: empty range", ErrBadLabel)
+	}
+	if !res.Valid() {
+		return nil, fmt.Errorf("%w: resolution %d", ErrBadLabel, int(res))
+	}
+	var out []Label
+	l := At(r.Start, res)
+	for {
+		out = append(out, l)
+		e, err := l.End()
+		if err != nil {
+			return nil, err
+		}
+		if !e.Before(r.End) {
+			return out, nil
+		}
+		l = At(e, res)
+	}
+}
+
+// CoverCount returns len(Cover(res)) without materializing the labels.
+func (r Range) CoverCount(res Resolution) (int, error) {
+	labels, err := r.Cover(res)
+	if err != nil {
+		return 0, err
+	}
+	return len(labels), nil
+}

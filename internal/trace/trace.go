@@ -1,0 +1,217 @@
+// Package trace records and replays visual-exploration sessions. A trace is
+// a JSON-lines file of timestamped queries — what a front-end would log —
+// letting operators capture a real user's navigation once and re-drive it
+// against different configurations (cache sizes, cost models, cluster
+// sizes) for apples-to-apples comparisons.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"stash/internal/geohash"
+	"stash/internal/query"
+	"stash/internal/temporal"
+)
+
+// Event is one recorded query with its offset from session start and, when
+// recorded from a live run, the latency observed at record time.
+type Event struct {
+	// OffsetMS is when the query was issued, relative to session start.
+	OffsetMS int64 `json:"offsetMs"`
+	// LatencyMS is the latency observed when the trace was recorded
+	// (informational; replay measures its own).
+	LatencyMS float64 `json:"latencyMs,omitempty"`
+
+	MinLat      float64 `json:"minLat"`
+	MaxLat      float64 `json:"maxLat"`
+	MinLon      float64 `json:"minLon"`
+	MaxLon      float64 `json:"maxLon"`
+	Start       string  `json:"start"` // RFC 3339
+	End         string  `json:"end"`   // RFC 3339
+	SpatialRes  int     `json:"spatialRes"`
+	TemporalRes string  `json:"temporalRes"`
+}
+
+// resolutionNames maps between temporal resolutions and their JSON names.
+var resolutionNames = map[temporal.Resolution]string{
+	temporal.Year:  "Year",
+	temporal.Month: "Month",
+	temporal.Day:   "Day",
+	temporal.Hour:  "Hour",
+}
+
+// FromQuery converts a query into a trace event.
+func FromQuery(q query.Query, offset time.Duration, latency time.Duration) Event {
+	return Event{
+		OffsetMS:    offset.Milliseconds(),
+		LatencyMS:   float64(latency.Microseconds()) / 1000,
+		MinLat:      q.Box.MinLat,
+		MaxLat:      q.Box.MaxLat,
+		MinLon:      q.Box.MinLon,
+		MaxLon:      q.Box.MaxLon,
+		Start:       q.Time.Start.UTC().Format(time.RFC3339),
+		End:         q.Time.End.UTC().Format(time.RFC3339),
+		SpatialRes:  q.SpatialRes,
+		TemporalRes: resolutionNames[q.TemporalRes],
+	}
+}
+
+// Query converts the event back into an executable query.
+func (e Event) Query() (query.Query, error) {
+	start, err := time.Parse(time.RFC3339, e.Start)
+	if err != nil {
+		return query.Query{}, fmt.Errorf("trace: start: %w", err)
+	}
+	end, err := time.Parse(time.RFC3339, e.End)
+	if err != nil {
+		return query.Query{}, fmt.Errorf("trace: end: %w", err)
+	}
+	tr, err := temporal.NewRange(start, end)
+	if err != nil {
+		return query.Query{}, fmt.Errorf("trace: %w", err)
+	}
+	var res temporal.Resolution
+	found := false
+	for r, name := range resolutionNames {
+		if name == e.TemporalRes {
+			res, found = r, true
+			break
+		}
+	}
+	if !found {
+		return query.Query{}, fmt.Errorf("trace: unknown temporal resolution %q", e.TemporalRes)
+	}
+	q := query.Query{
+		Box:         geohash.Box{MinLat: e.MinLat, MaxLat: e.MaxLat, MinLon: e.MinLon, MaxLon: e.MaxLon},
+		Time:        tr,
+		SpatialRes:  e.SpatialRes,
+		TemporalRes: res,
+	}
+	if err := q.Validate(); err != nil {
+		return query.Query{}, fmt.Errorf("trace: %w", err)
+	}
+	return q, nil
+}
+
+// Recorder appends events to a JSON-lines stream. Create with NewRecorder
+// at session start; Record each query as it completes.
+type Recorder struct {
+	w     *bufio.Writer
+	start time.Time
+}
+
+// NewRecorder starts a recording session writing to w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+// Record appends one query with the latency just observed for it.
+func (r *Recorder) Record(q query.Query, latency time.Duration) error {
+	ev := FromQuery(q, time.Since(r.start), latency)
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if _, err := r.w.Write(b); err != nil {
+		return err
+	}
+	return r.w.WriteByte('\n')
+}
+
+// Flush writes buffered events through to the underlying writer.
+func (r *Recorder) Flush() error { return r.w.Flush() }
+
+// Read parses a JSON-lines trace.
+func Read(rd io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Runner executes queries during replay.
+type Runner interface {
+	Query(q query.Query) (query.Result, error)
+}
+
+// ReplayStats summarizes one replay.
+type ReplayStats struct {
+	Queries   int
+	Failed    int
+	Total     time.Duration // sum of per-query latencies
+	Max       time.Duration
+	Latencies []time.Duration
+}
+
+// Mean returns the average per-query latency.
+func (s ReplayStats) Mean() time.Duration {
+	if s.Queries == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Queries)
+}
+
+// ErrEmptyTrace reports a replay over no events.
+var ErrEmptyTrace = errors.New("trace: empty trace")
+
+// Replay drives the events against the runner in order, measuring each
+// query. With paced=true the recorded inter-query think-time is honored
+// (capped at maxPause); otherwise queries run back-to-back.
+func Replay(events []Event, run Runner, paced bool, maxPause time.Duration) (ReplayStats, error) {
+	if len(events) == 0 {
+		return ReplayStats{}, ErrEmptyTrace
+	}
+	var stats ReplayStats
+	prevOffset := time.Duration(events[0].OffsetMS) * time.Millisecond
+	for _, ev := range events {
+		if paced {
+			pause := time.Duration(ev.OffsetMS)*time.Millisecond - prevOffset
+			if pause > maxPause {
+				pause = maxPause
+			}
+			if pause > 0 {
+				time.Sleep(pause)
+			}
+			prevOffset = time.Duration(ev.OffsetMS) * time.Millisecond
+		}
+		q, err := ev.Query()
+		if err != nil {
+			stats.Failed++
+			continue
+		}
+		begin := time.Now()
+		if _, err := run.Query(q); err != nil {
+			stats.Failed++
+			continue
+		}
+		lat := time.Since(begin)
+		stats.Queries++
+		stats.Total += lat
+		stats.Latencies = append(stats.Latencies, lat)
+		if lat > stats.Max {
+			stats.Max = lat
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"stash/internal/cluster"
+	"stash/internal/geohash"
+	"stash/internal/query"
+	"stash/internal/temporal"
+)
+
+func sampleQuery() query.Query {
+	return query.Query{
+		Box:         geohash.Box{MinLat: 33, MaxLat: 37, MinLon: -103, MaxLon: -95},
+		Time:        temporal.DayRange(2015, 2, 2),
+		SpatialRes:  4,
+		TemporalRes: temporal.Day,
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	q := sampleQuery()
+	ev := FromQuery(q, 1500*time.Millisecond, 42*time.Millisecond)
+	if ev.OffsetMS != 1500 || ev.LatencyMS != 42 {
+		t.Errorf("event timing: %+v", ev)
+	}
+	back, err := ev.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Box != q.Box || back.SpatialRes != q.SpatialRes || back.TemporalRes != q.TemporalRes {
+		t.Errorf("roundtrip mismatch: %+v vs %+v", back, q)
+	}
+	if !back.Time.Start.Equal(q.Time.Start) || !back.Time.End.Equal(q.Time.End) {
+		t.Errorf("time range mismatch")
+	}
+}
+
+func TestEventRoundTripAllResolutions(t *testing.T) {
+	for _, res := range []temporal.Resolution{temporal.Year, temporal.Month, temporal.Day, temporal.Hour} {
+		q := sampleQuery()
+		q.TemporalRes = res
+		back, err := FromQuery(q, 0, 0).Query()
+		if err != nil {
+			t.Fatalf("%v: %v", res, err)
+		}
+		if back.TemporalRes != res {
+			t.Errorf("resolution %v became %v", res, back.TemporalRes)
+		}
+	}
+}
+
+func TestEventQueryValidation(t *testing.T) {
+	ev := FromQuery(sampleQuery(), 0, 0)
+	bad := ev
+	bad.Start = "garbage"
+	if _, err := bad.Query(); err == nil {
+		t.Error("bad start accepted")
+	}
+	bad = ev
+	bad.End = "garbage"
+	if _, err := bad.Query(); err == nil {
+		t.Error("bad end accepted")
+	}
+	bad = ev
+	bad.TemporalRes = "Fortnight"
+	if _, err := bad.Query(); err == nil {
+		t.Error("bad resolution accepted")
+	}
+	bad = ev
+	bad.SpatialRes = 0
+	if _, err := bad.Query(); err == nil {
+		t.Error("invalid query accepted")
+	}
+	bad = ev
+	bad.End = bad.Start
+	if _, err := bad.Query(); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestRecorderAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	q := sampleQuery()
+	for i := 0; i < 3; i++ {
+		if err := rec.Record(q.Pan(geohash.East, 0.1*float64(i)), time.Duration(i)*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("lines = %d", lines)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].OffsetMS < events[i-1].OffsetMS {
+			t.Error("offsets not monotone")
+		}
+	}
+}
+
+func TestReadSkipsBlankAndRejectsGarbage(t *testing.T) {
+	events, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Errorf("blank trace: %v %d", err, len(events))
+	}
+	if _, err := Read(strings.NewReader("{valid json this is not\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestReplayAgainstCluster(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.PointsPerBlock = 32
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	q := sampleQuery()
+	events := []Event{
+		FromQuery(q, 0, 0),
+		FromQuery(q.Pan(geohash.East, 0.1), 10*time.Millisecond, 0),
+		FromQuery(q.Pan(geohash.East, 0.2), 20*time.Millisecond, 0),
+	}
+	stats, err := Replay(events, c.Client(), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != 3 || stats.Failed != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.Mean() <= 0 || stats.Max < stats.Mean() {
+		t.Errorf("latency accounting wrong: mean=%v max=%v", stats.Mean(), stats.Max)
+	}
+	if len(stats.Latencies) != 3 {
+		t.Errorf("latencies = %d", len(stats.Latencies))
+	}
+}
+
+func TestReplayPacedHonorsOffsets(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cfg.PointsPerBlock = 16
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	q := sampleQuery()
+	events := []Event{
+		FromQuery(q, 0, 0),
+		FromQuery(q, 30*time.Millisecond, 0),
+	}
+	begin := time.Now()
+	if _, err := Replay(events, c.Client(), true, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(begin); wall < 25*time.Millisecond {
+		t.Errorf("paced replay finished in %v; think-time not honored", wall)
+	}
+	// Pauses are capped.
+	events[1].OffsetMS = 60_000
+	begin = time.Now()
+	if _, err := Replay(events, c.Client(), true, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(begin); wall > 2*time.Second {
+		t.Errorf("maxPause not applied: %v", wall)
+	}
+}
+
+func TestReplayEmptyAndFailed(t *testing.T) {
+	if _, err := Replay(nil, nil, false, 0); err == nil {
+		t.Error("empty trace accepted")
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	bad := Event{Start: "x", End: "y"}
+	stats, err := Replay([]Event{bad}, c.Client(), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 1 || stats.Queries != 0 {
+		t.Errorf("stats: %+v", stats)
+	}
+}

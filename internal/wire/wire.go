@@ -1,0 +1,337 @@
+// Package wire provides a compact, deterministic binary encoding for STASH's
+// transferable payloads: cell keys and query results. The cluster transport
+// is in-process, so the codec's primary jobs are (a) pricing network payloads
+// accurately — clique replication charges the exact encoded size — and
+// (b) giving external consumers (files, sockets) a stable format.
+//
+// Layout (all integers varint/uvarint, strings length-prefixed, floats
+// IEEE-754 bits little-endian):
+//
+//	Result  := magic u8 | version u8 | count uvarint | Cell*
+//	Cell    := Key | Summary
+//	Key     := geohash string | timeRes u8 | timeText string
+//	Summary := nattrs uvarint | (name string | count varint |
+//	           sum f64 | min f64 | max f64)*
+//
+// Attributes are encoded in sorted order, so equal results encode to equal
+// bytes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"stash/internal/cell"
+	"stash/internal/query"
+	"stash/internal/temporal"
+)
+
+const (
+	magic   = 0xC5
+	version = 1
+)
+
+// ErrCorrupt reports malformed or truncated input.
+var ErrCorrupt = errors.New("wire: corrupt payload")
+
+// maxElems caps decoded collection sizes so corrupt or hostile input cannot
+// trigger giant allocations.
+const maxElems = 16 << 20
+
+// --- encoding ---
+
+// AppendResult appends the encoded result to dst and returns the extended
+// slice.
+func AppendResult(dst []byte, r query.Result) []byte {
+	dst = append(dst, magic, version)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Cells)))
+	for k, s := range r.Cells {
+		dst = appendKey(dst, k)
+		dst = appendSummary(dst, s)
+	}
+	return dst
+}
+
+// EncodeResult encodes a result into a fresh buffer.
+func EncodeResult(r query.Result) []byte {
+	return AppendResult(make([]byte, 0, ResultSize(r)), r)
+}
+
+func appendKey(dst []byte, k cell.Key) []byte {
+	dst = appendString(dst, k.Geohash)
+	dst = append(dst, byte(k.Time.Res))
+	return appendString(dst, k.Time.Text)
+}
+
+func appendSummary(dst []byte, s cell.Summary) []byte {
+	attrs := s.Attrs()
+	dst = binary.AppendUvarint(dst, uint64(len(attrs)))
+	for _, a := range attrs {
+		st := s.Stats[a]
+		dst = appendString(dst, a)
+		dst = binary.AppendVarint(dst, st.Count)
+		dst = appendFloat(dst, st.Sum)
+		dst = appendFloat(dst, st.Min)
+		dst = appendFloat(dst, st.Max)
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// ResultSize returns the exact encoded length of a result without encoding
+// it — what the transport charges as payload bytes.
+func ResultSize(r query.Result) int {
+	n := 2 + uvarintLen(uint64(len(r.Cells)))
+	for k, s := range r.Cells {
+		n += stringLen(k.Geohash) + 1 + stringLen(k.Time.Text)
+		n += uvarintLen(uint64(len(s.Stats)))
+		for a, st := range s.Stats {
+			n += stringLen(a) + varintLen(st.Count) + 24
+		}
+	}
+	return n
+}
+
+// --- decoding ---
+
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.b) {
+		return nil, ErrCorrupt
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil || n > maxElems {
+		return "", ErrCorrupt
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) float() (float64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+func (r *reader) byte1() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// DecodeResult decodes an encoded result. Cell keys are validated, so a
+// decoded result is structurally safe to insert into a graph.
+func DecodeResult(b []byte) (query.Result, error) {
+	r := &reader{b: b}
+	m, err := r.byte1()
+	if err != nil || m != magic {
+		return query.Result{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	v, err := r.byte1()
+	if err != nil || v != version {
+		return query.Result{}, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	count, err := r.uvarint()
+	if err != nil || count > maxElems {
+		return query.Result{}, ErrCorrupt
+	}
+	out := query.NewResult()
+	for i := uint64(0); i < count; i++ {
+		k, err := decodeKey(r)
+		if err != nil {
+			return query.Result{}, err
+		}
+		s, err := decodeSummary(r)
+		if err != nil {
+			return query.Result{}, err
+		}
+		out.Add(k, s)
+	}
+	if r.pos != len(b) {
+		return query.Result{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.pos)
+	}
+	return out, nil
+}
+
+func decodeKey(r *reader) (cell.Key, error) {
+	gh, err := r.str()
+	if err != nil {
+		return cell.Key{}, err
+	}
+	res, err := r.byte1()
+	if err != nil {
+		return cell.Key{}, err
+	}
+	text, err := r.str()
+	if err != nil {
+		return cell.Key{}, err
+	}
+	label, err := temporal.Parse(text, temporal.Resolution(res))
+	if err != nil {
+		return cell.Key{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	k, err := cell.NewKey(gh, label)
+	if err != nil {
+		return cell.Key{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return k, nil
+}
+
+func decodeSummary(r *reader) (cell.Summary, error) {
+	n, err := r.uvarint()
+	if err != nil || n > 1024 {
+		return cell.Summary{}, ErrCorrupt
+	}
+	s := cell.NewSummary()
+	for i := uint64(0); i < n; i++ {
+		name, err := r.str()
+		if err != nil {
+			return cell.Summary{}, err
+		}
+		count, err := r.varint()
+		if err != nil {
+			return cell.Summary{}, err
+		}
+		sum, err := r.float()
+		if err != nil {
+			return cell.Summary{}, err
+		}
+		min, err := r.float()
+		if err != nil {
+			return cell.Summary{}, err
+		}
+		max, err := r.float()
+		if err != nil {
+			return cell.Summary{}, err
+		}
+		if count < 0 {
+			return cell.Summary{}, fmt.Errorf("%w: negative count", ErrCorrupt)
+		}
+		s.Stats[name] = cell.Stat{Count: count, Sum: sum, Min: min, Max: max}
+	}
+	return s, nil
+}
+
+// --- key lists ---
+
+// EncodeKeys encodes a key list (a fetch request payload).
+func EncodeKeys(keys []cell.Key) []byte {
+	dst := make([]byte, 0, KeysSize(keys))
+	dst = append(dst, magic, version)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendKey(dst, k)
+	}
+	return dst
+}
+
+// DecodeKeys decodes a key list.
+func DecodeKeys(b []byte) ([]cell.Key, error) {
+	r := &reader{b: b}
+	m, err := r.byte1()
+	if err != nil || m != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	v, err := r.byte1()
+	if err != nil || v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	count, err := r.uvarint()
+	if err != nil || count > maxElems {
+		return nil, ErrCorrupt
+	}
+	out := make([]cell.Key, 0, min(count, 4096))
+	for i := uint64(0); i < count; i++ {
+		k, err := decodeKey(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// KeysSize returns the exact encoded length of a key list.
+func KeysSize(keys []cell.Key) int {
+	n := 2 + uvarintLen(uint64(len(keys)))
+	for _, k := range keys {
+		n += stringLen(k.Geohash) + 1 + stringLen(k.Time.Text)
+	}
+	return n
+}
+
+// --- size helpers ---
+
+func stringLen(s string) int { return uvarintLen(uint64(len(s))) + len(s) }
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uvarintLen(uv)
+}
+
+func min(a uint64, b int) int {
+	if a < uint64(b) {
+		return int(a)
+	}
+	return b
+}

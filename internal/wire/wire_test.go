@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stash/internal/cell"
+	"stash/internal/namgen"
+	"stash/internal/query"
+	"stash/internal/temporal"
+)
+
+var day = temporal.MustParse("2015-02-02", temporal.Day)
+
+func sampleResult(nCells int, seed int64) query.Result {
+	rng := rand.New(rand.NewSource(seed))
+	r := query.NewResult()
+	for i := 0; i < nCells; i++ {
+		gh := ""
+		for j := 0; j < 4; j++ {
+			gh += string("0123456789bcdefghjkmnpqrstuvwxyz"[rng.Intn(32)])
+		}
+		s := cell.NewSummary()
+		for _, attr := range namgen.Attributes {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				s.Observe(attr, rng.NormFloat64()*20)
+			}
+		}
+		r.Add(cell.Key{Geohash: gh, Time: day}, s)
+	}
+	return r
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	want := sampleResult(50, 1)
+	b := EncodeResult(want)
+	got, err := DecodeResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("cells: %d != %d", got.Len(), want.Len())
+	}
+	for k, ws := range want.Cells {
+		gs, ok := got.Cells[k]
+		if !ok {
+			t.Fatalf("missing key %v", k)
+		}
+		for attr, wst := range ws.Stats {
+			if gst := gs.Stats[attr]; gst != wst {
+				t.Fatalf("key %v attr %s: %+v != %+v", k, attr, gst, wst)
+			}
+		}
+	}
+}
+
+func TestResultRoundTripEmpty(t *testing.T) {
+	b := EncodeResult(query.NewResult())
+	got, err := DecodeResult(b)
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty roundtrip: %v %d", err, got.Len())
+	}
+}
+
+func TestResultSizeExact(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		r := sampleResult(int(seed)*13, seed)
+		if got, want := ResultSize(r), len(EncodeResult(r)); got != want {
+			t.Fatalf("seed %d: ResultSize=%d, encoded=%d", seed, got, want)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	// Map iteration order must not leak into sizes; and a single cell's
+	// encoding must be byte-stable (attributes sorted).
+	r := query.NewResult()
+	s := cell.NewSummary()
+	s.Observe("zeta", 1)
+	s.Observe("alpha", 2)
+	r.Add(cell.Key{Geohash: "9q8y", Time: day}, s)
+	b1 := EncodeResult(r)
+	b2 := EncodeResult(r)
+	if string(b1) != string(b2) {
+		t.Error("encoding not deterministic")
+	}
+}
+
+func TestKeysRoundTrip(t *testing.T) {
+	keys := []cell.Key{
+		cell.MustKey("9q8y", "2015-02-02", temporal.Day),
+		cell.MustKey("u4pr", "2015-02", temporal.Month),
+		cell.MustKey("d", "2015", temporal.Year),
+		cell.MustKey("9q8y7z", "2015-02-02T10", temporal.Hour),
+	}
+	b := EncodeKeys(keys)
+	if len(b) != KeysSize(keys) {
+		t.Fatalf("KeysSize=%d, encoded=%d", KeysSize(keys), len(b))
+	}
+	got, err := DecodeKeys(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("decoded %d keys", len(got))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d: %v != %v", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x00},
+		{magic},
+		{magic, 99},            // bad version
+		{magic, version, 0xFF}, // truncated count
+		{0x42, version, 0x00},  // bad magic
+		append(EncodeResult(sampleResult(3, 2)), 0xAA), // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := DecodeResult(b); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+		if _, err := DecodeKeys(b); err == nil {
+			t.Errorf("case %d: corrupt key list accepted", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncations(t *testing.T) {
+	full := EncodeResult(sampleResult(10, 3))
+	for cut := 1; cut < len(full); cut += 7 {
+		if _, err := DecodeResult(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidKey(t *testing.T) {
+	// Hand-craft a payload with an invalid geohash character.
+	b := []byte{magic, version, 1}
+	b = append(b, 4)
+	b = append(b, "9qa8"...) // 'a' is not base32
+	b = append(b, byte(temporal.Day))
+	b = append(b, 10)
+	b = append(b, "2015-02-02"...)
+	b = append(b, 0) // zero attributes
+	if _, err := DecodeResult(b); err == nil {
+		t.Error("invalid geohash accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := sampleResult(int(n%64), seed)
+		got, err := DecodeResult(EncodeResult(r))
+		if err != nil || got.Len() != r.Len() {
+			return false
+		}
+		return got.TotalCount("temperature") == r.TotalCount("temperature")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatEdgeCases(t *testing.T) {
+	r := query.NewResult()
+	s := cell.NewSummary()
+	s.Stats["x"] = cell.Stat{Count: 1, Sum: math.Inf(1), Min: -math.MaxFloat64, Max: math.MaxFloat64}
+	r.Add(cell.Key{Geohash: "9q8y", Time: day}, s)
+	got, err := DecodeResult(EncodeResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := got.Cells[cell.Key{Geohash: "9q8y", Time: day}].Stats["x"]
+	if !math.IsInf(st.Sum, 1) || st.Min != -math.MaxFloat64 {
+		t.Errorf("float extremes mangled: %+v", st)
+	}
+}
+
+func BenchmarkEncodeResult(b *testing.B) {
+	r := sampleResult(500, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeResult(r)
+	}
+}
+
+func BenchmarkDecodeResult(b *testing.B) {
+	buf := EncodeResult(sampleResult(500, 1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeResult(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

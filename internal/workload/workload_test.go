@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stash/internal/geohash"
+	"stash/internal/temporal"
+)
+
+func TestSizeClassExtents(t *testing.T) {
+	cases := map[SizeClass][2]float64{
+		Country: {16, 32},
+		State:   {4, 8},
+		County:  {0.6, 1.2},
+		City:    {0.2, 0.5},
+	}
+	for s, want := range cases {
+		dLat, dLon := s.Extent()
+		if dLat != want[0] || dLon != want[1] {
+			t.Errorf("%v extent = (%v,%v), want %v", s, dLat, dLon, want)
+		}
+	}
+	if dLat, dLon := SizeClass(99).Extent(); dLat != 0 || dLon != 0 {
+		t.Error("unknown size class should have zero extent")
+	}
+	if Country.String() != "country" || City.String() != "city" {
+		t.Error("size names wrong")
+	}
+	if SizeClass(99).String() == "" {
+		t.Error("unknown size class should still format")
+	}
+	if len(Sizes()) != 4 {
+		t.Error("Sizes() should list 4 classes")
+	}
+}
+
+func TestRandomRectInRegionWithExactExtent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range Sizes() {
+		for i := 0; i < 50; i++ {
+			b := RandomRect(rng, s)
+			dLat, dLon := s.Extent()
+			if math.Abs(b.Height()-dLat) > 1e-9 || math.Abs(b.Width()-dLon) > 1e-9 {
+				t.Fatalf("%v rect extent (%v,%v)", s, b.Height(), b.Width())
+			}
+			if !Region.ContainsBox(b) {
+				t.Fatalf("%v rect %v escapes region %v", s, b, Region)
+			}
+		}
+	}
+}
+
+func TestRandomQueryValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range Sizes() {
+		q := RandomQuery(rng, s)
+		if err := q.Validate(); err != nil {
+			t.Errorf("%v query invalid: %v", s, err)
+		}
+		if q.SpatialRes != DefaultSpatialRes || q.TemporalRes != temporal.Day {
+			t.Errorf("%v query resolutions wrong", s)
+		}
+	}
+}
+
+func TestRandomQueryDeterministicPerSeed(t *testing.T) {
+	q1 := RandomQuery(rand.New(rand.NewSource(7)), State)
+	q2 := RandomQuery(rand.New(rand.NewSource(7)), State)
+	if q1.Box != q2.Box {
+		t.Error("same seed produced different queries")
+	}
+}
+
+func TestPanningSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	start := RandomQuery(rng, State)
+	qs := PanningSession(start, 5, 0.1, rng)
+	if len(qs) != 6 {
+		t.Fatalf("session length = %d, want 6", len(qs))
+	}
+	if qs[0].Box != start.Box || qs[0].SpatialRes != start.SpatialRes {
+		t.Error("session must start with the start query")
+	}
+	for i := 1; i < len(qs); i++ {
+		inter, ok := qs[i-1].Box.Intersection(qs[i].Box)
+		if !ok {
+			t.Fatalf("step %d does not overlap previous", i)
+		}
+		frac := inter.Area() / qs[i].Box.Area()
+		if frac < 0.8 {
+			t.Errorf("step %d overlap fraction %v too small for 10%% pan", i, frac)
+		}
+	}
+}
+
+func TestPanningStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	start := RandomQuery(rng, State)
+	qs := PanningStar(start, 0.25)
+	if len(qs) != 9 {
+		t.Fatalf("star length = %d, want 9", len(qs))
+	}
+	seen := map[geohash.Box]bool{}
+	for _, q := range qs {
+		if seen[q.Box] {
+			t.Error("duplicate box in panning star")
+		}
+		seen[q.Box] = true
+	}
+}
+
+func TestDicingSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	start := RandomQuery(rng, Country)
+	desc := DicingDescending(start, 5, 0.2)
+	if len(desc) != 5 {
+		t.Fatalf("descending length = %d", len(desc))
+	}
+	for i := 1; i < len(desc); i++ {
+		if !desc[i-1].Box.ContainsBox(desc[i].Box) {
+			t.Errorf("descending step %d not nested", i)
+		}
+		ratio := desc[i].Box.Area() / desc[i-1].Box.Area()
+		if math.Abs(ratio-0.8) > 1e-9 {
+			t.Errorf("descending step %d area ratio %v, want 0.8", i, ratio)
+		}
+	}
+	// Final query area ~ (5.2, 10.4)-ish relative shrink per the paper:
+	// 0.8^4 of the original.
+	finalRatio := desc[4].Box.Area() / desc[0].Box.Area()
+	if math.Abs(finalRatio-math.Pow(0.8, 4)) > 1e-9 {
+		t.Errorf("final area ratio = %v", finalRatio)
+	}
+
+	asc := DicingAscending(start, 5, 0.2)
+	if len(asc) != 5 {
+		t.Fatalf("ascending length = %d", len(asc))
+	}
+	for i := range asc {
+		if asc[i].Box != desc[len(desc)-1-i].Box {
+			t.Fatal("ascending is not the exact reverse of descending")
+		}
+	}
+}
+
+func TestZoomSessions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := RandomQuery(rng, State)
+	down := DrillDownSession(base, 2, 6)
+	if len(down) != 5 {
+		t.Fatalf("drill-down length = %d, want 5 (res 2..6)", len(down))
+	}
+	for i, q := range down {
+		if q.SpatialRes != 2+i {
+			t.Errorf("drill-down step %d res = %d", i, q.SpatialRes)
+		}
+		if q.Box != base.Box {
+			t.Error("drill-down changed extent")
+		}
+	}
+	up := RollUpSession(base, 2, 6)
+	if len(up) != 5 || up[0].SpatialRes != 6 || up[4].SpatialRes != 2 {
+		t.Errorf("roll-up sequence wrong: %v", up)
+	}
+	// Swapped bounds are normalized.
+	if got := DrillDownSession(base, 6, 2); len(got) != 5 || got[0].SpatialRes != 2 {
+		t.Error("swapped bounds not normalized")
+	}
+}
+
+func TestThroughputWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	qs := ThroughputWorkload(rng, County, 10, 9, 0.1)
+	if len(qs) != 100 {
+		t.Fatalf("workload size = %d, want 10*(9+1)", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid workload query: %v", err)
+		}
+	}
+}
+
+func TestHotspotWorkloadConcentrated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	qs := HotspotWorkload(rng, County, 100, 0.1)
+	if len(qs) != 100 {
+		t.Fatalf("hotspot size = %d", len(qs))
+	}
+	// All queries must stay near the start: centers within ~1 extent.
+	cLat0, cLon0 := qs[0].Box.Center()
+	dLat, dLon := County.Extent()
+	for i, q := range qs {
+		cLat, cLon := q.Box.Center()
+		if math.Abs(cLat-cLat0) > 2*dLat || math.Abs(cLon-cLon0) > 2*dLon {
+			t.Fatalf("query %d drifted from hotspot: (%v,%v) vs (%v,%v)", i, cLat, cLon, cLat0, cLon0)
+		}
+	}
+}
+
+func TestZipfRegionsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	draws := ZipfRegions(rng, 100, 10000, 1.3)
+	if len(draws) != 10000 {
+		t.Fatalf("draws = %d", len(draws))
+	}
+	counts := map[int]int{}
+	for _, d := range draws {
+		if d < 0 || d >= 100 {
+			t.Fatalf("draw %d out of range", d)
+		}
+		counts[d]++
+	}
+	if counts[0] <= counts[50] {
+		t.Error("Zipf draw not skewed toward low indices")
+	}
+	if ZipfRegions(rng, 0, 10, 1.3) != nil || ZipfRegions(rng, 10, 0, 1.3) != nil {
+		t.Error("degenerate inputs should yield nil")
+	}
+	// Skew <= 1 is clamped, not a panic.
+	if got := ZipfRegions(rng, 10, 5, 0.5); len(got) != 5 {
+		t.Error("clamped skew failed")
+	}
+}
