@@ -5,17 +5,24 @@
 //
 // Endpoints:
 //
-//	POST /query    evaluate an aggregation query (JSON body, see QueryRequest)
+//	POST /query    evaluate an aggregation query (JSON body, see QueryRequest).
+//	               ?timeout=250ms bounds the whole query; a degraded partial
+//	               answer returns 206 with a coverage block, a query that
+//	               produced nothing at all before its deadline returns 504.
 //	GET  /stats    cluster counters (cache hits, disk reads, handoffs, ...)
 //	GET  /healthz  liveness
+//	POST /faults   inject or heal a node fault (requires -faults; see FaultRequest)
+//	GET  /faults   list currently faulted nodes
 //
 // Usage:
 //
-//	stashd -addr :8080 -nodes 16 -points 512
+//	stashd -addr :8080 -nodes 16 -points 512 -resilient -faults
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,12 +35,16 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		nodes  = flag.Int("nodes", 16, "simulated cluster size")
-		seed   = flag.Uint64("seed", 42, "synthetic dataset seed")
-		points = flag.Int("points", 512, "observations per storage block")
-		repl   = flag.Bool("replication", true, "enable hotspot clique replication")
-		hists  = flag.Bool("histograms", false, "maintain per-attribute histograms in result cells")
+		addr      = flag.String("addr", ":8080", "listen address")
+		nodes     = flag.Int("nodes", 16, "simulated cluster size")
+		seed      = flag.Uint64("seed", 42, "synthetic dataset seed")
+		points    = flag.Int("points", 512, "observations per storage block")
+		repl      = flag.Bool("replication", true, "enable hotspot clique replication")
+		hists     = flag.Bool("histograms", false, "maintain per-attribute histograms in result cells")
+		resilient = flag.Bool("resilient", true, "enable the resilient coordinator (deadlines, retries, failover, partial results)")
+		timeout   = flag.Duration("timeout", 0, "default per-query deadline (0 = none; ?timeout= overrides per request)")
+		faults    = flag.Bool("faults", false, "enable the /faults chaos endpoint")
+		faultseed = flag.Int64("faultseed", 1, "seed for randomized fault decisions (reply-drop sequences)")
 	)
 	flag.Parse()
 
@@ -46,6 +57,14 @@ func main() {
 	if *repl {
 		cfg.Replication = stash.DefaultReplicationConfig()
 	}
+	if *resilient {
+		cfg.Resilience = stash.DefaultResilienceConfig()
+	}
+	var fp *stash.FaultPlan
+	if *faults {
+		fp = stash.NewFaultPlan(*faultseed)
+		cfg.Faults = fp
+	}
 	sys, err := stash.NewCluster(cfg)
 	if err != nil {
 		log.Fatalf("stashd: %v", err)
@@ -53,10 +72,12 @@ func main() {
 	sys.Start()
 	defer sys.Stop()
 
-	srv := &server{sys: sys}
+	srv := &server{sys: sys, faults: fp, defaultTimeout: *timeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", srv.handleQuery)
 	mux.HandleFunc("GET /stats", srv.handleStats)
+	mux.HandleFunc("POST /faults", srv.handleFaultsPost)
+	mux.HandleFunc("GET /faults", srv.handleFaultsGet)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -67,7 +88,9 @@ func main() {
 }
 
 type server struct {
-	sys *stash.Cluster
+	sys            *stash.Cluster
+	faults         *stash.FaultPlan
+	defaultTimeout time.Duration
 }
 
 // QueryRequest is the JSON body of POST /query.
@@ -112,10 +135,26 @@ type HistogramBlock struct {
 	Buckets []int64 `json:"buckets"`
 }
 
-// QueryResponse is the body of a successful POST /query.
+// CoverageBlock reports how much of the query's footprint a degraded answer
+// actually covers (see query.Coverage). It is present in the response only
+// when the coordinator tracked coverage, i.e. the resilient path ran.
+type CoverageBlock struct {
+	Complete   bool              `json:"complete"`
+	Requested  int               `json:"requested"`
+	Covered    int               `json:"covered"`
+	Degraded   int               `json:"degraded"`
+	Missing    int               `json:"missing"`
+	Recovered  int               `json:"recovered"`
+	ShareRatio float64           `json:"shareRatio"`
+	NodeErrors map[string]string `json:"nodeErrors,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /query. A 206 response
+// carries a Coverage block describing the degradation.
 type QueryResponse struct {
 	Cells     []CellResponse `json:"cells"`
 	LatencyMS float64        `json:"latencyMs"`
+	Coverage  *CoverageBlock `json:"coverage,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -129,22 +168,57 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+
+	deadline := s.defaultTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad timeout "+raw, http.StatusBadRequest)
+			return
+		}
+		deadline = d
+	}
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
 	begin := time.Now()
-	res, err := s.sys.Client().Query(q)
+	res, err := s.sys.Client().QueryContext(ctx, q)
 	if err != nil {
-		http.Error(w, "query failed: "+err.Error(), http.StatusInternalServerError)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded),
+			errors.Is(err, stash.ErrNoCoverage),
+			errors.Is(err, stash.ErrUnavailable):
+			// The deadline elapsed (or every owner failed) before any part of
+			// the answer materialised: the paper's "no answer in time" case.
+			http.Error(w, "query timed out: "+err.Error(), http.StatusGatewayTimeout)
+		default:
+			http.Error(w, "query failed: "+err.Error(), http.StatusInternalServerError)
+		}
 		return
+	}
+
+	status := http.StatusOK
+	if !res.Coverage.Complete() {
+		// Partial answer under degradation: signal it in the status code so
+		// dashboards can badge the panel, but still deliver the cells.
+		status = http.StatusPartialContent
 	}
 
 	switch format := r.URL.Query().Get("format"); format {
 	case "geojson":
 		w.Header().Set("Content-Type", "application/geo+json")
+		w.WriteHeader(status)
 		if err := stash.WriteGeoJSON(w, res); err != nil {
 			log.Printf("stashd: geojson export: %v", err)
 		}
 		return
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv")
+		w.WriteHeader(status)
 		if err := stash.WriteCSV(w, res); err != nil {
 			log.Printf("stashd: csv export: %v", err)
 		}
@@ -157,6 +231,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := QueryResponse{LatencyMS: float64(time.Since(begin).Microseconds()) / 1000}
+	if cov := res.Coverage; cov.Requested > 0 {
+		resp.Coverage = &CoverageBlock{
+			Complete:   cov.Complete(),
+			Requested:  cov.Requested,
+			Covered:    cov.Covered,
+			Degraded:   cov.Degraded,
+			Missing:    cov.Missing(),
+			Recovered:  cov.Recovered,
+			ShareRatio: cov.Ratio(),
+			NodeErrors: cov.NodeErrors,
+		}
+	}
 	for key, sum := range res.Cells {
 		box, err := stash.DecodeGeohash(key.Geohash)
 		if err != nil {
@@ -186,11 +272,62 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Cells = append(resp.Cells, cr)
 	}
-	writeJSON(w, resp)
+	writeJSONStatus(w, status, resp)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.sys.TotalStats())
+}
+
+// FaultRequest is the JSON body of POST /faults. Heal=true clears the node's
+// faults; otherwise Kind selects what to inject ("crash", "pause", "drop",
+// "reject", "error"), with Pause in milliseconds for pause faults and
+// DropProb in [0,1] for drop faults.
+type FaultRequest struct {
+	Node     int     `json:"node"`
+	Kind     string  `json:"kind"`
+	Heal     bool    `json:"heal"`
+	PauseMS  int     `json:"pauseMs"`
+	DropProb float64 `json:"dropProb"`
+}
+
+// FaultsResponse lists the currently faulted node ids.
+type FaultsResponse struct {
+	Faulted []int `json:"faulted"`
+}
+
+func (s *server) handleFaultsPost(w http.ResponseWriter, r *http.Request) {
+	if s.faults == nil {
+		http.Error(w, "fault injection disabled (start with -faults)", http.StatusConflict)
+		return
+	}
+	var req FaultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ev := stash.ScheduledFault{Node: req.Node, Heal: req.Heal}
+	if !req.Heal {
+		kind, err := stash.ParseFaultKind(req.Kind)
+		if err != nil {
+			http.Error(w, "bad fault: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		ev.Kind = kind
+		ev.Pause = time.Duration(req.PauseMS) * time.Millisecond
+		ev.DropProb = req.DropProb
+	}
+	s.faults.Apply(ev)
+	log.Printf("stashd: fault event %s", ev)
+	writeJSON(w, FaultsResponse{Faulted: s.faults.Faulted()})
+}
+
+func (s *server) handleFaultsGet(w http.ResponseWriter, _ *http.Request) {
+	if s.faults == nil {
+		http.Error(w, "fault injection disabled (start with -faults)", http.StatusConflict)
+		return
+	}
+	writeJSON(w, FaultsResponse{Faulted: s.faults.Faulted()})
 }
 
 func buildQuery(req QueryRequest) (stash.Query, error) {
@@ -229,7 +366,12 @@ func buildQuery(req QueryRequest) (stash.Query, error) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("stashd: encode response: %v", err)
 	}

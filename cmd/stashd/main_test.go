@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"stash"
 )
@@ -204,5 +205,204 @@ func TestHandleQueryHistograms(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no histogram in any cell despite -histograms")
+	}
+}
+
+// faultyServer builds a resilient 8-node server with a live fault plan, the
+// configuration the -resilient -faults flags produce (with test-friendly
+// deadlines).
+func faultyServer(t *testing.T) *server {
+	t.Helper()
+	cfg := stash.DefaultConfig()
+	cfg.Nodes = 8
+	cfg.PointsPerBlock = 32
+	fp := stash.NewFaultPlan(1)
+	cfg.Faults = fp
+	rc := stash.DefaultResilienceConfig()
+	rc.RequestTimeout = 25 * time.Millisecond
+	rc.Retries = 1
+	rc.RetryBackoff = time.Millisecond
+	rc.HelperReroute = false
+	rc.ScatterFallback = false
+	cfg.Resilience = rc
+	sys, err := stash.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+	return &server{sys: sys, faults: fp}
+}
+
+// regionBody is a country-size query whose footprint spans several owners.
+func regionBody() string {
+	return `{
+		"minLat": 30, "maxLat": 40, "minLon": -100, "maxLon": -90,
+		"start": "2015-02-02T00:00:00Z", "end": "2015-02-03T00:00:00Z",
+		"spatialRes": 3, "temporalRes": "Day"
+	}`
+}
+
+func TestHandleQueryBadTimeout(t *testing.T) {
+	srv := testServer(t)
+	for _, raw := range []string{"banana", "-5ms", "0s"} {
+		req := httptest.NewRequest(http.MethodPost, "/query?timeout="+raw, strings.NewReader(validBody()))
+		rec := httptest.NewRecorder()
+		srv.handleQuery(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("timeout %q: status %d, want 400", raw, rec.Code)
+		}
+	}
+}
+
+func TestHandleQueryPartialCoverage(t *testing.T) {
+	srv := faultyServer(t)
+
+	// Pick a node that owns part of the footprint and crash it.
+	var qr QueryRequest
+	if err := json.Unmarshal([]byte(regionBody()), &qr); err != nil {
+		t.Fatal(err)
+	}
+	q, err := buildQuery(qr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := q.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := srv.sys.Client().GroupByOwner(keys)
+	if len(owners) < 2 {
+		t.Skipf("footprint landed on %d owner(s); need 2+ for a partial answer", len(owners))
+	}
+	var victim stash.NodeID
+	for id := range owners {
+		victim = id
+		break
+	}
+	srv.faults.Crash(int(victim))
+
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(regionBody()))
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, req)
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("crashed owner: status %d, want 206: %s", rec.Code, rec.Body.String())
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	cov := resp.Coverage
+	if cov == nil {
+		t.Fatal("206 response without coverage block")
+	}
+	if cov.Complete {
+		t.Fatalf("206 response claims complete coverage: %+v", cov)
+	}
+	if cov.Requested != len(keys) {
+		t.Errorf("coverage requested %d, want footprint size %d", cov.Requested, len(keys))
+	}
+	if cov.Missing+cov.Degraded == 0 {
+		t.Errorf("no missing/degraded shares in partial coverage: %+v", cov)
+	}
+	if cov.ShareRatio <= 0 || cov.ShareRatio >= 1 {
+		t.Errorf("share ratio %v outside (0,1)", cov.ShareRatio)
+	}
+	if len(cov.NodeErrors) == 0 {
+		t.Errorf("partial coverage names no failing node: %+v", cov)
+	}
+
+	// Heal and verify the server recovers to a complete 200 answer.
+	srv.faults.Recover(int(victim))
+	rec = httptest.NewRecorder()
+	srv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(regionBody())))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healed cluster: status %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	var healed QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &healed); err != nil {
+		t.Fatal(err)
+	}
+	if healed.Coverage != nil && !healed.Coverage.Complete {
+		t.Fatalf("healed cluster still degraded: %+v", healed.Coverage)
+	}
+	if len(healed.Cells) <= len(resp.Cells) {
+		t.Errorf("healed answer has %d cells, partial had %d; expected strictly more",
+			len(healed.Cells), len(resp.Cells))
+	}
+}
+
+func TestHandleQueryGatewayTimeout(t *testing.T) {
+	srv := faultyServer(t)
+	// An unmeetable deadline yields nothing at all before it expires: 504.
+	req := httptest.NewRequest(http.MethodPost, "/query?timeout=1ns", strings.NewReader(regionBody()))
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("1ns deadline: status %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestFaultsEndpoints(t *testing.T) {
+	srv := faultyServer(t)
+
+	post := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		srv.handleFaultsPost(rec, httptest.NewRequest(http.MethodPost, "/faults", strings.NewReader(body)))
+		return rec
+	}
+
+	// Inject a crash and read it back.
+	rec := post(`{"node": 3, "kind": "crash"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("inject crash: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var fr FaultsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Faulted) != 1 || fr.Faulted[0] != 3 {
+		t.Fatalf("faulted list %v, want [3]", fr.Faulted)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.handleFaultsGet(rec, httptest.NewRequest(http.MethodGet, "/faults", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "3") {
+		t.Fatalf("GET /faults: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Heal it.
+	rec = post(`{"node": 3, "heal": true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("heal: status %d: %s", rec.Code, rec.Body.String())
+	}
+	fr = FaultsResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Faulted) != 0 {
+		t.Fatalf("faulted list after heal: %v", fr.Faulted)
+	}
+
+	// Bad requests.
+	if rec := post(`{"node": 1, "kind": "meteor"}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d, want 400", rec.Code)
+	}
+	if rec := post(`{nope`); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", rec.Code)
+	}
+}
+
+func TestFaultsEndpointsDisabledWithoutPlan(t *testing.T) {
+	srv := testServer(t) // no -faults: srv.faults is nil
+	rec := httptest.NewRecorder()
+	srv.handleFaultsPost(rec, httptest.NewRequest(http.MethodPost, "/faults", strings.NewReader(`{"node":1,"kind":"crash"}`)))
+	if rec.Code != http.StatusConflict {
+		t.Errorf("POST /faults without plan: status %d, want 409", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.handleFaultsGet(rec, httptest.NewRequest(http.MethodGet, "/faults", nil))
+	if rec.Code != http.StatusConflict {
+		t.Errorf("GET /faults without plan: status %d, want 409", rec.Code)
 	}
 }

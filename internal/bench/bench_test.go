@@ -31,6 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8a", "fig8b", "fig8c",
 		"abl-freshness", "abl-plm", "abl-antipode",
 		"ext-frontend",
+		"ext-faults",
 	}
 	have := map[string]bool{}
 	for _, id := range Experiments() {
@@ -147,6 +148,60 @@ func TestRunAblationAntipodeSmoke(t *testing.T) {
 		t.Errorf("antipode helpers on hotspot owners (%d) exceed random (%d)", anti, rnd)
 	}
 	if !strings.Contains(buf.String(), "abl-antipode") {
+		t.Error("report not printed to Out")
+	}
+}
+
+// TestRunExtFaultsSmoke runs the fault-injection experiment end to end and
+// asserts its shape: deadlines alone turn faults into errors, the resilient
+// coordinator turns the same faults into partial answers with honest
+// coverage.
+func TestRunExtFaultsSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Nodes = 8
+	opts.Out = &buf
+	rep, err := Run("ext-faults", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 tiers", len(rep.Rows))
+	}
+	row := map[string][]string{}
+	for _, r := range rep.Rows {
+		row[r[0]] = r
+	}
+	errsOf := func(name string) int {
+		n, err := strconv.Atoi(row[name][4])
+		if err != nil {
+			t.Fatalf("tier %s: unparseable error count %q", name, row[name][4])
+		}
+		return n
+	}
+	covOf := func(name string) float64 {
+		v, err := strconv.ParseFloat(row[name][5], 64)
+		if err != nil {
+			t.Fatalf("tier %s: unparseable coverage %q", name, row[name][5])
+		}
+		return v
+	}
+	if n := errsOf("healthy"); n != 0 {
+		t.Errorf("healthy tier reported %d errors", n)
+	}
+	if c := covOf("healthy"); c != 1 {
+		t.Errorf("healthy tier coverage %v, want 1.00", c)
+	}
+	if n := errsOf("deadline-only"); n == 0 {
+		t.Error("deadline-only tier reported no errors despite 2 faulted nodes")
+	}
+	if n := errsOf("resilient"); n != 0 {
+		t.Errorf("resilient tier reported %d hard errors; partials should absorb faults", n)
+	}
+	if c := covOf("resilient"); c <= 0 || c >= 1 {
+		t.Errorf("resilient tier coverage %v, want in (0,1)", c)
+	}
+	if !strings.Contains(buf.String(), "ext-faults") {
 		t.Error("report not printed to Out")
 	}
 }

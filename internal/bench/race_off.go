@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Experiments
+// that size deadlines against the warm-path cost widen them under -race,
+// where every pointer access pays instrumentation overhead.
+const raceEnabled = false

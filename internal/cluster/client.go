@@ -1,7 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -9,11 +13,30 @@ import (
 	"stash/internal/dht"
 	"stash/internal/geohash"
 	"stash/internal/query"
+	"stash/internal/replication"
 )
+
+// maxHelperCandidates bounds how many helper nodes the failover path probes
+// for replicas of a failed owner's cliques before giving up. Probing is
+// sequential (each candidate gets a fresh deadline), so this also bounds the
+// failover latency tail.
+const maxHelperCandidates = 3
+
+// scatterBreakerLimit is the scatter-fallback circuit breaker: after this
+// many consecutive mini-request failures against one node the scatter aborts,
+// so a truly dead node costs a couple of deadlines rather than one per key.
+const scatterBreakerLimit = 2
 
 // Client is the coordinator the front-end talks to: it splits a query's
 // footprint across the owning nodes (the zero-hop DHT lookup, §IV-D), fans
 // the sub-requests out in parallel, and merges the partial results.
+//
+// When the cluster's ResilienceConfig is enabled the coordinator also runs
+// the failure-handling ladder for each owner share: bounded per-attempt
+// deadlines, retry with backoff, reroute to replication helpers holding
+// replicas of the owner's cliques (paper §VII), scatter fallback over the
+// owner's extending partitions, and finally graceful degradation to a
+// partial result with a Coverage report.
 type Client struct {
 	cluster *Cluster
 }
@@ -21,6 +44,13 @@ type Client struct {
 // Query evaluates an aggregation query against the cluster and returns the
 // merged result.
 func (cl *Client) Query(q query.Query) (query.Result, error) {
+	return cl.QueryContext(context.Background(), q)
+}
+
+// QueryContext evaluates a query under the caller's context: cancellation
+// and deadline propagate into every node sub-request, so a dead node
+// produces a timeout, never a hang.
+func (cl *Client) QueryContext(ctx context.Context, q query.Query) (query.Result, error) {
 	if err := q.Validate(); err != nil {
 		return query.Result{}, err
 	}
@@ -28,44 +58,32 @@ func (cl *Client) Query(q query.Query) (query.Result, error) {
 	if err != nil {
 		return query.Result{}, err
 	}
-	return cl.Fetch(keys)
+	return cl.FetchContext(ctx, keys)
 }
 
 // Fetch retrieves the summaries of an explicit cell-key set, grouped and
 // routed by owner.
 func (cl *Client) Fetch(keys []cell.Key) (query.Result, error) {
+	return cl.FetchContext(context.Background(), keys)
+}
+
+// FetchContext retrieves an explicit cell-key set under the caller's
+// context. With resilience disabled (the zero config) it behaves exactly
+// like the original fail-fast coordinator: any node error fails the query,
+// and the first error cancels the remaining sub-requests so no goroutine is
+// left blocked on a dead node. With resilience enabled it runs the retry /
+// failover ladder per owner share and can return a partial result whose
+// Coverage field reports what was actually served.
+func (cl *Client) FetchContext(ctx context.Context, keys []cell.Key) (query.Result, error) {
 	if cl.cluster.isStopped() {
 		return query.Result{}, ErrStopped
 	}
 	byNode := cl.groupByOwner(keys)
-
-	type part struct {
-		res query.Result
-		err error
+	rc := cl.cluster.cfg.Resilience
+	if !rc.Enabled() {
+		return cl.fetchFailFast(ctx, byNode)
 	}
-	parts := make([]part, 0, len(byNode))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for id, ks := range byNode {
-		wg.Add(1)
-		go func(id dht.NodeID, ks []cell.Key) {
-			defer wg.Done()
-			res, err := cl.cluster.nodes[id].Submit(ks)
-			mu.Lock()
-			parts = append(parts, part{res: res, err: err})
-			mu.Unlock()
-		}(id, ks)
-	}
-	wg.Wait()
-
-	merged := query.NewResult()
-	for _, p := range parts {
-		if p.err != nil {
-			return query.Result{}, p.err
-		}
-		merged.Merge(p.res)
-	}
-	return merged, nil
+	return cl.fetchResilient(ctx, byNode, rc)
 }
 
 // TimedQuery evaluates a query and reports its wall-clock latency.
@@ -73,6 +91,381 @@ func (cl *Client) TimedQuery(q query.Query) (query.Result, time.Duration, error)
 	start := time.Now()
 	res, err := cl.Query(q)
 	return res, time.Since(start), err
+}
+
+// fetchFailFast is the resilience-disabled coordinator: parallel fan-out,
+// first error wins and cancels the rest. Identical result semantics to the
+// pre-resilience coordinator on healthy clusters.
+func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cell.Key) (query.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type part struct {
+		res query.Result
+		err error
+	}
+	parts := make([]part, 0, len(byNode))
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for id, ks := range byNode {
+		wg.Add(1)
+		go func(id dht.NodeID, ks []cell.Key) {
+			defer wg.Done()
+			res, err := cl.cluster.nodes[id].Submit(ctx, ks)
+			mu.Lock()
+			parts = append(parts, part{res: res, err: err})
+			if err != nil && firstErr == nil {
+				firstErr = err
+				// Fail fast: release siblings still blocked on slow or
+				// dead nodes instead of waiting out their silence.
+				cancel()
+			}
+			mu.Unlock()
+		}(id, ks)
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return query.Result{}, firstErr
+	}
+	merged := query.NewResult()
+	for _, p := range parts {
+		merged.Merge(p.res)
+	}
+	return merged, nil
+}
+
+// shareOutcome is the result of one owner share (one node's slice of the
+// footprint) after the full failure-handling ladder has run.
+type shareOutcome struct {
+	id        dht.NodeID
+	keys      []cell.Key
+	res       query.Result
+	served    map[cell.Key]bool // share keys actually answered
+	recovered int               // share keys rescued by a failover path
+	err       error             // final error when any key stayed unserved
+}
+
+// fetchResilient runs every owner share through the retry/failover ladder
+// concurrently, then assembles the merged result and its coverage report.
+func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]cell.Key, rc ResilienceConfig) (query.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	outs := make([]*shareOutcome, 0, len(byNode))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id, ks := range byNode {
+		o := &shareOutcome{id: id, keys: ks}
+		outs = append(outs, o)
+		wg.Add(1)
+		go func(o *shareOutcome) {
+			defer wg.Done()
+			cl.fetchShare(ctx, o, rc)
+			if o.err != nil && !rc.AllowPartial {
+				// The whole query is doomed; release the other shares.
+				mu.Lock()
+				cancel()
+				mu.Unlock()
+			}
+		}(o)
+	}
+	wg.Wait()
+
+	// Deterministic assembly: sort shares by node id so merged-float order,
+	// first-error choice, and NodeErrors content are reproducible for a
+	// given fault schedule.
+	sort.Slice(outs, func(i, j int) bool { return outs[i].id < outs[j].id })
+
+	merged := query.NewResult()
+	cov := query.Coverage{NodeErrors: map[string]string{}}
+	needed := map[cell.Key]int{}
+	got := map[cell.Key]int{}
+	var firstErr error
+	for _, o := range outs {
+		merged.Merge(o.res)
+		cov.Recovered += o.recovered
+		for _, k := range o.keys {
+			needed[k]++
+			cov.SharesRequested++
+			if o.served[k] {
+				got[k]++
+				cov.SharesServed++
+			}
+		}
+		if o.err != nil {
+			cov.NodeErrors[o.id.String()] = o.err.Error()
+			if firstErr == nil {
+				firstErr = o.err
+			}
+		}
+	}
+	cov.Requested = len(needed)
+	for k, n := range needed {
+		switch g := got[k]; {
+		case g == n:
+			cov.Covered++
+		case g > 0:
+			cov.Degraded++
+		}
+	}
+	if len(cov.NodeErrors) == 0 {
+		cov.NodeErrors = nil
+	}
+	merged.Coverage = cov
+
+	switch {
+	case cov.Complete():
+		return merged, nil
+	case !rc.AllowPartial:
+		return query.Result{}, firstErr
+	case cov.SharesServed == 0:
+		return merged, fmt.Errorf("%w: %v", ErrNoCoverage, firstErr)
+	default:
+		// Graceful degradation: partial result, nil error; the Coverage
+		// report is the caller's signal that cells are missing or
+		// under-counted.
+		return merged, nil
+	}
+}
+
+// fetchShare runs one owner share through the failure-handling ladder:
+//
+//  1. direct submit with a per-attempt deadline, retried with doubling
+//     backoff while the failure stays retryable;
+//  2. helper reroute: serve the whole share from a replication helper's
+//     guest graph (replicas of the failed owner's hottest cliques live on
+//     nodes picked around the antipode, paper §VII-B3);
+//  3. scatter fallback: break the share into per-key (and per-partition)
+//     mini-requests, each with a fresh deadline — small requests survive a
+//     slow node that a big bundle cannot.
+//
+// On return o.served marks the answered keys, o.err the final failure if
+// any key stayed unserved.
+func (cl *Client) fetchShare(ctx context.Context, o *shareOutcome, rc ResilienceConfig) {
+	o.served = make(map[cell.Key]bool, len(o.keys))
+	node := cl.cluster.nodes[o.id]
+
+	var lastErr error
+	backoff := rc.RetryBackoff
+	for attempt := 0; attempt <= rc.Retries; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				o.err = lastErr
+				return
+			}
+			backoff *= 2
+		}
+		res, err := cl.submitOnce(ctx, node, o.keys, rc)
+		if err == nil {
+			o.res = res
+			for _, k := range o.keys {
+				o.served[k] = true
+			}
+			return
+		}
+		lastErr = err
+		if !Retryable(err) || ctx.Err() != nil {
+			o.err = err
+			return
+		}
+	}
+
+	if rc.HelperReroute {
+		if res, ok := cl.fetchFromHelpers(ctx, node, o.keys, rc); ok {
+			o.res = res
+			for _, k := range o.keys {
+				o.served[k] = true
+			}
+			o.recovered = len(o.keys)
+			return
+		}
+	}
+
+	if rc.ScatterFallback {
+		res, served := cl.scatterFetch(ctx, node, o.keys, rc)
+		if len(served) > 0 {
+			o.res = res
+			for _, k := range served {
+				o.served[k] = true
+			}
+			o.recovered = len(served)
+			if len(served) == len(o.keys) {
+				return
+			}
+		}
+	}
+	o.err = lastErr
+}
+
+// submitOnce performs a single direct sub-request against a node, bounded by
+// the per-attempt deadline when one is configured.
+func (cl *Client) submitOnce(ctx context.Context, n *Node, keys []cell.Key, rc ResilienceConfig) (query.Result, error) {
+	if rc.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.RequestTimeout)
+		defer cancel()
+	}
+	return n.Submit(ctx, keys)
+}
+
+// fetchFromHelpers tries to serve the whole share from replicas on helper
+// nodes: first the helpers the failed owner recorded routes to, then the
+// deterministic antipode candidates any client can derive from the share's
+// geography (paper §VII-B3) — those survive even when the owner's routing
+// table is unreachable with it. A helper counts only if its guest graph
+// covers every key (§VII-C: reroute only on full coverage), since a partial
+// guest answer cannot be told apart from genuinely empty cells.
+func (cl *Client) fetchFromHelpers(ctx context.Context, failed *Node, keys []cell.Key, rc ResilienceConfig) (query.Result, bool) {
+	repl := cl.cluster.cfg.Replication
+	if !repl.Enabled() || len(keys) == 0 {
+		return query.Result{}, false
+	}
+	seen := map[dht.NodeID]bool{failed.id: true}
+	var cands []dht.NodeID
+	for _, h := range failed.Routing().Helpers() {
+		if !seen[h] {
+			seen[h] = true
+			cands = append(cands, h)
+		}
+	}
+	rng := rand.New(rand.NewSource(seedFromGeohash(keys[0].Geohash)))
+	for _, h := range replication.CandidateHelpers(keys[0].Geohash, cl.cluster.ring, failed.id, repl, rng) {
+		if !seen[h] {
+			seen[h] = true
+			cands = append(cands, h)
+		}
+	}
+	if len(cands) > maxHelperCandidates {
+		cands = cands[:maxHelperCandidates]
+	}
+	for _, id := range cands {
+		helper := cl.cluster.nodes[id]
+		if helper == nil {
+			continue
+		}
+		res, missing, err := cl.fetchGuestOnce(ctx, helper, keys, rc)
+		if err == nil && len(missing) == 0 {
+			return res, true
+		}
+		if ctx.Err() != nil {
+			return query.Result{}, false
+		}
+	}
+	return query.Result{}, false
+}
+
+// fetchGuestOnce asks one helper's guest graph for the keys, bounded by the
+// per-attempt deadline.
+func (cl *Client) fetchGuestOnce(ctx context.Context, n *Node, keys []cell.Key, rc ResilienceConfig) (query.Result, []cell.Key, error) {
+	if rc.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.RequestTimeout)
+		defer cancel()
+	}
+	return n.FetchGuest(ctx, keys)
+}
+
+// scatterFetch breaks a failed share into mini-requests against the same
+// owner, each with a fresh per-attempt deadline. Fine keys go one at a
+// time; a coarse key (shorter than the partition prefix) is decomposed into
+// the owner's extending-partition keys, whose summaries fold back into the
+// requested key — associative merging makes the folded partial exactly the
+// one the bundled request would have produced. A circuit breaker aborts
+// after scatterBreakerLimit consecutive failures so a dead node costs a
+// couple of deadlines, not one per key.
+func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc ResilienceConfig) (query.Result, []cell.Key) {
+	res := query.NewResult()
+	var served []cell.Key
+	fails := 0
+	plen := cl.cluster.ring.PrefixLen()
+	for _, k := range keys {
+		if fails >= scatterBreakerLimit || ctx.Err() != nil {
+			break
+		}
+		if len(k.Geohash) >= plen {
+			r, err := cl.submitOnce(ctx, n, []cell.Key{k}, rc)
+			if err != nil {
+				fails++
+				continue
+			}
+			fails = 0
+			res.Merge(r)
+			served = append(served, k)
+			continue
+		}
+		// Coarse key: fetch the owner's partitions one at a time into a
+		// staging result; fold into the answer only if every partition
+		// arrived, so a half-served coarse key never masquerades as a
+		// complete partial.
+		part := query.NewResult()
+		ok := true
+		for _, p := range cl.partitionPrefixes(k.Geohash, n.id) {
+			if fails >= scatterBreakerLimit || ctx.Err() != nil {
+				ok = false
+				break
+			}
+			pk := cell.Key{Geohash: p, Time: k.Time}
+			r, err := cl.submitOnce(ctx, n, []cell.Key{pk}, rc)
+			if err != nil {
+				fails++
+				ok = false
+				continue
+			}
+			fails = 0
+			if sum, found := r.Cells[pk]; found {
+				part.Add(k, sum)
+			}
+		}
+		if ok {
+			res.Merge(part)
+			served = append(served, k)
+		}
+	}
+	return res, served
+}
+
+// partitionPrefixes enumerates the partition-prefix geohashes extending a
+// coarse geohash that the given node owns.
+func (cl *Client) partitionPrefixes(gh string, id dht.NodeID) []string {
+	ring := cl.cluster.ring
+	plen := ring.PrefixLen()
+	prefixes := []string{gh}
+	for len(prefixes) > 0 && len(prefixes[0]) < plen {
+		var next []string
+		for _, p := range prefixes {
+			next = append(next, geohash.Children(p)...)
+		}
+		prefixes = next
+	}
+	var out []string
+	for _, p := range prefixes {
+		if ring.OwnerOfPartition(p) == id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sleepCtx waits d, aborting early when the context ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// seedFromGeohash derives a deterministic RNG seed from a geohash so every
+// client walks the same helper-candidate sequence for the same share.
+func seedFromGeohash(gh string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(gh))
+	return int64(h.Sum64())
 }
 
 // GroupByOwner exposes the coordinator's owner assignment: every key mapped

@@ -11,9 +11,11 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"stash/internal/dht"
 	"stash/internal/namgen"
@@ -51,6 +53,15 @@ type Config struct {
 	// Model and Sleeper inject simulated I/O costs.
 	Model   simnet.Model
 	Sleeper simnet.Sleeper
+	// Faults optionally injects per-node failures (crash, pause, reply
+	// drop, admission rejection, permanent error). Nil means every node is
+	// always healthy; the hot path pays a single nil check.
+	Faults *simnet.FaultPlan
+	// Resilience tunes the coordinator's failure handling. The zero value
+	// preserves fail-fast semantics: no per-request deadline, no retries,
+	// and any node failure fails the whole query (the pre-fault-injection
+	// behaviour, and the right mode for cost-model experiments).
+	Resilience ResilienceConfig
 	// QueueSize bounds each node's pending-request queue.
 	QueueSize int
 	// Workers is the number of request-serving goroutines per node
@@ -78,6 +89,85 @@ func DefaultConfig() Config {
 
 // ErrStopped reports a request submitted to a stopped cluster.
 var ErrStopped = errors.New("cluster: stopped")
+
+// ErrRejected reports a node bouncing a request at admission (queue full).
+// Rejections are fast and retryable.
+var ErrRejected = errors.New("cluster: request rejected (queue full)")
+
+// ErrUnavailable reports a node that accepted a request but never answered
+// within the caller's patience (crashed or reply lost). Retryable.
+var ErrUnavailable = errors.New("cluster: node unavailable")
+
+// ErrFaulted reports a node answering with a permanent internal error (an
+// injected storage fault). NOT retryable: the coordinator propagates it.
+var ErrFaulted = errors.New("cluster: node storage fault")
+
+// ErrNoCoverage reports a degraded query none of whose footprint could be
+// served: every owner share failed and no failover path recovered anything.
+var ErrNoCoverage = errors.New("cluster: no coverage (all owners failed)")
+
+// Retryable classifies an error from a node sub-request: true for transient
+// failures a retry or failover may fix (timeouts, rejections, unavailable
+// nodes), false for permanent ones (stopped cluster, storage faults,
+// cancellation by the caller).
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrStopped), errors.Is(err, ErrFaulted), errors.Is(err, context.Canceled):
+		return false
+	case errors.Is(err, ErrRejected), errors.Is(err, ErrUnavailable), errors.Is(err, context.DeadlineExceeded):
+		return true
+	}
+	return false
+}
+
+// ResilienceConfig tunes how the coordinator handles node failures. All
+// fields zero disables the machinery entirely (fail-fast, no deadlines —
+// the behaviour the cost-model experiments calibrate against).
+type ResilienceConfig struct {
+	// RequestTimeout bounds each sub-request attempt to one node. Zero
+	// means no per-attempt deadline (the caller's context still applies).
+	RequestTimeout time.Duration
+	// Retries is the number of additional attempts against the owner after
+	// the first fails with a retryable error.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; it doubles on
+	// each subsequent attempt.
+	RetryBackoff time.Duration
+	// AllowPartial makes the coordinator return a partial result (with a
+	// filled-in Coverage report) when some owners stay unreachable, rather
+	// than failing the whole query. Callers render what arrived.
+	AllowPartial bool
+	// HelperReroute lets the coordinator re-route a failed owner's share to
+	// the replication helpers holding replicas of its cliques (the antipode
+	// routing table, paper §VII), serving from guest graphs.
+	HelperReroute bool
+	// ScatterFallback lets the coordinator break a failed share into
+	// per-key (and, for coarse keys, per-extending-partition) scatter
+	// requests, each with a fresh deadline — small requests survive a slow
+	// node that a big bundle cannot.
+	ScatterFallback bool
+}
+
+// DefaultResilienceConfig returns production-shaped failure handling:
+// bounded deadlines, one retry with backoff, helper reroute, scatter
+// fallback, and graceful degradation to partial results.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		RequestTimeout:  150 * time.Millisecond,
+		Retries:         1,
+		RetryBackoff:    5 * time.Millisecond,
+		AllowPartial:    true,
+		HelperReroute:   true,
+		ScatterFallback: true,
+	}
+}
+
+// Enabled reports whether any failure handling is configured.
+func (r ResilienceConfig) Enabled() bool {
+	return r.RequestTimeout > 0 || r.Retries > 0 || r.AllowPartial || r.HelperReroute || r.ScatterFallback
+}
 
 // Cluster is the running system: ring, nodes, and shared cost plumbing.
 type Cluster struct {
@@ -123,6 +213,14 @@ func New(cfg Config) (*Cluster, error) {
 
 // Ring returns the cluster's partition map.
 func (c *Cluster) Ring() *dht.Ring { return c.ring }
+
+// Faults returns the cluster's fault plan (nil when fault injection is
+// disabled). Callers may flip faults at runtime; the transport observes them
+// on the next request.
+func (c *Cluster) Faults() *simnet.FaultPlan { return c.cfg.Faults }
+
+// Resilience returns the coordinator failure-handling configuration.
+func (c *Cluster) Resilience() ResilienceConfig { return c.cfg.Resilience }
 
 // Node returns one cluster member.
 func (c *Cluster) Node(id dht.NodeID) *Node { return c.nodes[id] }

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -209,51 +211,103 @@ func (n *Node) start(workers int) {
 
 func (n *Node) stop() {
 	close(n.done)
-	n.popWG.Wait()
+	// Workers first: a worker mid-handle may still spawn background
+	// population work (popWG.Add), so the population WaitGroup can only be
+	// waited on once no worker can add to it. The reverse order races
+	// popWG.Add against popWG.Wait — a documented WaitGroup misuse the
+	// chaos suite exercises under -race.
 	n.wg.Wait()
+	n.popWG.Wait()
 }
 
-// Submit evaluates a cell fetch on this node on behalf of a client. When the
-// node has active replicas covering the request, the call is
-// probabilistically redirected to the helper (paper §VII-C); any cells the
-// helper no longer holds fall back to the local path.
-func (n *Node) Submit(keys []cell.Key) (query.Result, error) {
+// Submit evaluates a cell fetch on this node on behalf of a client, honoring
+// the context's deadline and cancellation. When the node has active replicas
+// covering the request, the call is probabilistically redirected to the
+// helper (paper §VII-C); a helper failure or missing cells fall back to the
+// local path rather than failing a request the owner can serve itself.
+func (n *Node) Submit(ctx context.Context, keys []cell.Key) (query.Result, error) {
 	cfg := n.cluster.cfg.Replication
-	if cfg.Enabled() && n.routing.Len() > 0 {
+	// A crashed node cannot run its redirect logic: the request vanishes at
+	// the transport (enqueue below), exactly like the direct path.
+	crashed := false
+	if fp := n.cluster.cfg.Faults; fp != nil && fp.Crashed(int(n.id)) {
+		crashed = true
+	}
+	if !crashed && cfg.Enabled() && n.routing.Len() > 0 {
 		if helper, ok := n.routing.Lookup(keys); ok && n.flip(cfg.RerouteProbability) {
 			n.rerouted.Add(1)
-			rep, err := n.cluster.nodes[helper].enqueue(keys, true)
-			if err != nil {
-				return query.Result{}, err
-			}
-			if len(rep.missing) == 0 {
+			rep, err := n.cluster.nodes[helper].enqueue(ctx, keys, true)
+			switch {
+			case err != nil:
+				// Helper unreachable; serve locally below.
+			case len(rep.missing) == 0:
+				return rep.result, nil
+			default:
+				local, err := n.enqueue(ctx, rep.missing, false)
+				if err != nil {
+					return query.Result{}, err
+				}
+				rep.result.Merge(local.result)
 				return rep.result, nil
 			}
-			local, err := n.enqueue(rep.missing, false)
-			if err != nil {
-				return query.Result{}, err
-			}
-			rep.result.Merge(local.result)
-			return rep.result, nil
 		}
 	}
-	rep, err := n.enqueue(keys, false)
+	rep, err := n.enqueue(ctx, keys, false)
 	if err != nil {
 		return query.Result{}, err
 	}
 	return rep.result, nil
 }
 
+// FetchGuest serves keys purely from this node's guest graph on behalf of
+// the coordinator's failover path: cells not replicated here come back as
+// missing, never touching the (possibly dead) owner.
+func (n *Node) FetchGuest(ctx context.Context, keys []cell.Key) (query.Result, []cell.Key, error) {
+	rep, err := n.enqueue(ctx, keys, true)
+	return rep.result, rep.missing, err
+}
+
 // enqueue pushes a task through the node's request queue and waits for the
 // worker's reply. The caller pays the request and response network costs,
-// so client-perceived latency includes both directions.
-func (n *Node) enqueue(keys []cell.Key, guest bool) (fetchReply, error) {
+// so client-perceived latency includes both directions. The fault plan is
+// consulted here — the transport boundary — so every failure mode looks to
+// the caller exactly like its real-world counterpart: a rejection is
+// instant, a crash or dropped reply is silence until the context deadline,
+// a pause is added latency.
+func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchReply, error) {
 	c := n.cluster
+	if fp := c.cfg.Faults; fp != nil {
+		id := int(n.id)
+		if fp.Rejecting(id) {
+			return fetchReply{}, fmt.Errorf("%v: %w", n.id, ErrRejected)
+		}
+		if fp.Erroring(id) {
+			return fetchReply{}, fmt.Errorf("%v: %w", n.id, ErrFaulted)
+		}
+		if fp.Crashed(id) {
+			// A crashed node never answers: the request vanishes into the
+			// transport and only the caller's deadline (or cluster
+			// shutdown) ends the wait.
+			select {
+			case <-ctx.Done():
+				return fetchReply{}, fmt.Errorf("%v: %w: %v", n.id, ErrUnavailable, ctx.Err())
+			case <-n.done:
+				return fetchReply{}, ErrStopped
+			}
+		}
+		if d := fp.PauseFor(id); d > 0 {
+			if err := n.sleepCtx(ctx, d); err != nil {
+				return fetchReply{}, err
+			}
+		}
+	}
 	c.cfg.Sleeper.Apply(c.cfg.Model.NetCost(len(keys) * approxKeyBytes))
 
 	t := fetchTask{keys: keys, guest: guest, reply: make(chan fetchReply, 1)}
 	select {
 	case n.requests <- t:
+	case <-ctx.Done():
+		return fetchReply{}, ctx.Err()
 	case <-n.done:
 		return fetchReply{}, ErrStopped
 	}
@@ -264,12 +318,46 @@ func (n *Node) enqueue(keys []cell.Key, guest bool) (fetchReply, error) {
 
 	select {
 	case rep := <-t.reply:
+		if fp := c.cfg.Faults; fp != nil && fp.DropReply(int(n.id)) {
+			// The reply was lost in flight: the node did the work (its
+			// cache populated), but the caller sees only silence.
+			select {
+			case <-ctx.Done():
+				return fetchReply{}, fmt.Errorf("%v: reply dropped: %w: %v", n.id, ErrUnavailable, ctx.Err())
+			case <-n.done:
+				return fetchReply{}, ErrStopped
+			}
+		}
 		if rep.err == nil {
 			c.cfg.Sleeper.Apply(c.cfg.Model.NetCost(rep.result.Len() * approxCellBytes))
+			// The reply transfer itself can outlive the caller's deadline:
+			// an oversized payload on a slow link is a timeout to the
+			// caller even though the node answered. (No-op without a
+			// deadline: background contexts never report Err.)
+			if ctx.Err() != nil {
+				return fetchReply{}, fmt.Errorf("%v: reply transfer exceeded deadline: %w: %v", n.id, ErrUnavailable, ctx.Err())
+			}
 		}
 		return rep, rep.err
+	case <-ctx.Done():
+		return fetchReply{}, ctx.Err()
 	case <-n.done:
 		return fetchReply{}, ErrStopped
+	}
+}
+
+// sleepCtx waits d of real wall-clock time (injected stall, not modeled
+// cost), aborting early on context or shutdown.
+func (n *Node) sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-n.done:
+		return ErrStopped
 	}
 }
 

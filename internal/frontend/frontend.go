@@ -166,17 +166,35 @@ func (c *Client) fetch(keys []cell.Key) (query.Result, error) {
 	if err != nil {
 		return query.Result{}, err
 	}
-	c.cache.Put(back)
-	var empties []cell.Key
-	for _, k := range missing {
-		if _, ok := back.Cells[k]; !ok {
-			empties = append(empties, k)
+	if back.Coverage.Complete() {
+		c.cache.Put(back)
+		var empties []cell.Key
+		for _, k := range missing {
+			if _, ok := back.Cells[k]; !ok {
+				empties = append(empties, k)
+			}
+		}
+		if len(empties) > 0 {
+			c.cache.PutEmpty(empties)
 		}
 	}
-	if len(empties) > 0 {
-		c.cache.PutEmpty(empties)
-	}
+	// A partial result (graceful degradation under node failures) is NOT
+	// cacheable: an absent cell may be a failed share rather than an empty
+	// region, and a degraded cell under-counts — negative-caching or storing
+	// either would serve wrong warm answers long after the fault healed.
+	// Coverage doesn't carry per-key detail, so skip caching entirely.
 	found.Merge(back)
+	cov := back.Coverage
+	if cov.Requested > 0 {
+		// Fold the locally served keys into the report so it describes the
+		// whole front-end query, not just the back-end subset.
+		cached := len(keys) - len(missing)
+		cov.Requested += cached
+		cov.Covered += cached
+		cov.SharesRequested += cached
+		cov.SharesServed += cached
+	}
+	found.Coverage = cov
 	return found, nil
 }
 
@@ -195,7 +213,8 @@ func (c *Client) runPrefetch(q query.Query) {
 		return
 	}
 	back, err := c.inner.Fetch(missing)
-	if err != nil {
+	if err != nil || !back.Coverage.Complete() {
+		// Never warm the cache from a degraded fetch (see fetch above).
 		return
 	}
 	c.cache.Put(back)

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"time"
 
+	"stash/internal/simnet"
+
 	"stash/internal/cluster"
 	"stash/internal/geohash"
 	"stash/internal/query"
@@ -259,4 +261,81 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// TestPartialBackendResultNotCached: when the back-end degrades to a partial
+// result, the front-end must (a) surface the coverage report and (b) refuse
+// to cache it — especially never negative-caching the failed keys — so that
+// after the fault heals the same query returns the full answer.
+func TestPartialBackendResultNotCached(t *testing.T) {
+	fp := simnet.NewFaultPlan(21)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.PointsPerBlock = 64
+	cfg.Faults = fp
+	cfg.Resilience = cluster.ResilienceConfig{
+		RequestTimeout:  25 * time.Millisecond,
+		AllowPartial:    true,
+		ScatterFallback: false,
+	}
+	back, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Start()
+	t.Cleanup(back.Stop)
+
+	q := stateQuery()
+	keys, err := q.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNode := back.Client().GroupByOwner(keys)
+	if len(byNode) < 2 {
+		t.Fatalf("footprint spans %d owners; want several", len(byNode))
+	}
+	var victim int
+	most := -1
+	for id, ks := range byNode {
+		if len(ks) > most {
+			most, victim = len(ks), int(id)
+		}
+	}
+
+	// Reference answer while healthy.
+	want, err := back.Client().Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: false})
+	fp.Crash(victim)
+	partial, err := fc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Coverage.Complete() {
+		t.Fatalf("front-end hid the degradation: %v", partial.Coverage)
+	}
+	if partial.Coverage.Requested != len(keys) {
+		t.Fatalf("propagated coverage describes %d keys, query has %d",
+			partial.Coverage.Requested, len(keys))
+	}
+	if partial.TotalCount("temperature") >= want.TotalCount("temperature") {
+		t.Fatal("partial result not actually partial")
+	}
+
+	// Heal; the front cache must not have poisoned the failed keys.
+	fp.Recover(victim)
+	healed, err := fc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !healed.Coverage.Complete() {
+		t.Fatalf("post-heal coverage: %v", healed.Coverage)
+	}
+	if healed.TotalCount("temperature") != want.TotalCount("temperature") {
+		t.Fatalf("post-heal counts differ (negative-cache poisoning?): %d vs %d",
+			healed.TotalCount("temperature"), want.TotalCount("temperature"))
+	}
 }

@@ -1,0 +1,271 @@
+package geohash
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets below double as property tests: `go test` runs them over
+// the checked-in seed corpus (the f.Add calls), and `go test -fuzz=...`
+// explores beyond it. The seeds pin every boundary that has bitten once:
+// poles, antimeridian, degenerate precision, and the astronomically large
+// longitude that used to hang wrapLon's subtraction loop.
+
+// FuzzEncodeDecodeRoundTrip checks the core invariants of Encode/DecodeBox:
+// output shape, canonical re-encoding of the cell center, containment of the
+// (clamped, wrapped) input point, and parent-box nesting.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	seeds := []struct {
+		lat, lon float64
+		prec     int
+	}{
+		{0, 0, 1},
+		{57.64911, 10.40744, 11}, // the classic geohash example
+		{90, 180, 12},            // both coordinates on their wrap boundary
+		{-90, -180, 12},
+		{29.7604, -95.3698, 6}, // Houston, the paper's NOAA hotspot
+		{-33.8688, 151.2093, 8},
+		{89.999999999, 179.999999999, 12},
+		{1e300, -1e300, 7},  // used to hang wrapLon before the math.Mod fix
+		{12.5, 400.25, 5},   // multiple wraps
+		{0, 0, -3},          // precision below range: clamps to 1
+		{37.8, -122.4, 100}, // precision above range: clamps to MaxPrecision
+	}
+	for _, s := range seeds {
+		f.Add(s.lat, s.lon, s.prec)
+	}
+	f.Fuzz(func(t *testing.T, lat, lon float64, prec int) {
+		gh := Encode(lat, lon, prec)
+
+		wantLen := prec
+		if wantLen < 1 {
+			wantLen = 1
+		}
+		if wantLen > MaxPrecision {
+			wantLen = MaxPrecision
+		}
+		if len(gh) != wantLen {
+			t.Fatalf("Encode(%v, %v, %d) = %q: length %d, want %d", lat, lon, prec, gh, len(gh), wantLen)
+		}
+		if err := Validate(gh); err != nil {
+			t.Fatalf("Encode(%v, %v, %d) produced invalid geohash %q: %v", lat, lon, prec, gh, err)
+		}
+		box, err := DecodeBox(gh)
+		if err != nil {
+			t.Fatalf("DecodeBox(%q): %v", gh, err)
+		}
+		if !box.Valid() {
+			t.Fatalf("DecodeBox(%q) = %v: invalid box", gh, box)
+		}
+
+		// The cell center must re-encode to the same geohash: the encoding
+		// is canonical per cell.
+		cLat, cLon := box.Center()
+		if got := Encode(cLat, cLon, len(gh)); got != gh {
+			t.Errorf("center of %q re-encodes to %q", gh, got)
+		}
+
+		// For finite inputs, the encoded cell must contain the point Encode
+		// actually used (after clamping/wrapping).
+		if !math.IsNaN(lat) && !math.IsInf(lat, 0) && !math.IsNaN(lon) && !math.IsInf(lon, 0) {
+			la, lo := clampLat(lat), wrapLon(lon)
+			if !box.Contains(la, lo) {
+				t.Errorf("cell %q %v does not contain encoded point (%v, %v)", gh, box, la, lo)
+			}
+		}
+
+		// Parent is a one-shorter prefix whose box contains ours.
+		if p, ok := Parent(gh); ok {
+			if len(p) != len(gh)-1 || !strings.HasPrefix(gh, p) {
+				t.Fatalf("Parent(%q) = %q: not a one-shorter prefix", gh, p)
+			}
+			pb, err := DecodeBox(p)
+			if err != nil {
+				t.Fatalf("DecodeBox(parent %q): %v", p, err)
+			}
+			if !pb.ContainsBox(box) {
+				t.Errorf("parent box %v does not contain child box %v", pb, box)
+			}
+			if !IsAncestor(p, gh) {
+				t.Errorf("IsAncestor(%q, %q) = false for a direct parent", p, gh)
+			}
+		}
+
+		// Children invert Parent: every child of gh names gh as its parent.
+		if len(gh) < MaxPrecision {
+			kids := Children(gh)
+			if len(kids) != 32 {
+				t.Fatalf("Children(%q) returned %d entries, want 32", gh, len(kids))
+			}
+			for _, k := range kids {
+				if p, ok := Parent(k); !ok || p != gh {
+					t.Fatalf("Parent(Children(%q)) = %q, want %q", gh, p, gh)
+				}
+			}
+		}
+	})
+}
+
+// FuzzValidate feeds arbitrary strings through Validate: it must never
+// panic, and any string it accepts must be a canonical geohash (DecodeBox
+// succeeds and the center re-encodes to the identical string).
+func FuzzValidate(f *testing.F) {
+	for _, s := range []string{
+		"", "9", "9v", "ezs42", "9vk41hm", // valid
+		"9V", "EZS42", // uppercase is not canonical
+		"a", "i", "l", "o", // the four letters base32 excludes
+		"9v k4", "近", "\x00\xff",
+		strings.Repeat("z", 12), // max precision, near-pole corner
+		strings.Repeat("9", 13), // one past MaxPrecision
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if err := Validate(s); err != nil {
+			return // rejection is always acceptable; absence of panic is the property
+		}
+		box, err := DecodeBox(s)
+		if err != nil {
+			t.Fatalf("Validate accepted %q but DecodeBox rejects it: %v", s, err)
+		}
+		lat, lon := box.Center()
+		if got := Encode(lat, lon, len(s)); got != s {
+			t.Errorf("accepted geohash %q is not canonical: center re-encodes to %q", s, got)
+		}
+	})
+}
+
+// FuzzCover cross-checks Cover against CoverCount on arbitrary boxes: both
+// must agree on validity, the count must match, and every produced tile must
+// be unique, at the requested precision, and intersect the clamped box.
+func FuzzCover(f *testing.F) {
+	seeds := []struct {
+		minLat, maxLat, minLon, maxLon float64
+		prec                           int
+	}{
+		{30, 40, -100, -90, 3},          // the chaos suite's country box
+		{0, 0.1, 0, 0.1, 5},             // city-scale
+		{-90, 90, -180, 180, 1},         // the whole world at minimum precision
+		{35, 35.0001, -98, -97.9999, 7}, // box smaller than one tile
+		{89, 90, 179, 180, 4},           // pole + antimeridian corner
+		{40, 30, -90, -100, 3},          // inverted: must be rejected
+		{30, 40, -100, -90, 0},          // precision out of range
+	}
+	for _, s := range seeds {
+		f.Add(s.minLat, s.maxLat, s.minLon, s.maxLon, s.prec)
+	}
+	f.Fuzz(func(t *testing.T, minLat, maxLat, minLon, maxLon float64, prec int) {
+		b := Box{MinLat: minLat, MaxLat: maxLat, MinLon: minLon, MaxLon: maxLon}
+		n, err := CoverCount(b, prec)
+		if err != nil {
+			if _, terr := Cover(b, prec); terr == nil {
+				t.Fatalf("CoverCount(%v, %d) errored (%v) but Cover succeeded", b, prec, err)
+			}
+			return
+		}
+		if n > 4096 {
+			t.Skip("covering too large to materialize in a fuzz iteration")
+		}
+		tiles, terr := Cover(b, prec)
+		if terr != nil {
+			t.Fatalf("CoverCount(%v, %d) = %d but Cover errored: %v", b, prec, n, terr)
+		}
+		if len(tiles) != n {
+			t.Fatalf("CoverCount %d != len(Cover) %d for %v @%d", n, len(tiles), b, prec)
+		}
+		cb := b.Clamp()
+		seen := make(map[string]bool, len(tiles))
+		for _, gh := range tiles {
+			if len(gh) != prec {
+				t.Fatalf("tile %q has precision %d, want %d", gh, len(gh), prec)
+			}
+			if seen[gh] {
+				t.Fatalf("duplicate tile %q in covering of %v @%d", gh, b, prec)
+			}
+			seen[gh] = true
+			tb, err := DecodeBox(gh)
+			if err != nil {
+				t.Fatalf("covering produced invalid tile %q: %v", gh, err)
+			}
+			if !tb.Intersects(cb) {
+				t.Errorf("tile %q %v does not intersect box %v", gh, tb, cb)
+			}
+		}
+	})
+}
+
+// FuzzCoverPolygonSubset checks the lasso-query invariant the planner relies
+// on: a polygon's covering is always a subset of its bounding box's covering
+// (a polygon can only exclude tiles, never add them).
+func FuzzCoverPolygonSubset(f *testing.F) {
+	seeds := []struct {
+		lat1, lon1, lat2, lon2, lat3, lon3 float64
+		prec                               int
+	}{
+		{34, -100, 38, -97, 34, -94, 3}, // the README's lasso triangle
+		{0, 0, 10, 10, 0, 10, 2},
+		{-1, -1, 1, 0, -1, 1, 6},        // sliver triangle
+		{89, -180, 89.9, 0, 89, 180, 2}, // polar cap sweep
+		{34, -100, 34, -97, 34, -94, 3}, // degenerate (collinear): must be rejected
+	}
+	for _, s := range seeds {
+		f.Add(s.lat1, s.lon1, s.lat2, s.lon2, s.lat3, s.lon3, s.prec)
+	}
+	f.Fuzz(func(t *testing.T, lat1, lon1, lat2, lon2, lat3, lon3 float64, prec int) {
+		p := Polygon{{Lat: lat1, Lon: lon1}, {Lat: lat2, Lon: lon2}, {Lat: lat3, Lon: lon3}}
+		if p.Validate() != nil {
+			return
+		}
+		bb := p.BoundingBox()
+		n, err := CoverCount(bb, prec)
+		if err != nil {
+			if _, perr := CoverPolygon(p, prec); perr == nil {
+				t.Fatalf("bbox covering of %v @%d invalid (%v) but CoverPolygon succeeded", p, prec, err)
+			}
+			return
+		}
+		if n > 4096 {
+			t.Skip("covering too large to materialize in a fuzz iteration")
+		}
+		boxTiles, err := Cover(bb, prec)
+		if err != nil {
+			t.Fatalf("Cover(bbox %v, %d): %v", bb, prec, err)
+		}
+		inBox := make(map[string]bool, len(boxTiles))
+		for _, gh := range boxTiles {
+			inBox[gh] = true
+		}
+		polyTiles, err := CoverPolygon(p, prec)
+		if err != nil {
+			t.Fatalf("CoverPolygon(%v, %d): %v", p, prec, err)
+		}
+		for _, gh := range polyTiles {
+			if !inBox[gh] {
+				t.Errorf("polygon tile %q not in bounding-box covering of %v @%d", gh, p, prec)
+			}
+		}
+		if len(polyTiles) > len(boxTiles) {
+			t.Errorf("polygon covering (%d tiles) larger than bbox covering (%d)", len(polyTiles), len(boxTiles))
+		}
+	})
+}
+
+// TestWrapLonExtremeValues pins the wrapLon hang regression directly: values
+// so large that subtracting 360 is a floating-point no-op must still wrap
+// (and Encode must terminate).
+func TestWrapLonExtremeValues(t *testing.T) {
+	for _, lon := range []float64{1e300, -1e300, math.MaxFloat64, -math.MaxFloat64, 1e17, 540, -540, 180, -180.000001} {
+		got := wrapLon(lon)
+		if !(got >= -180 && got < 180) && !math.IsNaN(got) {
+			t.Errorf("wrapLon(%v) = %v, outside [-180, 180)", lon, got)
+		}
+	}
+	// This call looped forever before wrapLon used math.Mod.
+	if gh := Encode(0, 1e300, 5); len(gh) != 5 {
+		t.Errorf("Encode with huge longitude returned %q", gh)
+	}
+	if gh := Encode(12.5, 400.25, 5); gh != Encode(12.5, 40.25, 5) {
+		t.Errorf("wrapLon(400.25) disagrees with 40.25: %q", gh)
+	}
+}

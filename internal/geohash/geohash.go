@@ -445,11 +445,15 @@ func clampLat(lat float64) float64 {
 }
 
 func wrapLon(lon float64) float64 {
-	for lon >= 180 {
-		lon -= 360
+	if lon >= -180 && lon < 180 {
+		return lon
 	}
-	for lon < -180 {
+	// math.Mod, not repeated subtraction: for |lon| beyond ~2^53 a loop of
+	// "lon -= 360" never changes the value and would spin forever (found by
+	// FuzzEncodeDecodeRoundTrip).
+	lon = math.Mod(lon+180, 360)
+	if lon < 0 {
 		lon += 360
 	}
-	return lon
+	return lon - 180
 }

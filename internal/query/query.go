@@ -309,15 +309,85 @@ func sqrtPos(x float64) float64 {
 
 // --- Results ---
 
+// Coverage reports how much of a query's requested footprint a result
+// actually covers. The coordinator fills it in when graceful degradation is
+// active: under node failures a query can return a *partial* map instead of
+// an error, and the caller uses Coverage to render what arrived and flag
+// what did not.
+//
+// A "share" is one owner sub-request of one key: keys at or finer than the
+// partition prefix have exactly one share, coarser keys have one share per
+// node owning an extending partition (each contributing a partial
+// aggregate). Counting shares, not just keys, is what lets a coarse key be
+// reported as Degraded — present in the map but under-counting — rather
+// than silently wrong.
+//
+// The zero value means "complete by construction" (no failure handling was
+// active on the query path): Complete() is true and Ratio() is 1.
+type Coverage struct {
+	// Requested is the number of footprint cell keys the query asked for.
+	Requested int
+	// Covered counts keys every owner share of which was served.
+	Covered int
+	// Degraded counts keys served by only a strict subset of their owner
+	// shares: they appear in the result but their aggregates under-count.
+	Degraded int
+	// Recovered counts shares rescued by a failover path (replica helpers
+	// or partition scatter) after the primary owner failed.
+	Recovered int
+	// SharesRequested / SharesServed count owner sub-request shares; their
+	// ratio is the finest-grained completeness measure.
+	SharesRequested int
+	SharesServed    int
+	// NodeErrors records the final per-node failure behind any missing
+	// coverage, keyed by node name (e.g. "node-3").
+	NodeErrors map[string]string
+}
+
+// Complete reports whether the result covers the full requested footprint.
+func (c Coverage) Complete() bool {
+	return c.Requested == 0 || (c.Covered == c.Requested && len(c.NodeErrors) == 0)
+}
+
+// Ratio returns the fraction of owner shares served, in [0,1]; 1 when no
+// coverage accounting was active.
+func (c Coverage) Ratio() float64 {
+	if c.SharesRequested == 0 {
+		return 1
+	}
+	return float64(c.SharesServed) / float64(c.SharesRequested)
+}
+
+// Missing returns the number of requested keys entirely absent from the
+// result's coverage (neither covered nor degraded).
+func (c Coverage) Missing() int {
+	m := c.Requested - c.Covered - c.Degraded
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+func (c Coverage) String() string {
+	if c.Complete() {
+		return fmt.Sprintf("complete (%d/%d keys)", c.Covered, c.Requested)
+	}
+	return fmt.Sprintf("partial %d/%d keys (%d degraded, %d missing, %.0f%% of shares, %d node errors)",
+		c.Covered, c.Requested, c.Degraded, c.Missing(), 100*c.Ratio(), len(c.NodeErrors))
+}
+
 // Result is the answer to a Query: one summary per footprint cell that
-// contained any data. Cells with no observations are omitted.
+// contained any data. Cells with no observations are omitted. Coverage
+// describes how much of the requested footprint the cells represent; see
+// Coverage for the partial-result contract.
 //
 // Summaries held by a Result are IMMUTABLE BY CONVENTION: they may be shared
 // with caches and other results, so holders must never mutate them. Add
 // enforces this on its own writes — merging into an existing entry clones
 // before merging — which keeps the hot path (first insert) allocation-free.
 type Result struct {
-	Cells map[cell.Key]cell.Summary
+	Cells    map[cell.Key]cell.Summary
+	Coverage Coverage
 }
 
 // NewResult returns an empty result.
@@ -340,7 +410,9 @@ func (r *Result) Add(k cell.Key, s cell.Summary) {
 	r.Cells[k] = merged
 }
 
-// Merge folds another result into this one.
+// Merge folds another result's cells into this one. Coverage is NOT merged:
+// it is a per-query report computed by the coordinator over the final merged
+// result, and sub-results carry none.
 func (r *Result) Merge(o Result) {
 	for k, s := range o.Cells {
 		r.Add(k, s)

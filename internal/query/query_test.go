@@ -2,6 +2,7 @@ package query
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -505,4 +506,75 @@ func dicedArea(p geohash.Polygon) float64 {
 		a += p[i].Lon*p[j].Lat - p[j].Lon*p[i].Lat
 	}
 	return math.Abs(a) / 2
+}
+
+// --- coverage report (partial-result contract) ---
+
+func TestCoverageZeroValueComplete(t *testing.T) {
+	var c Coverage
+	if !c.Complete() {
+		t.Error("zero-value coverage must read as complete")
+	}
+	if c.Ratio() != 1 {
+		t.Errorf("zero-value ratio = %v, want 1", c.Ratio())
+	}
+	if c.Missing() != 0 {
+		t.Errorf("zero-value missing = %d", c.Missing())
+	}
+	if c.String() == "" {
+		t.Error("empty coverage string")
+	}
+	var r Result
+	if !r.Coverage.Complete() {
+		t.Error("zero-value result coverage incomplete")
+	}
+}
+
+func TestCoveragePartialAccounting(t *testing.T) {
+	c := Coverage{
+		Requested:       10,
+		Covered:         6,
+		Degraded:        2,
+		SharesRequested: 16,
+		SharesServed:    10,
+		NodeErrors:      map[string]string{"node-3": "cluster: node unavailable"},
+	}
+	if c.Complete() {
+		t.Error("partial coverage reads as complete")
+	}
+	if got := c.Missing(); got != 2 {
+		t.Errorf("Missing() = %d, want 2", got)
+	}
+	if got := c.Ratio(); math.Abs(got-10.0/16.0) > 1e-12 {
+		t.Errorf("Ratio() = %v, want %v", got, 10.0/16.0)
+	}
+	if s := c.String(); !strings.Contains(s, "partial") || !strings.Contains(s, "2 degraded") {
+		t.Errorf("String() = %q, want partial summary", s)
+	}
+	// Full coverage with no errors is complete even when shares are tracked.
+	full := Coverage{Requested: 4, Covered: 4, SharesRequested: 6, SharesServed: 6}
+	if !full.Complete() || full.Ratio() != 1 {
+		t.Errorf("full coverage misreported: %+v", full)
+	}
+	// All shares failed: ratio 0, nothing covered.
+	none := Coverage{Requested: 4, SharesRequested: 4}
+	if none.Complete() || none.Ratio() != 0 || none.Missing() != 4 {
+		t.Errorf("empty coverage misreported: %+v", none)
+	}
+	// Missing never goes negative on inconsistent inputs.
+	odd := Coverage{Requested: 1, Covered: 2}
+	if odd.Missing() != 0 {
+		t.Errorf("Missing() went negative: %d", odd.Missing())
+	}
+}
+
+func TestResultMergeDoesNotTouchCoverage(t *testing.T) {
+	a := NewResult()
+	a.Coverage = Coverage{Requested: 5, Covered: 5}
+	b := NewResult()
+	b.Coverage = Coverage{Requested: 9, Covered: 1}
+	a.Merge(b)
+	if a.Coverage.Requested != 5 || a.Coverage.Covered != 5 {
+		t.Errorf("Merge mutated coverage: %+v", a.Coverage)
+	}
 }

@@ -11,6 +11,7 @@ package replication
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -213,6 +214,22 @@ helpers:
 		return helper, true
 	}
 	return 0, false
+}
+
+// Helpers lists the distinct helper nodes currently holding replicas for
+// this table's routes, in ascending order. The coordinator's failover path
+// uses it to find replicas of a failed owner's cliques: even when the owner
+// itself is unreachable, its hottest data may survive on helpers selected
+// around the antipode.
+func (t *Table) Helpers() []dht.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]dht.NodeID, 0, len(t.helperCells))
+	for h := range t.helperCells {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Purge drops routes older than ttl, returning how many were removed.

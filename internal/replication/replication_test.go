@@ -236,3 +236,23 @@ func TestTableSharedCellRefcount(t *testing.T) {
 		t.Error("shared cell lost after dropping one of two cliques")
 	}
 }
+
+func TestTableHelpers(t *testing.T) {
+	tb := NewTable()
+	now := time.Now()
+	if hs := tb.Helpers(); len(hs) != 0 {
+		t.Fatalf("empty table lists helpers %v", hs)
+	}
+	tb.Add(k("9q"), dht.NodeID(4), []cell.Key{k("9q1")}, now)
+	tb.Add(k("9r"), dht.NodeID(2), []cell.Key{k("9r1")}, now)
+	tb.Add(k("9s"), dht.NodeID(4), []cell.Key{k("9s1")}, now) // same helper twice
+	hs := tb.Helpers()
+	if len(hs) != 2 || hs[0] != dht.NodeID(2) || hs[1] != dht.NodeID(4) {
+		t.Fatalf("Helpers() = %v, want [2 4] sorted and deduplicated", hs)
+	}
+	// Purging every route empties the helper list again.
+	tb.Purge(now.Add(time.Hour), time.Minute)
+	if hs := tb.Helpers(); len(hs) != 0 {
+		t.Fatalf("helpers survive purge: %v", hs)
+	}
+}

@@ -1,0 +1,365 @@
+// Fault injection: a FaultPlan is the chaos-engineering companion to the
+// cost model. Where Model/Sleeper make healthy I/O cost something, a
+// FaultPlan makes nodes *misbehave* — crash, stall, lose replies, bounce
+// admissions, or fail hard — so the coordinator's failure handling can be
+// exercised deterministically inside one process.
+//
+// The plan is consulted by the cluster transport on every request; the zero
+// state of every node is "healthy", and a nil *FaultPlan disables injection
+// entirely (the hot path pays one nil check). Probabilistic decisions (reply
+// drops) are derived from the plan's seed and a per-node request counter, so
+// a sequential workload replays identically for the same seed.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FaultKind enumerates the injectable per-node failure modes.
+type FaultKind int
+
+const (
+	// FaultCrash makes a node unresponsive: the transport accepts the
+	// request but no reply ever arrives, so only a caller deadline ends the
+	// wait — the classic fail-stop node that, without timeouts, hangs every
+	// query that touches it.
+	FaultCrash FaultKind = iota
+	// FaultPause injects a fixed extra delay ahead of every request the
+	// node serves (a GC stall, a degraded disk, an overloaded VM neighbor).
+	// The node still answers correctly, just late.
+	FaultPause
+	// FaultDrop loses the node's replies with a configured probability: the
+	// request is fully served (caches populate, work is done) but the
+	// response never reaches the caller.
+	FaultDrop
+	// FaultReject makes the node bounce every request immediately, as a
+	// full admission queue would — a fast, retryable failure.
+	FaultReject
+	// FaultError makes the node answer every request with a permanent
+	// internal error (corrupted shard, failed disk) — a fast, NON-retryable
+	// failure the coordinator must propagate, not retry.
+	FaultError
+
+	numFaultKinds
+)
+
+var faultKindNames = [...]string{"crash", "pause", "drop", "reject", "error"}
+
+func (k FaultKind) String() string {
+	if k < 0 || int(k) >= len(faultKindNames) {
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+	return faultKindNames[k]
+}
+
+// ParseFaultKind maps a kind name ("crash", "pause", ...) back to its value.
+func ParseFaultKind(s string) (FaultKind, error) {
+	for i, n := range faultKindNames {
+		if n == s {
+			return FaultKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("simnet: unknown fault kind %q", s)
+}
+
+// nodeFaults is one node's current failure state. The zero value is healthy.
+type nodeFaults struct {
+	crashed  bool
+	pause    time.Duration
+	dropProb float64
+	reject   bool
+	errored  bool
+	dropSeq  uint64 // per-node request counter driving deterministic drops
+}
+
+func (f *nodeFaults) healthy() bool {
+	return !f.crashed && f.pause == 0 && f.dropProb == 0 && !f.reject && !f.errored
+}
+
+// FaultPlan is a concurrency-safe registry of per-node fault states. It is
+// mutable at runtime (chaos tests and the stashd /faults endpoint flip
+// faults while traffic is flowing) and cheap to consult.
+type FaultPlan struct {
+	seed  int64
+	mu    sync.Mutex
+	nodes map[int]*nodeFaults
+}
+
+// NewFaultPlan returns an all-healthy plan whose probabilistic decisions
+// derive from seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{seed: seed, nodes: map[int]*nodeFaults{}}
+}
+
+func (p *FaultPlan) node(id int) *nodeFaults {
+	nf := p.nodes[id]
+	if nf == nil {
+		nf = &nodeFaults{}
+		p.nodes[id] = nf
+	}
+	return nf
+}
+
+// Crash marks the node fail-stop: it will never answer again until Recover.
+func (p *FaultPlan) Crash(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.node(id).crashed = true
+}
+
+// Pause injects d of extra latency ahead of every request the node serves.
+// d <= 0 clears the pause.
+func (p *FaultPlan) Pause(id int, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	p.node(id).pause = d
+}
+
+// SetDropProb makes the node lose each reply with probability prob (clamped
+// to [0,1]). The drop decision for the node's i-th request is a pure
+// function of (seed, node, i).
+func (p *FaultPlan) SetDropProb(id int, prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	p.node(id).dropProb = prob
+}
+
+// SetReject makes the node bounce every request at admission.
+func (p *FaultPlan) SetReject(id int, reject bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.node(id).reject = reject
+}
+
+// SetError makes the node answer every request with a permanent error.
+func (p *FaultPlan) SetError(id int, errored bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.node(id).errored = errored
+}
+
+// Recover restores the node to full health, clearing every fault (the node
+// "restarted"). The deterministic drop counter is preserved so replays that
+// include heals stay reproducible.
+func (p *FaultPlan) Recover(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if nf, ok := p.nodes[id]; ok {
+		seq := nf.dropSeq
+		*nf = nodeFaults{dropSeq: seq}
+	}
+}
+
+// Reset restores every node to full health.
+func (p *FaultPlan) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id := range p.nodes {
+		seq := p.nodes[id].dropSeq
+		p.nodes[id] = &nodeFaults{dropSeq: seq}
+	}
+}
+
+// Crashed reports whether the node is currently fail-stopped.
+func (p *FaultPlan) Crashed(id int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nf := p.nodes[id]
+	return nf != nil && nf.crashed
+}
+
+// PauseFor returns the extra latency currently injected ahead of the node's
+// requests (zero when healthy).
+func (p *FaultPlan) PauseFor(id int) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nf := p.nodes[id]
+	if nf == nil {
+		return 0
+	}
+	return nf.pause
+}
+
+// Rejecting reports whether the node bounces requests at admission.
+func (p *FaultPlan) Rejecting(id int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nf := p.nodes[id]
+	return nf != nil && nf.reject
+}
+
+// Erroring reports whether the node answers with a permanent error.
+func (p *FaultPlan) Erroring(id int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nf := p.nodes[id]
+	return nf != nil && nf.errored
+}
+
+// DropReply decides whether the node's next reply is lost in flight. It
+// advances the node's request counter, so for a fixed seed the i-th call for
+// a node always returns the same answer regardless of wall-clock timing.
+func (p *FaultPlan) DropReply(id int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nf := p.nodes[id]
+	if nf == nil || nf.dropProb == 0 {
+		return false
+	}
+	seq := nf.dropSeq
+	nf.dropSeq++
+	if nf.dropProb >= 1 {
+		return true
+	}
+	return unitFloat(uint64(p.seed), uint64(id), seq) < nf.dropProb
+}
+
+// Healthy reports whether the node currently has no fault at all.
+func (p *FaultPlan) Healthy(id int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nf := p.nodes[id]
+	return nf == nil || nf.healthy()
+}
+
+// AllHealthy reports whether no node currently has any fault.
+func (p *FaultPlan) AllHealthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, nf := range p.nodes {
+		if !nf.healthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// Faulted lists the ids of currently unhealthy nodes in ascending order.
+func (p *FaultPlan) Faulted() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for id, nf := range p.nodes {
+		if !nf.healthy() {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// unitFloat hashes (seed, node, seq) to a float64 in [0,1) with a
+// splitmix64-style finalizer.
+func unitFloat(a, b, c uint64) float64 {
+	x := a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9 ^ c*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// --- deterministic chaos schedules ---
+
+// ScheduledFault is one event of a chaos schedule: immediately before
+// workload step Step, Kind is applied to (Heal=false) or cleared from
+// (Heal=true) node Node. Heal events clear *all* of the node's faults — the
+// node restarted.
+type ScheduledFault struct {
+	Step     int
+	Node     int
+	Kind     FaultKind
+	Heal     bool
+	Pause    time.Duration // FaultPause: injected delay
+	DropProb float64       // FaultDrop: reply-loss probability
+}
+
+func (s ScheduledFault) String() string {
+	verb := "inject"
+	if s.Heal {
+		verb = "heal"
+	}
+	return fmt.Sprintf("step %d: %s %s on node %d", s.Step, verb, s.Kind, s.Node)
+}
+
+// Apply mutates the plan per the event.
+func (p *FaultPlan) Apply(ev ScheduledFault) {
+	if ev.Heal {
+		p.Recover(ev.Node)
+		return
+	}
+	switch ev.Kind {
+	case FaultCrash:
+		p.Crash(ev.Node)
+	case FaultPause:
+		d := ev.Pause
+		if d <= 0 {
+			d = 10 * time.Millisecond
+		}
+		p.Pause(ev.Node, d)
+	case FaultDrop:
+		prob := ev.DropProb
+		if prob <= 0 {
+			prob = 1
+		}
+		p.SetDropProb(ev.Node, prob)
+	case FaultReject:
+		p.SetReject(ev.Node, true)
+	case FaultError:
+		p.SetError(ev.Node, true)
+	}
+}
+
+// GenerateFaultSchedule derives a deterministic chaos schedule from a seed:
+// `events` fault injections placed uniformly over `steps` workload steps
+// across `nodes` nodes, each paired with a heal a few steps later. Identical
+// inputs always yield the identical schedule (the deterministic-replay
+// contract: same seed ⇒ same fault schedule ⇒ same coverage report for a
+// sequential workload).
+//
+// `kinds` restricts the generated fault kinds; nil/empty allows every kind
+// except FaultError (permanent-error faults abort queries rather than
+// degrade them, so chaos runs opt into them explicitly).
+func GenerateFaultSchedule(seed int64, nodes, steps, events int, kinds ...FaultKind) []ScheduledFault {
+	if nodes <= 0 || steps <= 0 || events <= 0 {
+		return nil
+	}
+	if len(kinds) == 0 {
+		kinds = []FaultKind{FaultCrash, FaultPause, FaultDrop, FaultReject}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	healAfterMax := steps/4 + 1
+	out := make([]ScheduledFault, 0, 2*events)
+	for i := 0; i < events; i++ {
+		ev := ScheduledFault{
+			Step:     rng.Intn(steps),
+			Node:     rng.Intn(nodes),
+			Kind:     kinds[rng.Intn(len(kinds))],
+			Pause:    time.Duration(5+rng.Intn(45)) * time.Millisecond,
+			DropProb: 0.5 + rng.Float64()/2,
+		}
+		heal := ScheduledFault{
+			Step: ev.Step + 1 + rng.Intn(healAfterMax),
+			Node: ev.Node,
+			Kind: ev.Kind,
+			Heal: true,
+		}
+		out = append(out, ev, heal)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}

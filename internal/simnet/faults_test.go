@@ -1,0 +1,241 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFaultPlanZeroStateHealthy(t *testing.T) {
+	p := NewFaultPlan(1)
+	for id := 0; id < 4; id++ {
+		if p.Crashed(id) || p.Rejecting(id) || p.Erroring(id) || p.PauseFor(id) != 0 {
+			t.Fatalf("fresh plan not healthy for node %d", id)
+		}
+		if !p.Healthy(id) {
+			t.Fatalf("Healthy(%d) = false on fresh plan", id)
+		}
+	}
+	if !p.AllHealthy() {
+		t.Fatal("fresh plan not AllHealthy")
+	}
+	if got := p.Faulted(); len(got) != 0 {
+		t.Fatalf("fresh plan reports faulted nodes %v", got)
+	}
+	if p.DropReply(0) {
+		t.Fatal("fresh plan dropped a reply")
+	}
+}
+
+func TestFaultPlanTransitions(t *testing.T) {
+	p := NewFaultPlan(7)
+	p.Crash(2)
+	p.Pause(3, 20*time.Millisecond)
+	p.SetReject(4, true)
+	p.SetError(5, true)
+	if !p.Crashed(2) || p.PauseFor(3) != 20*time.Millisecond || !p.Rejecting(4) || !p.Erroring(5) {
+		t.Fatal("fault setters did not stick")
+	}
+	if p.AllHealthy() {
+		t.Fatal("AllHealthy with four faults active")
+	}
+	if got, want := p.Faulted(), []int{2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Faulted() = %v, want %v", got, want)
+	}
+	for _, id := range []int{2, 3, 4, 5} {
+		p.Recover(id)
+		if !p.Healthy(id) {
+			t.Fatalf("node %d unhealthy after Recover", id)
+		}
+	}
+	if !p.AllHealthy() {
+		t.Fatal("not AllHealthy after recovering every node")
+	}
+
+	p.Crash(0)
+	p.Crash(1)
+	p.Reset()
+	if !p.AllHealthy() {
+		t.Fatal("Reset did not heal all nodes")
+	}
+}
+
+func TestFaultPlanClamps(t *testing.T) {
+	p := NewFaultPlan(1)
+	p.Pause(0, -time.Second)
+	if p.PauseFor(0) != 0 {
+		t.Error("negative pause not clamped")
+	}
+	p.SetDropProb(0, 2)
+	if !p.DropReply(0) {
+		t.Error("prob>1 should drop every reply")
+	}
+	p.SetDropProb(0, -1)
+	if p.DropReply(0) {
+		t.Error("prob<0 should drop nothing")
+	}
+}
+
+// TestDropReplyDeterministic: for a fixed seed, the sequence of drop
+// decisions per node is a pure function of the request index.
+func TestDropReplyDeterministic(t *testing.T) {
+	run := func() []bool {
+		p := NewFaultPlan(42)
+		p.SetDropProb(1, 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.DropReply(1)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different drop sequences")
+	}
+	drops := 0
+	for _, d := range a {
+		if d {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("prob 0.5 dropped %d/%d replies; hash looks degenerate", drops, len(a))
+	}
+	// A different seed must not replay the same sequence.
+	p2 := NewFaultPlan(43)
+	p2.SetDropProb(1, 0.5)
+	c := make([]bool, 64)
+	for i := range c {
+		c[i] = p2.DropReply(1)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical drop sequences")
+	}
+}
+
+// TestRecoverPreservesDropCounter: healing mid-replay must not rewind the
+// deterministic drop counter, or replays with heals would diverge.
+func TestRecoverPreservesDropCounter(t *testing.T) {
+	seq := func(withHeal bool) []bool {
+		p := NewFaultPlan(9)
+		p.SetDropProb(0, 0.5)
+		out := make([]bool, 0, 20)
+		for i := 0; i < 10; i++ {
+			out = append(out, p.DropReply(0))
+		}
+		if withHeal {
+			p.Recover(0)
+			p.SetDropProb(0, 0.5)
+		}
+		for i := 0; i < 10; i++ {
+			out = append(out, p.DropReply(0))
+		}
+		return out
+	}
+	if !reflect.DeepEqual(seq(false), seq(true)) {
+		t.Fatal("Recover rewound the drop counter")
+	}
+}
+
+func TestGenerateFaultScheduleDeterministic(t *testing.T) {
+	a := GenerateFaultSchedule(1234, 8, 30, 6)
+	b := GenerateFaultSchedule(1234, 8, 30, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := GenerateFaultSchedule(1235, 8, 30, 6)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a) != 12 {
+		t.Fatalf("6 events should yield 12 schedule entries (fault+heal), got %d", len(a))
+	}
+	for i, ev := range a {
+		if ev.Node < 0 || ev.Node >= 8 {
+			t.Errorf("entry %d: node %d out of range", i, ev.Node)
+		}
+		if !ev.Heal && (ev.Step < 0 || ev.Step >= 30) {
+			t.Errorf("entry %d: fault step %d out of range", i, ev.Step)
+		}
+		if i > 0 && a[i-1].Step > ev.Step {
+			t.Errorf("schedule not sorted at %d", i)
+		}
+		if !ev.Heal && ev.Kind == FaultError {
+			t.Errorf("entry %d: default kinds must exclude FaultError", i)
+		}
+	}
+}
+
+func TestGenerateFaultScheduleEdgeCases(t *testing.T) {
+	if s := GenerateFaultSchedule(1, 0, 10, 3); s != nil {
+		t.Error("zero nodes should yield nil schedule")
+	}
+	if s := GenerateFaultSchedule(1, 4, 0, 3); s != nil {
+		t.Error("zero steps should yield nil schedule")
+	}
+	if s := GenerateFaultSchedule(1, 4, 10, 0); s != nil {
+		t.Error("zero events should yield nil schedule")
+	}
+	// Restricted kinds are honored.
+	for _, ev := range GenerateFaultSchedule(5, 4, 10, 8, FaultCrash) {
+		if !ev.Heal && ev.Kind != FaultCrash {
+			t.Fatalf("kind restriction violated: %v", ev)
+		}
+	}
+}
+
+func TestScheduleApplyAndStrings(t *testing.T) {
+	p := NewFaultPlan(3)
+	evs := []ScheduledFault{
+		{Node: 0, Kind: FaultCrash},
+		{Node: 1, Kind: FaultPause, Pause: 7 * time.Millisecond},
+		{Node: 2, Kind: FaultDrop, DropProb: 1},
+		{Node: 3, Kind: FaultReject},
+		{Node: 4, Kind: FaultError},
+	}
+	for _, ev := range evs {
+		p.Apply(ev)
+		if ev.String() == "" {
+			t.Error("empty event string")
+		}
+	}
+	if !p.Crashed(0) || p.PauseFor(1) != 7*time.Millisecond || !p.DropReply(2) ||
+		!p.Rejecting(3) || !p.Erroring(4) {
+		t.Fatal("Apply did not install faults")
+	}
+	// Defaults: zero pause/prob get sensible values.
+	p.Apply(ScheduledFault{Node: 5, Kind: FaultPause})
+	if p.PauseFor(5) <= 0 {
+		t.Error("Apply(FaultPause) with zero Pause installed no delay")
+	}
+	p.Apply(ScheduledFault{Node: 6, Kind: FaultDrop})
+	if !p.DropReply(6) {
+		t.Error("Apply(FaultDrop) with zero prob should default to always-drop")
+	}
+	// Heal clears everything.
+	for n := 0; n <= 6; n++ {
+		p.Apply(ScheduledFault{Node: n, Heal: true})
+	}
+	if !p.AllHealthy() {
+		t.Fatal("heals did not restore health")
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		name := k.String()
+		if name == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+		back, err := ParseFaultKind(name)
+		if err != nil || back != k {
+			t.Fatalf("ParseFaultKind(%q) = %v, %v", name, back, err)
+		}
+	}
+	if _, err := ParseFaultKind("meteor"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if FaultKind(99).String() == "" {
+		t.Error("out-of-range kind has empty string")
+	}
+}

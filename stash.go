@@ -214,6 +214,73 @@ func NewRealSleeper() Sleeper { return simnet.NewReal() }
 // NewMeterSleeper returns an accounting-only cost applier for tests.
 func NewMeterSleeper() Sleeper { return simnet.NewMeter() }
 
+// --- fault injection & resilience (chaos testing, graceful degradation) ---
+
+// FaultPlan holds per-node injected failures (crash, pause, reply drop,
+// admission rejection, storage error). Wire one into Config.Faults, then
+// flip faults at runtime; the transport observes them on the next request.
+// All stochastic decisions are deterministic functions of the plan's seed.
+type FaultPlan = simnet.FaultPlan
+
+// NewFaultPlan returns an all-healthy plan whose randomized decisions
+// derive from seed.
+func NewFaultPlan(seed int64) *FaultPlan { return simnet.NewFaultPlan(seed) }
+
+// FaultKind enumerates the injectable failure modes.
+type FaultKind = simnet.FaultKind
+
+// The injectable failure modes.
+const (
+	FaultCrash  = simnet.FaultCrash  // node never answers
+	FaultPause  = simnet.FaultPause  // node answers after an injected stall
+	FaultDrop   = simnet.FaultDrop   // node works but replies are lost
+	FaultReject = simnet.FaultReject // node bounces requests at admission
+	FaultError  = simnet.FaultError  // node answers with a permanent error
+)
+
+// ScheduledFault is one timed entry of a chaos schedule.
+type ScheduledFault = simnet.ScheduledFault
+
+// ParseFaultKind parses a fault kind name ("crash", "pause", "drop",
+// "reject", "error").
+var ParseFaultKind = simnet.ParseFaultKind
+
+// GenerateFaultSchedule derives a deterministic chaos schedule (fault and
+// heal events over a stepped timeline) from a seed — the same seed always
+// replays the same failures.
+var GenerateFaultSchedule = simnet.GenerateFaultSchedule
+
+// ResilienceConfig tunes the coordinator's failure handling: per-attempt
+// deadlines, retries with backoff, helper reroute, scatter fallback, and
+// graceful degradation to partial results. The zero value preserves
+// fail-fast semantics.
+type ResilienceConfig = cluster.ResilienceConfig
+
+// DefaultResilienceConfig returns production-shaped failure handling.
+func DefaultResilienceConfig() ResilienceConfig { return cluster.DefaultResilienceConfig() }
+
+// Coverage is a result's partial-result report: which requested keys were
+// fully covered, degraded (under-counted), or missing, and why. The zero
+// value means complete by construction.
+type Coverage = query.Coverage
+
+// Failure-classification errors surfaced by the coordinator.
+var (
+	// ErrNoCoverage reports a degraded query none of whose footprint could
+	// be served.
+	ErrNoCoverage = cluster.ErrNoCoverage
+	// ErrRejected reports a node bouncing a request at admission.
+	ErrRejected = cluster.ErrRejected
+	// ErrUnavailable reports a node that never answered within the deadline.
+	ErrUnavailable = cluster.ErrUnavailable
+	// ErrFaulted reports a permanent node storage fault.
+	ErrFaulted = cluster.ErrFaulted
+)
+
+// Retryable classifies a node sub-request error: true for transient
+// failures a retry may fix, false for permanent ones.
+var Retryable = cluster.Retryable
+
 // --- workloads ---
 
 // SizeClass is one of the paper's four query sizes.

@@ -247,3 +247,76 @@ func TestPublicAPIPolygonQuery(t *testing.T) {
 		t.Fatal("polygon query returned nothing")
 	}
 }
+
+// TestPublicAPIFaultInjection drives the chaos surface end to end through
+// the facade: a fault plan, a resilient coordinator, a crashed node, and a
+// partial result with an honest coverage report.
+func TestPublicAPIFaultInjection(t *testing.T) {
+	fp := stash.NewFaultPlan(5)
+	sys := newSystem(t, func(cfg *stash.Config) {
+		cfg.Faults = fp
+		rc := stash.DefaultResilienceConfig()
+		rc.RequestTimeout = 25 * time.Millisecond
+		rc.HelperReroute = false
+		rc.ScatterFallback = false
+		cfg.Resilience = rc
+	})
+	q := stash.Query{
+		Box:         stash.Box{MinLat: 30, MaxLat: 40, MinLon: -100, MaxLon: -90},
+		Time:        stash.DayRange(2015, 2, 2),
+		SpatialRes:  3,
+		TemporalRes: stash.Day,
+	}
+	res, err := sys.Client().Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coverage.Complete() {
+		t.Fatalf("healthy query partial: %v", res.Coverage)
+	}
+
+	// Crash a node that owns part of the footprint and query again.
+	keys, err := q.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim stash.NodeID
+	for id := range sys.Client().GroupByOwner(keys) {
+		victim = id
+		break
+	}
+	sys.Faults().Crash(int(victim))
+	partial, err := sys.Client().Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := partial.Coverage
+	if cov.Complete() || cov.Missing()+cov.Degraded == 0 {
+		t.Fatalf("crashed owner but coverage reads %v", cov)
+	}
+	if cov.String() == "" || stash.Retryable(nil) {
+		t.Fatal("coverage/string/retryable surface broken")
+	}
+	sys.Faults().Recover(int(victim))
+
+	// The schedule generator is reachable and deterministic.
+	a := stash.GenerateFaultSchedule(1, 4, 10, 3, stash.FaultCrash, stash.FaultReject)
+	b := stash.GenerateFaultSchedule(1, 4, 10, 3, stash.FaultCrash, stash.FaultReject)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedule generation broken: %d vs %d entries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	var k stash.FaultKind = stash.FaultPause
+	if k.String() == "" {
+		t.Fatal("fault kind string empty")
+	}
+	_ = []error{stash.ErrNoCoverage, stash.ErrRejected, stash.ErrUnavailable, stash.ErrFaulted}
+	var sf stash.ScheduledFault = a[0]
+	if sf.String() == "" {
+		t.Fatal("scheduled fault string empty")
+	}
+}
