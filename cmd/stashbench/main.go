@@ -19,16 +19,18 @@ import (
 	"time"
 
 	"stash/internal/bench"
+	"stash/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		list   = flag.Bool("list", false, "list available experiment ids and exit")
-		nodes  = flag.Int("nodes", 16, "simulated cluster size (paper: 120)")
-		seed   = flag.Int64("seed", 42, "workload and dataset seed")
-		points = flag.Int("points", 512, "observations per storage block")
-		full   = flag.Bool("full", false, "paper-scale request counts (slow)")
+		exp     = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		list    = flag.Bool("list", false, "list available experiment ids and exit")
+		nodes   = flag.Int("nodes", 16, "simulated cluster size (paper: 120)")
+		seed    = flag.Int64("seed", 42, "workload and dataset seed")
+		points  = flag.Int("points", 512, "observations per storage block")
+		full    = flag.Bool("full", false, "paper-scale request counts (slow)")
+		metrics = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after the experiments (\"-\" for stderr)")
 	)
 	flag.Parse()
 
@@ -69,7 +71,32 @@ func main() {
 		}
 	}
 	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	if *metrics != "" {
+		if err := writeMetricsSnapshot(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "stashbench: metrics snapshot: %v\n", err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeMetricsSnapshot dumps the process-global metrics registry accumulated
+// across every experiment in Prometheus text form. The experiment tables stay
+// on stdout, so "-" routes the snapshot to stderr.
+func writeMetricsSnapshot(path string) error {
+	if path == "-" {
+		return obs.Default().WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.Default().WritePrometheus(f); err != nil {
+		return err
+	}
+	fmt.Printf("metrics snapshot written to %s\n", path)
+	return nil
 }

@@ -9,14 +9,21 @@
 //	               ?timeout=250ms bounds the whole query; a degraded partial
 //	               answer returns 206 with a coverage block, a query that
 //	               produced nothing at all before its deadline returns 504.
-//	GET  /stats    cluster counters (cache hits, disk reads, handoffs, ...)
+//	               ?trace=1 records the query as a span tree and embeds it in
+//	               the JSON response; ?trace=chrome returns the spans as
+//	               Chrome trace-event JSON loadable in Perfetto.
+//	GET  /stats    cluster counters plus a flat metrics snapshot
+//	GET  /metrics  Prometheus text exposition of every registered metric
 //	GET  /healthz  liveness
 //	POST /faults   inject or heal a node fault (requires -faults; see FaultRequest)
 //	GET  /faults   list currently faulted nodes
 //
+// With -debug the standard net/http/pprof profiles are additionally served
+// under /debug/pprof/.
+//
 // Usage:
 //
-//	stashd -addr :8080 -nodes 16 -points 512 -resilient -faults
+//	stashd -addr :8080 -nodes 16 -points 512 -resilient -faults -debug
 package main
 
 import (
@@ -28,9 +35,11 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"stash"
+	"stash/internal/obs"
 )
 
 func main() {
@@ -45,6 +54,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "default per-query deadline (0 = none; ?timeout= overrides per request)")
 		faults    = flag.Bool("faults", false, "enable the /faults chaos endpoint")
 		faultseed = flag.Int64("faultseed", 1, "seed for randomized fault decisions (reply-drop sequences)")
+		debug     = flag.Bool("debug", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -73,18 +83,36 @@ func main() {
 	defer sys.Stop()
 
 	srv := &server{sys: sys, faults: fp, defaultTimeout: *timeout}
+	mux := newMux(srv, *debug)
+
+	log.Printf("stashd: %d nodes, serving on %s", *nodes, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// newMux wires the server's routes. Split from main so tests can exercise the
+// full routing table (including /metrics and the -debug pprof gating) through
+// httptest.
+func newMux(srv *server, debug bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", srv.handleQuery)
 	mux.HandleFunc("GET /stats", srv.handleStats)
+	mux.HandleFunc("GET /metrics", srv.handleMetrics)
 	mux.HandleFunc("POST /faults", srv.handleFaultsPost)
 	mux.HandleFunc("GET /faults", srv.handleFaultsGet)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-
-	log.Printf("stashd: %d nodes, serving on %s", *nodes, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if debug {
+		// The pprof handlers register themselves on DefaultServeMux at
+		// import; route them explicitly so they exist only behind -debug.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 type server struct {
@@ -150,11 +178,13 @@ type CoverageBlock struct {
 }
 
 // QueryResponse is the body of a successful POST /query. A 206 response
-// carries a Coverage block describing the degradation.
+// carries a Coverage block describing the degradation; ?trace=1 adds the
+// recorded span tree.
 type QueryResponse struct {
-	Cells     []CellResponse `json:"cells"`
-	LatencyMS float64        `json:"latencyMs"`
-	Coverage  *CoverageBlock `json:"coverage,omitempty"`
+	Cells     []CellResponse  `json:"cells"`
+	LatencyMS float64         `json:"latencyMs"`
+	Coverage  *CoverageBlock  `json:"coverage,omitempty"`
+	Trace     []*obs.SpanNode `json:"trace,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -185,6 +215,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	traceMode := r.URL.Query().Get("trace")
+	var tr *obs.Trace
+	switch traceMode {
+	case "", "0", "false":
+		traceMode = ""
+	case "1", "true", "json":
+		traceMode = "json"
+		ctx, tr = obs.NewTrace(ctx)
+	case "chrome":
+		ctx, tr = obs.NewTrace(ctx)
+	default:
+		http.Error(w, "unknown trace mode "+traceMode, http.StatusBadRequest)
+		return
+	}
+
 	begin := time.Now()
 	res, err := s.sys.Client().QueryContext(ctx, q)
 	if err != nil {
@@ -206,6 +251,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// Partial answer under degradation: signal it in the status code so
 		// dashboards can badge the panel, but still deliver the cells.
 		status = http.StatusPartialContent
+	}
+
+	if traceMode == "chrome" {
+		// The trace is the payload: Chrome trace-event JSON, loadable
+		// directly in Perfetto / chrome://tracing.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		if err := tr.WriteChrome(w); err != nil {
+			log.Printf("stashd: chrome trace export: %v", err)
+		}
+		return
 	}
 
 	switch format := r.URL.Query().Get("format"); format {
@@ -231,6 +287,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := QueryResponse{LatencyMS: float64(time.Since(begin).Microseconds()) / 1000}
+	if traceMode == "json" {
+		resp.Trace = tr.Tree()
+	}
 	if cov := res.Coverage; cov.Requested > 0 {
 		resp.Coverage = &CoverageBlock{
 			Complete:   cov.Complete(),
@@ -275,8 +334,30 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSONStatus(w, status, resp)
 }
 
+// StatsResponse is the body of GET /stats: the aggregated node counters plus
+// a flat snapshot of every registered metric (histograms expand to _count,
+// _sum, and _p50/_p95/_p99 entries), so one poll answers both "what has the
+// cluster done" and "how degraded is it right now" — retries, reroutes,
+// breaker trips, and fault firings all appear under their metric names.
+type StatsResponse struct {
+	Cluster stash.NodeStats    `json:"cluster"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.sys.TotalStats())
+	writeJSON(w, StatsResponse{
+		Cluster: s.sys.TotalStats(),
+		Metrics: obs.Default().FlatSnapshot(),
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition of the process-global
+// registry.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.Default().WritePrometheus(w); err != nil {
+		log.Printf("stashd: metrics exposition: %v", err)
+	}
 }
 
 // FaultRequest is the JSON body of POST /faults. Heal=true clears the node's

@@ -89,14 +89,39 @@ func TestHandleQueryInvalidQuery(t *testing.T) {
 
 func TestHandleStats(t *testing.T) {
 	srv := testServer(t)
+
+	// Run one query first so the metrics snapshot has live series in it.
+	qreq := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(validBody()))
+	qrec := httptest.NewRecorder()
+	srv.handleQuery(qrec, qreq)
+	if qrec.Code != http.StatusOK {
+		t.Fatalf("warm-up query: status %d", qrec.Code)
+	}
+
 	rec := httptest.NewRecorder()
 	srv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	var stats stash.NodeStats
-	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
+	}
+	if resp.Cluster.Processed <= 0 {
+		t.Errorf("cluster stats report no processed tasks: %+v", resp.Cluster)
+	}
+	if len(resp.Metrics) == 0 {
+		t.Fatal("stats response carries no metrics snapshot")
+	}
+	found := false
+	for name := range resp.Metrics {
+		if strings.HasPrefix(name, "stash_coord_queries_total") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("metrics snapshot missing coordinator outcome counters: %d entries", len(resp.Metrics))
 	}
 }
 
@@ -390,6 +415,159 @@ func TestFaultsEndpoints(t *testing.T) {
 	}
 	if rec := post(`{nope`); rec.Code != http.StatusBadRequest {
 		t.Errorf("malformed JSON: status %d, want 400", rec.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	mux := newMux(srv, false)
+
+	// Run one query through the mux so the core families have live series.
+	qrec := httptest.NewRecorder()
+	mux.ServeHTTP(qrec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(validBody())))
+	if qrec.Code != http.StatusOK {
+		t.Fatalf("warm-up query: status %d: %s", qrec.Code, qrec.Body.String())
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"stash_cache_hits_total",
+		"stash_query_duration_seconds_bucket",
+		"stash_coord_queries_total",
+		"stash_dht_lookups_total",
+		"# TYPE stash_query_duration_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	srv := testServer(t)
+
+	// Without -debug the pprof routes must not exist.
+	plain := newMux(srv, false)
+	rec := httptest.NewRecorder()
+	plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without -debug: status %d, want 404", rec.Code)
+	}
+
+	// With -debug the index and cmdline endpoints serve.
+	dbg := newMux(srv, true)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		rec := httptest.NewRecorder()
+		dbg.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("pprof with -debug: GET %s status %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+func TestHandleQueryTraceJSON(t *testing.T) {
+	srv := testServer(t)
+	for _, mode := range []string{"1", "true", "json"} {
+		req := httptest.NewRequest(http.MethodPost, "/query?trace="+mode, strings.NewReader(validBody()))
+		rec := httptest.NewRecorder()
+		srv.handleQuery(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("trace=%s: status %d: %s", mode, rec.Code, rec.Body.String())
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Trace) == 0 {
+			t.Fatalf("trace=%s: response carries no span tree", mode)
+		}
+		root := resp.Trace[0]
+		if root.Name != "query" {
+			t.Errorf("trace=%s: root span %q, want query", mode, root.Name)
+		}
+		if root.DurUS <= 0 {
+			t.Errorf("trace=%s: root span has no duration: %+v", mode, root)
+		}
+		// The root's children are the query stages; their durations must not
+		// exceed the end-to-end span.
+		if len(root.Children) == 0 {
+			t.Fatalf("trace=%s: root span has no stage children", mode)
+		}
+		stages := map[string]bool{}
+		var sum int64
+		for _, c := range root.Children {
+			stages[c.Name] = true
+			sum += c.DurUS
+		}
+		for _, want := range []string{"footprint", "fanout", "merge"} {
+			if !stages[want] {
+				t.Errorf("trace=%s: stages %v missing %s", mode, stages, want)
+			}
+		}
+		if sum > root.DurUS {
+			t.Errorf("trace=%s: stage durations (%dµs) exceed end-to-end (%dµs)", mode, sum, root.DurUS)
+		}
+	}
+
+	// Untraced responses must omit the tree entirely.
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(validBody())))
+	if strings.Contains(rec.Body.String(), `"trace"`) {
+		t.Error("untraced response carries a trace field")
+	}
+}
+
+func TestHandleQueryTraceChrome(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/query?trace=chrome", strings.NewReader(validBody()))
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &f); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	names := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s: ph %q, want X", ev.Name, ev.Ph)
+		}
+		names[ev.Name] = true
+	}
+	if !names["query"] {
+		t.Errorf("chrome trace missing the root query event: %v", names)
+	}
+}
+
+func TestHandleQueryBadTraceMode(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/query?trace=perfetto", strings.NewReader(validBody()))
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown trace mode: status %d, want 400", rec.Code)
 	}
 }
 

@@ -9,9 +9,12 @@
 //	stashtrace -record session.jsonl -session panning -steps 20
 //	stashtrace -replay session.jsonl -nodes 32
 //	stashtrace -replay session.jsonl -paced            # honor think-time
+//	stashtrace -replay session.jsonl -metrics metrics.prom
+//	stashtrace -replay session.jsonl -chrometrace replay.json  # Perfetto
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"stash/internal/cluster"
+	"stash/internal/obs"
 	"stash/internal/query"
 	"stash/internal/simnet"
 	"stash/internal/stash"
@@ -37,6 +41,8 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload/dataset seed")
 		points  = flag.Int("points", 512, "observations per storage block")
 		paced   = flag.Bool("paced", false, "honor recorded think-time during replay (capped at 2s)")
+		metrics = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file when done (\"-\" for stdout)")
+		chrome  = flag.String("chrometrace", "", "replay only: write the session's spans as Chrome trace-event JSON (Perfetto-loadable)")
 	)
 	flag.Parse()
 
@@ -48,12 +54,35 @@ func main() {
 			log.Fatal(err)
 		}
 	case *replay != "":
-		if err := doReplay(*replay, *nodes, *seed, *points, *paced); err != nil {
+		if err := doReplay(*replay, *nodes, *seed, *points, *paced, *chrome); err != nil {
 			log.Fatal(err)
 		}
 	default:
 		log.Fatal("stashtrace: one of -record or -replay is required")
 	}
+	if *metrics != "" {
+		if err := writeMetricsSnapshot(*metrics); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeMetricsSnapshot dumps the process-global registry in Prometheus text
+// form, so a benchmark or replay run leaves an inspectable metrics artifact.
+func writeMetricsSnapshot(path string) error {
+	if path == "-" {
+		return obs.Default().WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.Default().WritePrometheus(f); err != nil {
+		return err
+	}
+	fmt.Printf("metrics snapshot written to %s\n", path)
+	return nil
 }
 
 func buildCluster(nodes int, seed int64, points int) (*cluster.Cluster, error) {
@@ -123,7 +152,19 @@ func doRecord(path, kind string, steps, nodes int, seed int64, points int) error
 	return nil
 }
 
-func doReplay(path string, nodes int, seed int64, points int, paced bool) error {
+// ctxRunner adapts the coordinator to the trace.Runner interface while
+// threading one long-lived context through every replayed query, so a single
+// obs.Trace can capture the whole session's span forest.
+type ctxRunner struct {
+	ctx context.Context
+	cl  *cluster.Client
+}
+
+func (r ctxRunner) Query(q query.Query) (query.Result, error) {
+	return r.cl.QueryContext(r.ctx, q)
+}
+
+func doReplay(path string, nodes int, seed int64, points int, paced bool, chromePath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -140,12 +181,36 @@ func doReplay(path string, nodes int, seed int64, points int, paced bool) error 
 	}
 	defer c.Stop()
 
-	stats, err := trace.Replay(events, c.Client(), paced, 2*time.Second)
+	var run trace.Runner = c.Client()
+	var tr *obs.Trace
+	if chromePath != "" {
+		ctx, t := obs.NewTrace(context.Background())
+		tr = t
+		run = ctxRunner{ctx: ctx, cl: c.Client()}
+	}
+
+	stats, err := trace.Replay(events, run, paced, 2*time.Second)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("replayed %d queries (%d failed) on %d nodes\n", stats.Queries, stats.Failed, nodes)
-	fmt.Printf("latency: mean %v  max %v\n",
-		stats.Mean().Round(time.Microsecond), stats.Max.Round(time.Microsecond))
+	fmt.Printf("latency: mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
+		stats.Mean().Round(time.Microsecond),
+		stats.Percentile(50).Round(time.Microsecond),
+		stats.Percentile(95).Round(time.Microsecond),
+		stats.Percentile(99).Round(time.Microsecond),
+		stats.Max.Round(time.Microsecond))
+
+	if chromePath != "" {
+		cf, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := tr.WriteChrome(cf); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s (open in Perfetto or chrome://tracing)\n", chromePath)
+	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"stash/internal/cell"
 	"stash/internal/dht"
 	"stash/internal/geohash"
+	"stash/internal/obs"
 	"stash/internal/query"
 	"stash/internal/replication"
 )
@@ -49,12 +50,21 @@ func (cl *Client) Query(q query.Query) (query.Result, error) {
 
 // QueryContext evaluates a query under the caller's context: cancellation
 // and deadline propagate into every node sub-request, so a dead node
-// produces a timeout, never a hang.
+// produces a timeout, never a hang. When the context carries an obs.Trace
+// the whole evaluation is recorded as a span tree rooted at "query".
 func (cl *Client) QueryContext(ctx context.Context, q query.Query) (query.Result, error) {
+	ctx, qs := obs.StartSpan(ctx, "query")
+	qs.SetAttr("query", q.String())
+	defer qs.End()
 	if err := q.Validate(); err != nil {
 		return query.Result{}, err
 	}
+	fpStart := time.Now()
+	_, fps := obs.StartSpan(ctx, "footprint")
 	keys, err := q.Footprint()
+	fps.SetAttr("keys", fmt.Sprint(len(keys)))
+	fps.End()
+	mStageFootprint.ObserveDuration(time.Since(fpStart))
 	if err != nil {
 		return query.Result{}, err
 	}
@@ -78,12 +88,33 @@ func (cl *Client) FetchContext(ctx context.Context, keys []cell.Key) (query.Resu
 	if cl.cluster.isStopped() {
 		return query.Result{}, ErrStopped
 	}
+	start := time.Now()
+	mInflight.Add(1)
+	defer mInflight.Add(-1)
+
 	byNode := cl.groupByOwner(keys)
+	mFanoutNodes.Observe(float64(len(byNode)))
 	rc := cl.cluster.cfg.Resilience
+
+	var res query.Result
+	var err error
 	if !rc.Enabled() {
-		return cl.fetchFailFast(ctx, byNode)
+		res, err = cl.fetchFailFast(ctx, byNode)
+	} else {
+		res, err = cl.fetchResilient(ctx, byNode, rc)
 	}
-	return cl.fetchResilient(ctx, byNode, rc)
+
+	mQueryDur.ObserveDuration(time.Since(start))
+	switch {
+	case err != nil:
+		mQueriesError.Inc()
+	case !res.Coverage.Complete():
+		mQueriesPartial.Inc()
+		mPartialResults.Inc()
+	default:
+		mQueriesOK.Inc()
+	}
+	return res, err
 }
 
 // TimedQuery evaluates a query and reports its wall-clock latency.
@@ -100,6 +131,10 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	fanStart := time.Now()
+	fanCtx, fanSpan := obs.StartSpan(ctx, "fanout")
+	fanSpan.SetAttr("shares", fmt.Sprint(len(byNode)))
+
 	type part struct {
 		res query.Result
 		err error
@@ -112,7 +147,11 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 		wg.Add(1)
 		go func(id dht.NodeID, ks []cell.Key) {
 			defer wg.Done()
-			res, err := cl.cluster.nodes[id].Submit(ctx, ks)
+			shareCtx, ss := obs.StartSpan(fanCtx, "share")
+			ss.SetAttr("node", id.String())
+			ss.SetAttr("keys", fmt.Sprint(len(ks)))
+			res, err := cl.cluster.nodes[id].Submit(shareCtx, ks)
+			ss.End()
 			mu.Lock()
 			parts = append(parts, part{res: res, err: err})
 			if err != nil && firstErr == nil {
@@ -125,14 +164,20 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 		}(id, ks)
 	}
 	wg.Wait()
+	fanSpan.End()
+	mStageFanout.ObserveDuration(time.Since(fanStart))
 
 	if firstErr != nil {
 		return query.Result{}, firstErr
 	}
+	mergeStart := time.Now()
+	_, mergeSpan := obs.StartSpan(ctx, "merge")
 	merged := query.NewResult()
 	for _, p := range parts {
 		merged.Merge(p.res)
 	}
+	mergeSpan.End()
+	mStageMerge.ObserveDuration(time.Since(mergeStart))
 	return merged, nil
 }
 
@@ -153,6 +198,10 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	fanStart := time.Now()
+	fanCtx, fanSpan := obs.StartSpan(ctx, "fanout")
+	fanSpan.SetAttr("shares", fmt.Sprint(len(byNode)))
+
 	outs := make([]*shareOutcome, 0, len(byNode))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -162,7 +211,7 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 		wg.Add(1)
 		go func(o *shareOutcome) {
 			defer wg.Done()
-			cl.fetchShare(ctx, o, rc)
+			cl.fetchShare(fanCtx, o, rc)
 			if o.err != nil && !rc.AllowPartial {
 				// The whole query is doomed; release the other shares.
 				mu.Lock()
@@ -172,6 +221,15 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 		}(o)
 	}
 	wg.Wait()
+	fanSpan.End()
+	mStageFanout.ObserveDuration(time.Since(fanStart))
+
+	mergeStart := time.Now()
+	_, mergeSpan := obs.StartSpan(ctx, "merge")
+	defer func() {
+		mergeSpan.End()
+		mStageMerge.ObserveDuration(time.Since(mergeStart))
+	}()
 
 	// Deterministic assembly: sort shares by node id so merged-float order,
 	// first-error choice, and NodeErrors content are reproducible for a
@@ -244,18 +302,25 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 // On return o.served marks the answered keys, o.err the final failure if
 // any key stayed unserved.
 func (cl *Client) fetchShare(ctx context.Context, o *shareOutcome, rc ResilienceConfig) {
+	ctx, ss := obs.StartSpan(ctx, "share")
+	ss.SetAttr("node", o.id.String())
+	ss.SetAttr("keys", fmt.Sprint(len(o.keys)))
+	defer ss.End()
 	o.served = make(map[cell.Key]bool, len(o.keys))
 	node := cl.cluster.nodes[o.id]
 
 	var lastErr error
 	backoff := rc.RetryBackoff
 	for attempt := 0; attempt <= rc.Retries; attempt++ {
-		if attempt > 0 && backoff > 0 {
-			if err := sleepCtx(ctx, backoff); err != nil {
-				o.err = lastErr
-				return
+		if attempt > 0 {
+			mRetries.Inc()
+			if backoff > 0 {
+				if err := sleepCtx(ctx, backoff); err != nil {
+					o.err = lastErr
+					return
+				}
+				backoff *= 2
 			}
-			backoff *= 2
 		}
 		res, err := cl.submitOnce(ctx, node, o.keys, rc)
 		if err == nil {
@@ -274,6 +339,8 @@ func (cl *Client) fetchShare(ctx context.Context, o *shareOutcome, rc Resilience
 
 	if rc.HelperReroute {
 		if res, ok := cl.fetchFromHelpers(ctx, node, o.keys, rc); ok {
+			mHelperRerouteHit.Inc()
+			mRecoveredShares.Add(int64(len(o.keys)))
 			o.res = res
 			for _, k := range o.keys {
 				o.served[k] = true
@@ -281,11 +348,13 @@ func (cl *Client) fetchShare(ctx context.Context, o *shareOutcome, rc Resilience
 			o.recovered = len(o.keys)
 			return
 		}
+		mHelperRerouteMiss.Inc()
 	}
 
 	if rc.ScatterFallback {
 		res, served := cl.scatterFetch(ctx, node, o.keys, rc)
 		if len(served) > 0 {
+			mRecoveredShares.Add(int64(len(served)))
 			o.res = res
 			for _, k := range served {
 				o.served[k] = true
@@ -376,15 +445,25 @@ func (cl *Client) fetchGuestOnce(ctx context.Context, n *Node, keys []cell.Key, 
 // after scatterBreakerLimit consecutive failures so a dead node costs a
 // couple of deadlines, not one per key.
 func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc ResilienceConfig) (query.Result, []cell.Key) {
+	mScatterFallbacks.Inc()
 	res := query.NewResult()
 	var served []cell.Key
 	fails := 0
+	tripped := false
 	plen := cl.cluster.ring.PrefixLen()
 	for _, k := range keys {
-		if fails >= scatterBreakerLimit || ctx.Err() != nil {
+		if fails >= scatterBreakerLimit {
+			if !tripped {
+				tripped = true
+				mBreakerTrips.Inc()
+			}
+			break
+		}
+		if ctx.Err() != nil {
 			break
 		}
 		if len(k.Geohash) >= plen {
+			mScatterRequests.Inc()
 			r, err := cl.submitOnce(ctx, n, []cell.Key{k}, rc)
 			if err != nil {
 				fails++
@@ -402,11 +481,20 @@ func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc
 		part := query.NewResult()
 		ok := true
 		for _, p := range cl.partitionPrefixes(k.Geohash, n.id) {
-			if fails >= scatterBreakerLimit || ctx.Err() != nil {
+			if fails >= scatterBreakerLimit {
+				if !tripped {
+					tripped = true
+					mBreakerTrips.Inc()
+				}
+				ok = false
+				break
+			}
+			if ctx.Err() != nil {
 				ok = false
 				break
 			}
 			pk := cell.Key{Geohash: p, Time: k.Time}
+			mScatterRequests.Inc()
 			r, err := cl.submitOnce(ctx, n, []cell.Key{pk}, rc)
 			if err != nil {
 				fails++

@@ -19,6 +19,7 @@ import (
 
 	"stash/internal/dht"
 	"stash/internal/namgen"
+	"stash/internal/obs"
 	"stash/internal/replication"
 	"stash/internal/simnet"
 	"stash/internal/stash"
@@ -208,6 +209,19 @@ func New(cfg Config) (*Cluster, error) {
 	for _, id := range ring.Nodes() {
 		c.nodes[id] = newNode(id, c, gen)
 	}
+	// Queue depth is sampled live at scrape time: the sum of every node's
+	// pending requests. Re-registering (a later cluster in the same process)
+	// simply replaces the callback, so the gauge always reflects the newest
+	// cluster.
+	r := obs.Default()
+	r.Help("stash_node_queue_depth", "Pending fetch tasks across all node request queues.")
+	r.GaugeFunc("stash_node_queue_depth", func() float64 {
+		var depth int
+		for _, n := range c.nodes {
+			depth += len(n.requests)
+		}
+		return float64(depth)
+	})
 	return c, nil
 }
 

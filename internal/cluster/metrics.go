@@ -1,0 +1,106 @@
+package cluster
+
+import "stash/internal/obs"
+
+// Registry handles for the coordinator and node layers, resolved once at
+// package init so the hot path pays only atomic operations. Everything the
+// PR 1 failure-handling ladder does — retries, helper reroutes, scatter
+// fallback, breaker trips, graceful degradation — is counted here so
+// degraded-mode behaviour is visible at /metrics without running a chaos
+// suite.
+var (
+	// Coordinator outcomes and load.
+	mQueriesOK      = coordOutcome("ok")
+	mQueriesPartial = coordOutcome("partial")
+	mQueriesError   = coordOutcome("error")
+	mInflight       = gauge("stash_coord_inflight_queries", "Queries currently inside the coordinator.")
+	mQueryDur       = histogram("stash_query_duration_seconds", "End-to-end coordinator query latency.")
+	mFanoutNodes    = fanoutHistogram()
+
+	// Per-stage latency decomposition (shared family with frontend/node stages).
+	mStageFootprint = stage("footprint")
+	mStageFanout    = stage("fanout")
+	mStageMerge     = stage("merge")
+	mStageGraphGet  = stage("graph_get")
+	mStageDiskScan  = stage("disk_scan")
+
+	// PR 1 failure-handling ladder.
+	mRetries           = counter("stash_coord_retries_total", "Retry attempts against an owner after a retryable failure.")
+	mHelperRerouteHit  = helperReroute("hit")
+	mHelperRerouteMiss = helperReroute("miss")
+	mScatterFallbacks  = counter("stash_coord_scatter_fallbacks_total", "Owner shares that entered the scatter fallback.")
+	mScatterRequests   = counter("stash_coord_scatter_requests_total", "Mini-requests issued by the scatter fallback.")
+	mBreakerTrips      = counter("stash_coord_breaker_trips_total", "Scatter circuit-breaker aborts (consecutive-failure limit hit).")
+	mPartialResults    = counter("stash_coord_partial_results_total", "Queries answered degraded (incomplete coverage, nil error).")
+	mRecoveredShares   = counter("stash_coord_recovered_keys_total", "Share keys rescued by a failover path (reroute or scatter).")
+
+	// Node-side serving and replication (paper §VII).
+	mNodeRedirects    = counter("stash_node_redirects_total", "Owner-side probabilistic redirects to a replication helper.")
+	mGuestServed      = counter("stash_node_guest_served_total", "Cells served from guest (replica) graphs.")
+	mDerived          = counter("stash_node_derived_total", "Cells derived from cached children instead of disk.")
+	mDiskCellFetches  = counter("stash_node_disk_cells_total", "Cells materialized from the backing store.")
+	mHandoffs         = counter("stash_replication_handoffs_total", "Clique handoffs completed (replicas shipped and routed).")
+	mDistressAccepted = distress("accepted")
+	mDistressRejected = distress("rejected")
+
+	// Per-request fault firings observed at the transport boundary.
+	mFireCrash  = faultFiring("crash")
+	mFirePause  = faultFiring("pause")
+	mFireDrop   = faultFiring("drop")
+	mFireReject = faultFiring("reject")
+	mFireError  = faultFiring("error")
+)
+
+func counter(name, help string) *obs.Counter {
+	r := obs.Default()
+	r.Help(name, help)
+	return r.Counter(name)
+}
+
+func gauge(name, help string) *obs.Gauge {
+	r := obs.Default()
+	r.Help(name, help)
+	return r.Gauge(name)
+}
+
+func histogram(name, help string) *obs.Histogram {
+	r := obs.Default()
+	r.Help(name, help)
+	return r.Histogram(name)
+}
+
+func coordOutcome(outcome string) *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_coord_queries_total", "Coordinator queries by outcome (ok, partial, error).")
+	return r.Counter("stash_coord_queries_total", "outcome", outcome)
+}
+
+func stage(name string) *obs.Histogram {
+	r := obs.Default()
+	r.Help("stash_stage_duration_seconds", "Per-stage latency decomposition of the query path.")
+	return r.Histogram("stash_stage_duration_seconds", "stage", name)
+}
+
+func helperReroute(result string) *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_coord_helper_reroutes_total", "Failed-owner shares routed to replication helpers, by result.")
+	return r.Counter("stash_coord_helper_reroutes_total", "result", result)
+}
+
+func distress(result string) *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_replication_distress_total", "Distress (replica admission) requests handled by helpers, by result.")
+	return r.Counter("stash_replication_distress_total", "result", result)
+}
+
+func faultFiring(kind string) *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_fault_firings_total", "Injected faults actually firing on requests at the transport, by kind.")
+	return r.Counter("stash_fault_firings_total", "kind", kind)
+}
+
+func fanoutHistogram() *obs.Histogram {
+	r := obs.Default()
+	r.Help("stash_coord_fanout_nodes", "Owner shares per query (fan-out width).")
+	return r.HistogramBuckets("stash_coord_fanout_nodes", []float64{1, 2, 4, 8, 16, 32, 64, 128})
+}

@@ -12,6 +12,7 @@ import (
 	"stash/internal/dht"
 	"stash/internal/galileo"
 	"stash/internal/namgen"
+	"stash/internal/obs"
 	"stash/internal/query"
 	"stash/internal/replication"
 	"stash/internal/stash"
@@ -43,6 +44,7 @@ type NodeStats struct {
 }
 
 type fetchTask struct {
+	ctx   context.Context // carries the caller's trace across the queue
 	keys  []cell.Key
 	guest bool
 	reply chan fetchReply
@@ -128,9 +130,11 @@ func newNode(id dht.NodeID, c *Cluster, gen *namgen.Generator) *Node {
 		sc := *c.cfg.Stash
 		sc.Model = c.cfg.Model
 		sc.Sleeper = c.cfg.Sleeper
+		sc.Tier = "local"
 		n.graph = stash.NewGraph(sc)
 
 		gc := sc
+		gc.Tier = "guest"
 		if c.cfg.GuestCapacity > 0 {
 			gc.Capacity = c.cfg.GuestCapacity
 		}
@@ -236,6 +240,7 @@ func (n *Node) Submit(ctx context.Context, keys []cell.Key) (query.Result, error
 	if !crashed && cfg.Enabled() && n.routing.Len() > 0 {
 		if helper, ok := n.routing.Lookup(keys); ok && n.flip(cfg.RerouteProbability) {
 			n.rerouted.Add(1)
+			mNodeRedirects.Inc()
 			rep, err := n.cluster.nodes[helper].enqueue(ctx, keys, true)
 			switch {
 			case err != nil:
@@ -276,18 +281,27 @@ func (n *Node) FetchGuest(ctx context.Context, keys []cell.Key) (query.Result, [
 // a pause is added latency.
 func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchReply, error) {
 	c := n.cluster
+	ctx, sp := obs.StartSpan(ctx, "node.request")
+	sp.SetAttr("node", n.id.String())
+	if guest {
+		sp.SetAttr("guest", "true")
+	}
+	defer sp.End()
 	if fp := c.cfg.Faults; fp != nil {
 		id := int(n.id)
 		if fp.Rejecting(id) {
+			mFireReject.Inc()
 			return fetchReply{}, fmt.Errorf("%v: %w", n.id, ErrRejected)
 		}
 		if fp.Erroring(id) {
+			mFireError.Inc()
 			return fetchReply{}, fmt.Errorf("%v: %w", n.id, ErrFaulted)
 		}
 		if fp.Crashed(id) {
 			// A crashed node never answers: the request vanishes into the
 			// transport and only the caller's deadline (or cluster
 			// shutdown) ends the wait.
+			mFireCrash.Inc()
 			select {
 			case <-ctx.Done():
 				return fetchReply{}, fmt.Errorf("%v: %w: %v", n.id, ErrUnavailable, ctx.Err())
@@ -296,6 +310,7 @@ func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchR
 			}
 		}
 		if d := fp.PauseFor(id); d > 0 {
+			mFirePause.Inc()
 			if err := n.sleepCtx(ctx, d); err != nil {
 				return fetchReply{}, err
 			}
@@ -303,7 +318,7 @@ func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchR
 	}
 	c.cfg.Sleeper.Apply(c.cfg.Model.NetCost(len(keys) * approxKeyBytes))
 
-	t := fetchTask{keys: keys, guest: guest, reply: make(chan fetchReply, 1)}
+	t := fetchTask{ctx: ctx, keys: keys, guest: guest, reply: make(chan fetchReply, 1)}
 	select {
 	case n.requests <- t:
 	case <-ctx.Done():
@@ -319,6 +334,7 @@ func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchR
 	select {
 	case rep := <-t.reply:
 		if fp := c.cfg.Faults; fp != nil && fp.DropReply(int(n.id)) {
+			mFireDrop.Inc()
 			// The reply was lost in flight: the node did the work (its
 			// cache populated), but the caller sees only silence.
 			select {
@@ -367,25 +383,39 @@ func (n *Node) flip(p float64) bool {
 	return n.rng.Float64() < p
 }
 
-// handle serves one fetch task on a worker goroutine.
+// handle serves one fetch task on a worker goroutine. The task carries the
+// caller's context so the node-side work records into the caller's trace.
 func (n *Node) handle(t fetchTask) {
 	n.processed.Add(1)
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, sp := obs.StartSpan(ctx, "node.serve")
+	sp.SetAttr("node", n.id.String())
+	defer sp.End()
 	if t.guest {
-		t.reply <- n.handleGuest(t.keys)
+		t.reply <- n.handleGuest(ctx, t.keys)
 		return
 	}
-	t.reply <- n.handleLocal(t.keys)
+	t.reply <- n.handleLocal(ctx, t.keys)
 }
 
 // handleGuest serves a rerouted request purely from the guest graph; cells
 // the guest no longer holds are reported back as missing for the caller to
 // fall back on (paper §VII-C).
-func (n *Node) handleGuest(keys []cell.Key) fetchReply {
+func (n *Node) handleGuest(ctx context.Context, keys []cell.Key) fetchReply {
 	if n.guest == nil {
 		return fetchReply{result: query.NewResult(), missing: keys}
 	}
+	start := time.Now()
+	_, gs := obs.StartSpan(ctx, "graph.get")
 	found, missing := n.guest.Get(keys)
+	gs.SetAttr("hits", fmt.Sprint(found.Len()))
+	gs.End()
+	mStageGraphGet.ObserveDuration(time.Since(start))
 	n.guestServed.Add(int64(found.Len()))
+	mGuestServed.Add(int64(found.Len()))
 	n.touchGuestCliques(keys)
 	return fetchReply{result: found, missing: missing}
 }
@@ -394,23 +424,28 @@ func (n *Node) handleGuest(keys []cell.Key) fetchReply {
 // derivation from cached children, then the backing store for whatever is
 // still missing; fetched cells populate the cache in the background (the
 // paper's separate population thread, §VIII-C2).
-func (n *Node) handleLocal(keys []cell.Key) fetchReply {
+func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 	if n.graph == nil {
-		res, err := n.store.FetchCells(keys)
+		res, err := n.diskScan(ctx, keys)
 		if err == nil {
 			n.diskCells.Add(int64(len(keys)))
 		}
 		return fetchReply{result: res, err: err}
 	}
 
+	getStart := time.Now()
+	_, gs := obs.StartSpan(ctx, "graph.get")
 	found, missing := n.graph.Get(keys)
+	gs.SetAttr("hits", fmt.Sprint(len(keys)-len(missing)))
+	gs.End()
+	mStageGraphGet.ObserveDuration(time.Since(getStart))
 	if len(missing) == 0 {
 		return fetchReply{result: found}
 	}
 	if n.cluster.cfg.DisablePLM {
 		// abl-plm: without per-cell completeness tracking the node cannot
 		// tell which chunks are missing and re-evaluates the whole request.
-		res, err := n.store.FetchCells(keys)
+		res, err := n.diskScan(ctx, keys)
 		if err != nil {
 			return fetchReply{result: found, err: err}
 		}
@@ -424,6 +459,7 @@ func (n *Node) handleLocal(keys []cell.Key) fetchReply {
 		if sum, ok := n.graph.DeriveFromChildren(k); ok {
 			found.Add(k, sum)
 			n.derived.Add(1)
+			mDerived.Inc()
 			continue
 		}
 		unfetched = append(unfetched, k)
@@ -432,7 +468,7 @@ func (n *Node) handleLocal(keys []cell.Key) fetchReply {
 		return fetchReply{result: found}
 	}
 
-	diskRes, err := n.store.FetchCells(unfetched)
+	diskRes, err := n.diskScan(ctx, unfetched)
 	if err != nil {
 		return fetchReply{result: found, err: err}
 	}
@@ -440,6 +476,21 @@ func (n *Node) handleLocal(keys []cell.Key) fetchReply {
 	found.Merge(diskRes)
 	n.populateAsync(diskRes, unfetched)
 	return fetchReply{result: found}
+}
+
+// diskScan fetches cells from the backing store under a "disk.scan" span and
+// the disk-stage latency histogram.
+func (n *Node) diskScan(ctx context.Context, keys []cell.Key) (query.Result, error) {
+	start := time.Now()
+	_, ds := obs.StartSpan(ctx, "disk.scan")
+	ds.SetAttr("cells", fmt.Sprint(len(keys)))
+	res, err := n.store.FetchCells(keys)
+	ds.End()
+	mStageDiskScan.ObserveDuration(time.Since(start))
+	if err == nil {
+		mDiskCellFetches.Add(int64(len(keys)))
+	}
+	return res, err
 }
 
 // populateAsync inserts fetched cells into the cache off the response path
@@ -516,6 +567,7 @@ func (n *Node) runHandoff() int {
 			if helper.askReplicate(cl.Root, cl.Keys, payload) {
 				n.routing.Add(cl.Root, cand, cl.Keys, time.Now())
 				n.handoffs.Add(1)
+				mHandoffs.Inc()
 				done++
 			}
 			break
@@ -575,6 +627,11 @@ func (n *Node) controlLoop() {
 				ok := n.guest != nil &&
 					len(n.requests) <= cfg.QueueThreshold &&
 					n.guest.Len()+m.cells <= n.guestCapacity()
+				if ok {
+					mDistressAccepted.Inc()
+				} else {
+					mDistressRejected.Inc()
+				}
 				m.reply <- ok
 			case replicateMsg:
 				if n.guest == nil {

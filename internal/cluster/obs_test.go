@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"stash/internal/obs"
+)
+
+// collectNames walks a span tree depth-first, counting span names.
+func collectNames(nodes []*obs.SpanNode, into map[string]int) {
+	for _, n := range nodes {
+		into[n.Name]++
+		collectNames(n.Children, into)
+	}
+}
+
+// findSpan returns the first span with the given name, searching depth-first.
+func findSpan(nodes []*obs.SpanNode, name string) *obs.SpanNode {
+	for _, n := range nodes {
+		if n.Name == name {
+			return n
+		}
+		if f := findSpan(n.Children, name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestQuerySpanParenting(t *testing.T) {
+	// The full traced chain for one query:
+	//
+	//	query → footprint
+	//	      → fanout → share → node.request → node.serve → graph.get
+	//	      → merge
+	//
+	// with disk.scan under node.serve on a cold cache.
+	c := newTestCluster(t, nil)
+	ctx, tr := obs.NewTrace(context.Background())
+	if _, err := c.Client().QueryContext(ctx, countyQuery()); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := tr.Tree()
+	if len(roots) != 1 {
+		t.Fatalf("got %d root spans, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Name != "query" {
+		t.Fatalf("root span %q, want query", root.Name)
+	}
+
+	// Stage spans are direct children of the root, in execution order.
+	var stages []string
+	for _, c := range root.Children {
+		stages = append(stages, c.Name)
+	}
+	want := []string{"footprint", "fanout", "merge"}
+	if len(stages) != len(want) {
+		t.Fatalf("root children %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("root children %v, want %v", stages, want)
+		}
+	}
+
+	// Shares hang under fanout, and each share's request chain nests below it.
+	fanout := root.Children[1]
+	if len(fanout.Children) == 0 {
+		t.Fatal("fanout span has no share children")
+	}
+	for _, sh := range fanout.Children {
+		if sh.Name != "share" {
+			t.Fatalf("fanout child %q, want share", sh.Name)
+		}
+		req := findSpan(sh.Children, "node.request")
+		if req == nil {
+			t.Fatalf("share span has no node.request child: %+v", sh)
+		}
+		if findSpan(req.Children, "node.serve") == nil {
+			t.Fatalf("node.request span has no node.serve child: %+v", req)
+		}
+	}
+
+	// The cold query touches the graph and (via derivation misses) the disk.
+	counts := map[string]int{}
+	collectNames(roots, counts)
+	if counts["graph.get"] == 0 {
+		t.Error("no graph.get span recorded")
+	}
+	if counts["disk.scan"] == 0 {
+		t.Error("cold query recorded no disk.scan span")
+	}
+	if counts["share"] != len(fanout.Children) {
+		t.Errorf("share spans outside fanout: %d total, %d under fanout",
+			counts["share"], len(fanout.Children))
+	}
+}
+
+func TestQuerySpanParentingResilient(t *testing.T) {
+	// The resilient ladder opens the same stage shape.
+	c := newTestCluster(t, func(cfg *Config) {
+		rc := DefaultResilienceConfig()
+		cfg.Resilience = rc
+	})
+	ctx, tr := obs.NewTrace(context.Background())
+	if _, err := c.Client().QueryContext(ctx, countyQuery()); err != nil {
+		t.Fatal(err)
+	}
+	roots := tr.Tree()
+	if len(roots) != 1 || roots[0].Name != "query" {
+		t.Fatalf("unexpected roots: %+v", roots)
+	}
+	counts := map[string]int{}
+	collectNames(roots, counts)
+	for _, name := range []string{"footprint", "fanout", "merge", "share", "node.request"} {
+		if counts[name] == 0 {
+			t.Errorf("resilient query recorded no %s span (counts %v)", name, counts)
+		}
+	}
+}

@@ -83,6 +83,11 @@ func NewRing(n, prefixLen int) (*Ring, error) {
 		r.vnodeKeys[i] = v.key
 		r.vnodeOwners[i] = v.owner
 	}
+	// Placement topology of the most recently built ring: clusters are
+	// rebuilt wholesale (never resized live), so last-writer-wins is the
+	// correct exposition.
+	mNodes.Set(int64(n))
+	mPlacements.Add(int64(len(vns)))
 	return r, nil
 }
 
@@ -110,13 +115,16 @@ func (r *Ring) Partition(gh string) string {
 }
 
 // Owner returns the node owning the given geohash. This is the zero-hop
-// lookup: pure local computation, no network.
+// lookup: pure local computation, no network — which is exactly why the
+// registry counts placements rather than hops (there are none to count).
 func (r *Ring) Owner(gh string) NodeID {
+	mLookupPoint.Inc()
 	return r.ownerOfKey(r.Partition(gh))
 }
 
 // OwnerOfPartition returns the node owning a raw partition key.
 func (r *Ring) OwnerOfPartition(part string) NodeID {
+	mLookupPartition.Inc()
 	return r.ownerOfKey(part)
 }
 

@@ -1,0 +1,30 @@
+package dht
+
+import "stash/internal/obs"
+
+// Registry handles for the DHT layer. Owner lookups run once per footprint
+// key on the coordinator hot path, so both are single atomic adds.
+var (
+	mLookupPoint     = lookupCounter("point")
+	mLookupPartition = lookupCounter("partition")
+	mNodes           = nodesGauge()
+	mPlacements      = placementsCounter()
+)
+
+func lookupCounter(kind string) *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_dht_lookups_total", "Zero-hop owner lookups on the DHT ring, by key kind.")
+	return r.Counter("stash_dht_lookups_total", "kind", kind)
+}
+
+func nodesGauge() *obs.Gauge {
+	r := obs.Default()
+	r.Help("stash_dht_nodes", "Node count of the most recently built ring.")
+	return r.Gauge("stash_dht_nodes")
+}
+
+func placementsCounter() *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_dht_placements_total", "Virtual-node placements performed across all ring builds.")
+	return r.Counter("stash_dht_placements_total")
+}

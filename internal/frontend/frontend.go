@@ -13,10 +13,14 @@
 package frontend
 
 import (
+	"context"
+	"fmt"
 	"sync"
+	"time"
 
 	"stash/internal/cell"
 	"stash/internal/cluster"
+	"stash/internal/obs"
 	"stash/internal/query"
 	"stash/internal/stash"
 )
@@ -72,6 +76,7 @@ func NewClient(inner *cluster.Client, cfg Config) *Client {
 	}
 	sc := stash.DefaultConfig()
 	sc.Capacity = cfg.CacheCells
+	sc.Tier = "frontend"
 	p := cfg.Predictor
 	if p == nil {
 		p = NewMomentumPredictor()
@@ -91,14 +96,39 @@ func (c *Client) Stats() Stats {
 	return c.stats
 }
 
-// Cache exposes the front-end graph (for tests and diagnostics).
+// Cache exposes the front-end graph (for tests and diagnostics). The graph
+// carries its own internal mutex, so the returned handle is safe to probe
+// concurrently with in-flight queries without taking the client's lock; c.mu
+// guards only the client's bookkeeping (stats, history, and the
+// prefetch-busy flag), never the graph itself.
 func (c *Client) Cache() *stash.Graph { return c.cache }
+
+// PrefetchBusy reports whether a background prefetch is currently in flight.
+// The flag is read under the client mutex — the same lock every writer
+// holds — so the answer is never torn, merely instantly stale.
+func (c *Client) PrefetchBusy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prefetchBusy
+}
 
 // Query evaluates an aggregation query, serving whatever the front-end
 // graph holds and fetching only the missing cells from the back-end. On
 // return it records the query with the predictor and, if enabled, prefetches
 // the predicted next query in the background.
 func (c *Client) Query(q query.Query) (query.Result, error) {
+	return c.QueryContext(context.Background(), q)
+}
+
+// QueryContext evaluates a query under the caller's context. Cancellation
+// and deadline propagate into the back-end sub-requests; when the context
+// carries an obs.Trace the front-end records a "query" root span with a
+// "cache.probe" child ahead of the coordinator's fan-out spans.
+func (c *Client) QueryContext(ctx context.Context, q query.Query) (query.Result, error) {
+	ctx, qs := obs.StartSpan(ctx, "query")
+	qs.SetAttr("query", q.String())
+	qs.SetAttr("tier", "frontend")
+	defer qs.End()
 	if err := q.Validate(); err != nil {
 		return query.Result{}, err
 	}
@@ -106,7 +136,7 @@ func (c *Client) Query(q query.Query) (query.Result, error) {
 	if err != nil {
 		return query.Result{}, err
 	}
-	res, err := c.fetch(keys)
+	res, err := c.fetch(ctx, keys)
 	if err != nil {
 		return query.Result{}, err
 	}
@@ -148,8 +178,13 @@ func (c *Client) Query(q query.Query) (query.Result, error) {
 
 // fetch serves keys from the front cache, pulling misses from the back-end
 // and populating the cache.
-func (c *Client) fetch(keys []cell.Key) (query.Result, error) {
+func (c *Client) fetch(ctx context.Context, keys []cell.Key) (query.Result, error) {
+	probeStart := time.Now()
+	_, ps := obs.StartSpan(ctx, "cache.probe")
 	found, missing := c.cache.Get(keys)
+	ps.SetAttr("hits", fmt.Sprint(len(keys)-len(missing)))
+	ps.End()
+	mStageCacheProbe.ObserveDuration(time.Since(probeStart))
 
 	c.mu.Lock()
 	c.stats.CellsFromCache += int64(len(keys) - len(missing))
@@ -160,9 +195,10 @@ func (c *Client) fetch(keys []cell.Key) (query.Result, error) {
 	c.mu.Unlock()
 
 	if len(missing) == 0 {
+		mFullyLocal.Inc()
 		return found, nil
 	}
-	back, err := c.inner.Fetch(missing)
+	back, err := c.inner.FetchContext(ctx, missing)
 	if err != nil {
 		return query.Result{}, err
 	}
@@ -230,6 +266,7 @@ func (c *Client) runPrefetch(q query.Query) {
 	c.mu.Lock()
 	c.stats.Prefetches++
 	c.mu.Unlock()
+	mPrefetches.Inc()
 }
 
 // Wait blocks until any in-flight prefetch has landed (tests and shutdown).

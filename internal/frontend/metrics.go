@@ -1,0 +1,25 @@
+package frontend
+
+import "stash/internal/obs"
+
+// Front-end tier handles. Cache hit/miss/eviction counts for the front-end
+// graph come from the shared stash_cache_* family with tier="frontend" (the
+// graph itself counts them); here we add the stages and events only the
+// front-end knows about.
+var (
+	mStageCacheProbe = stageCacheProbe()
+	mPrefetches      = feCounter("stash_frontend_prefetches_total", "Background prefetches that landed in the front-end cache.")
+	mFullyLocal      = feCounter("stash_frontend_fully_local_total", "Queries answered without any back-end round trip.")
+)
+
+func feCounter(name, help string) *obs.Counter {
+	r := obs.Default()
+	r.Help(name, help)
+	return r.Counter(name)
+}
+
+func stageCacheProbe() *obs.Histogram {
+	r := obs.Default()
+	r.Help("stash_stage_duration_seconds", "Per-stage latency decomposition of the query path.")
+	return r.Histogram("stash_stage_duration_seconds", "stage", "cache_probe")
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"stash/internal/cell"
 	"stash/internal/dht"
@@ -178,6 +179,7 @@ func (s *Store) FetchCells(keys []cell.Key) (query.Result, error) {
 	if len(keys) == 0 {
 		return res, nil
 	}
+	defer func(start time.Time) { mScanDur.ObserveDuration(time.Since(start)) }(time.Now())
 	sres, tres := keys[0].SpatialRes(), keys[0].TemporalRes()
 	want := make(map[cell.Key]bool, len(keys))
 	for _, k := range keys {
@@ -254,6 +256,8 @@ func (s *Store) readBlock(b BlockID) ([]namgen.Observation, error) {
 	}
 	s.blocksRead.Add(1)
 	s.pointsScanned.Add(int64(len(obs)))
+	mBlocksRead.Inc()
+	mPointsScanned.Add(int64(len(obs)))
 	s.sleeper.Apply(s.model.DiskCost(1, len(obs)))
 	return obs, nil
 }

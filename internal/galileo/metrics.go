@@ -1,0 +1,24 @@
+package galileo
+
+import "stash/internal/obs"
+
+// Registry handles for the storage layer. galileo.go keeps `obs` free as a
+// local variable name for observations, so all registry access happens
+// through these package-level handles.
+var (
+	mBlocksRead    = diskCounter("stash_disk_blocks_read_total", "Backing-store blocks materialized and scanned.")
+	mPointsScanned = diskCounter("stash_disk_points_scanned_total", "Raw observations scanned while aggregating cells.")
+	mScanDur       = scanHistogram()
+)
+
+func diskCounter(name, help string) *obs.Counter {
+	r := obs.Default()
+	r.Help(name, help)
+	return r.Counter(name)
+}
+
+func scanHistogram() *obs.Histogram {
+	r := obs.Default()
+	r.Help("stash_disk_scan_duration_seconds", "Wall time of one FetchCells scan over the backing store.")
+	return r.Histogram("stash_disk_scan_duration_seconds")
+}

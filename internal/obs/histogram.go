@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets returns the default histogram bounds: 20 exponential buckets
+// from 100µs doubling to ~52s (seconds-valued observations), sized for the
+// repo's latency range — sub-millisecond warm cache hits up to multi-second
+// degraded-mode tails.
+func DefBuckets() []float64 { return ExpBuckets(100e-6, 2, 20) }
+
+// ExpBuckets builds n exponential upper bounds: start, start*factor,
+// start*factor^2, ... Panics on non-positive start, factor <= 1, or n <= 0.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters.
+// An observation is a binary search over the bounds plus two atomic adds,
+// cheap enough for per-request hot paths. Quantiles are estimated from the
+// bucket layout (linear interpolation inside the target bucket), the same
+// scheme Prometheus' histogram_quantile uses.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf implicit at the end
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets()
+	} else {
+		bounds = append([]float64(nil), bounds...)
+		if !sort.Float64sAreSorted(bounds) {
+			panic("obs: histogram bounds must ascend")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value (in the histogram's native unit; the repo's
+// latency histograms use seconds). NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Bounds []float64 // upper bounds (no +Inf)
+	Counts []uint64  // per-bucket (non-cumulative), len(Bounds)+1
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram state. Under concurrent observation the
+// copy is approximate (buckets are read one by one), which is the standard
+// exposition trade-off.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket layout:
+// the target bucket is found by cumulative rank, then the position inside
+// it is linearly interpolated. Values in the +Inf bucket report the highest
+// finite bound; an empty histogram reports 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - prev) / float64(c)
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lower + (upper-lower)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile estimates a quantile from the live histogram.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }

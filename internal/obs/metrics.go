@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a metric family.
+type Kind int
+
+// The metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (n must be >= 0 for Prometheus semantics;
+// negative deltas are silently dropped to keep the family monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, in-flight requests,
+// resident cells).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// series is one labeled time series inside a family.
+type series struct {
+	labels []Label // sorted by name
+	key    string  // canonical label rendering
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// Label is one name="value" pair.
+type Label struct {
+	Name, Value string
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name string
+	kind Kind
+	// kindSet distinguishes a real kind from the zero value: Help may create
+	// a family before any series fixes its kind.
+	kindSet bool
+	help    string
+	series  map[string]*series
+}
+
+// Registry is a concurrent metric registry. The zero value is not usable;
+// call New (or use the process-wide Default). All getters are get-or-create
+// and safe for concurrent use; handles returned once stay valid forever, so
+// hot paths should resolve their handles at construction time and then only
+// touch atomics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// defaultRegistry is the process-wide registry served at /metrics.
+var defaultRegistry = New()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// labelPairs converts alternating name, value strings into sorted labels.
+func labelPairs(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic("obs: labels must be name, value pairs")
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Name: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// renderLabels produces the canonical {a="x",b="y"} body (no braces) used
+// both as map key and in exposition.
+func renderLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// getSeries returns the series for name+labels, creating family and series
+// as needed. Panics when the name is reused with a different kind — that is
+// a programming error best caught in tests.
+func (r *Registry) getSeries(name string, kind Kind, kv []string) *series {
+	ls := labelPairs(kv)
+	key := renderLabels(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if !f.kindSet {
+		f.kind = kind
+		f.kindSet = true
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: ls, key: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns (creating if absent) the counter for name and the given
+// alternating label name, value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	s := r.getSeries(name, KindCounter, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns (creating if absent) the gauge for name and labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	s := r.getSeries(name, KindGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers (or replaces) a callback-backed gauge: fn is invoked
+// at exposition/snapshot time. Use it for values derived from live state,
+// e.g. summed queue depths; re-registering the same name+labels replaces
+// the callback, so a rebuilt cluster simply takes over the series.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	s := r.getSeries(name, KindGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.fn = fn
+}
+
+// Histogram returns (creating if absent) the histogram for name and labels,
+// with the default exponential duration buckets (seconds).
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	return r.HistogramBuckets(name, nil, labels...)
+}
+
+// HistogramBuckets is Histogram with explicit upper bounds (ascending,
+// excluding +Inf). nil selects DefBuckets. Bounds are fixed at first
+// creation; later calls return the existing histogram.
+func (r *Registry) HistogramBuckets(name string, bounds []float64, labels ...string) *Histogram {
+	s := r.getSeries(name, KindHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.h == nil {
+		s.h = newHistogram(bounds)
+	}
+	return s.h
+}
+
+// Help attaches exposition help text to a metric family.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		f.help = text
+	} else {
+		r.families[name] = &family{name: name, help: text, series: map[string]*series{}}
+	}
+}
+
+// Metric is one series in a Snapshot.
+type Metric struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	// Value is the counter count or gauge level; for histograms it is the
+	// observation count (see Count/Sum/Quantiles for the rest).
+	Value float64
+	// Histogram-only fields.
+	Count     uint64
+	Sum       float64
+	Quantiles map[string]float64 // "p50", "p95", "p99"
+}
+
+// Snapshot returns every series' current value, sorted by name then labels.
+func (r *Registry) Snapshot() []Metric {
+	var out []Metric
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			m := Metric{Name: f.name, Labels: s.labels, Kind: f.kind}
+			switch {
+			case s.c != nil:
+				m.Value = float64(s.c.Value())
+			case s.fn != nil:
+				m.Value = s.fn()
+			case s.g != nil:
+				m.Value = float64(s.g.Value())
+			case s.h != nil:
+				snap := s.h.Snapshot()
+				m.Value = float64(snap.Count)
+				m.Count = snap.Count
+				m.Sum = snap.Sum
+				m.Quantiles = map[string]float64{
+					"p50": snap.Quantile(0.50),
+					"p95": snap.Quantile(0.95),
+					"p99": snap.Quantile(0.99),
+				}
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FlatSnapshot renders the snapshot as a map keyed name{labels} (plus
+// _count/_sum/_p50/_p95/_p99 entries for histograms) — the shape /stats
+// folds into its JSON body.
+func (r *Registry) FlatSnapshot() map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range r.Snapshot() {
+		key := m.Name
+		if lb := renderLabels(m.Labels); lb != "" {
+			key += "{" + lb + "}"
+		}
+		if m.Kind == KindHistogram {
+			out[key+"_count"] = float64(m.Count)
+			out[key+"_sum"] = m.Sum
+			for q, v := range m.Quantiles {
+				out[key+"_"+q] = v
+			}
+			continue
+		}
+		out[key] = m.Value
+	}
+	return out
+}
+
+// famView is a race-free copy of one family taken under the registry lock:
+// series pointers are stable once created, so only the maps need copying.
+type famView struct {
+	name   string
+	kind   Kind
+	help   string
+	series []*series // sorted by label key
+}
+
+// sortedFamilies snapshots families (and their series lists) in name order.
+func (r *Registry) sortedFamilies() []famView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]famView, 0, len(r.families))
+	for _, f := range r.families {
+		v := famView{name: f.name, kind: f.kind, help: f.help,
+			series: make([]*series, 0, len(f.series))}
+		for _, s := range f.series {
+			v.series = append(v.series, s)
+		}
+		sort.Slice(v.series, func(i, j int) bool { return v.series[i].key < v.series[j].key })
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Timer observes the elapsed time since start into h. Usage:
+//
+//	defer obs.Timer(h, time.Now())
+func Timer(h *Histogram, start time.Time) {
+	if h != nil {
+		h.ObserveDuration(time.Since(start))
+	}
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // negative deltas are dropped: counters stay monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total"); again != c {
+		t.Fatal("re-registering a counter must return the same handle")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge value %d, want 7", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := New()
+	hit := r.Counter("cache_total", "tier", "frontend", "op", "hit")
+	miss := r.Counter("cache_total", "tier", "frontend", "op", "miss")
+	if hit == miss {
+		t.Fatal("different label sets must be different series")
+	}
+	hit.Inc()
+	// Label order must not matter: (op, tier) resolves to the (tier, op) series.
+	same := r.Counter("cache_total", "op", "hit", "tier", "frontend")
+	if same != hit {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge on a counter family must panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestHelpBeforeKindIsAdopted(t *testing.T) {
+	// Help may create the family before the first series fixes its kind; the
+	// first real registration must adopt the kind rather than panic.
+	r := New()
+	r.Help("nodes", "ring size")
+	g := r.Gauge("nodes")
+	g.Set(3)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE nodes gauge") {
+		t.Fatalf("help-first family lost its gauge kind:\n%s", buf.String())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := New()
+	v := 1.0
+	r.GaugeFunc("live", func() float64 { return v })
+	snap := r.FlatSnapshot()
+	if snap["live"] != 1 {
+		t.Fatalf("gauge func snapshot %v, want 1", snap["live"])
+	}
+	// Re-registering replaces the callback.
+	r.GaugeFunc("live", func() float64 { return 42 })
+	if snap = r.FlatSnapshot(); snap["live"] != 42 {
+		t.Fatalf("replaced gauge func snapshot %v, want 42", snap["live"])
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	// Hammer registration, observation, and exposition concurrently; run
+	// with -race in CI.
+	r := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tiers := []string{"frontend", "local", "guest"}
+			for n := 0; n < 500; n++ {
+				c := r.Counter("conc_total", "tier", tiers[n%len(tiers)])
+				c.Inc()
+				h := r.Histogram("conc_lat_seconds")
+				h.Observe(float64(n) * 1e-4)
+				g := r.Gauge("conc_gauge")
+				g.Add(1)
+			}
+		}(i)
+	}
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			_ = r.WritePrometheus(&buf)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+
+	var total int64
+	for _, m := range r.Snapshot() {
+		if m.Name == "conc_total" {
+			total += int64(m.Value)
+		}
+	}
+	if total != 4*500 {
+		t.Fatalf("concurrent counter total %d, want %d", total, 4*500)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := New()
+	h := r.HistogramBuckets("lat", []float64{1, 2, 4})
+	// Prometheus buckets are le (inclusive upper bounds): 1.0 lands in the
+	// first bucket, 1.0001 in the second, 4.5 in +Inf.
+	h.Observe(0.5)
+	h.Observe(1.0)
+	h.Observe(1.0001)
+	h.Observe(2.0)
+	h.Observe(4.0)
+	h.Observe(4.5)
+	snap := h.Snapshot()
+	want := []uint64{2, 2, 1, 1} // le=1, le=2, le=4, +Inf
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d count %d, want %d", i, snap.Counts[i], w)
+		}
+	}
+	if snap.Count != 6 {
+		t.Errorf("count %d, want 6", snap.Count)
+	}
+	if got, want := snap.Sum, 0.5+1.0+1.0001+2.0+4.0+4.5; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40})
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // all in the first bucket
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 10 {
+		t.Errorf("p50 %v outside first bucket (0,10]", q)
+	}
+	// +Inf-bucket values clamp to the highest finite bound.
+	h2 := newHistogram([]float64{10})
+	h2.Observe(1e9)
+	if q := h2.Quantile(0.99); q != 10 {
+		t.Errorf("+Inf bucket quantile %v, want clamp to 10", q)
+	}
+	// Empty histogram reports 0.
+	h3 := newHistogram([]float64{1})
+	if q := h3.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile %v, want 0", q)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	def := DefBuckets()
+	if len(def) != 20 || def[0] != 100e-6 {
+		t.Fatalf("unexpected default buckets: %v", def)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Help("app_requests_total", "Requests by outcome.")
+	r.Counter("app_requests_total", "outcome", "ok").Add(3)
+	r.Counter("app_requests_total", "outcome", "error").Inc()
+	r.Help("app_depth", "Live depth.")
+	r.Gauge("app_depth").Set(2)
+	h := r.HistogramBuckets("app_latency_seconds", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_depth Live depth.
+# TYPE app_depth gauge
+app_depth 2
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="0.5"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 2.3
+app_latency_seconds_count 3
+# HELP app_requests_total Requests by outcome.
+# TYPE app_requests_total counter
+app_requests_total{outcome="error"} 1
+app_requests_total{outcome="ok"} 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("esc_total", "q", "a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `q="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped:\n%s", buf.String())
+	}
+}
+
+func TestFlatSnapshotHistogramKeys(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "stage", "merge")
+	h.ObserveDuration(2 * time.Millisecond)
+	flat := r.FlatSnapshot()
+	base := `lat_seconds{stage="merge"}`
+	if flat[base+"_count"] != 1 {
+		t.Errorf("count entry missing: %v", flat)
+	}
+	for _, q := range []string{"_p50", "_p95", "_p99", "_sum"} {
+		if _, ok := flat[base+q]; !ok {
+			t.Errorf("flat snapshot missing %s%s", base, q)
+		}
+	}
+}
+
+func TestDefaultRegistryIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return the process-wide registry")
+	}
+}

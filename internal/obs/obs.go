@@ -1,0 +1,25 @@
+// Package obs is the repo's zero-dependency observability substrate:
+//
+//   - a concurrent metrics registry of atomic counters, gauges, and
+//     fixed-bucket exponential histograms, exposed in Prometheus text
+//     format (metrics.go, prom.go), and
+//   - lightweight span tracing propagated through context.Context across
+//     the full query path, exportable as a nested span tree or as Chrome
+//     trace-event JSON loadable in Perfetto / chrome://tracing (span.go).
+//
+// The paper's whole argument is latency decomposition — cache hit vs. disk
+// path, hop counts, replication absorbing hotspots (§VI) — so every layer
+// (frontend cache probe → coordinator fan-out → per-node graph lookup →
+// galileo disk scan → merge) registers its counters and stage histograms
+// here and opens spans on the request path.
+//
+// Metrics are cheap enough for hot paths: a counter increment is one atomic
+// add, a histogram observation is a binary search over ~20 bucket bounds
+// plus two atomic adds. Span creation is a handful of allocations but only
+// happens when the caller installed a Trace in the context (StartSpan is a
+// nil-cheap no-op otherwise), so untraced production queries pay one
+// context value lookup.
+//
+// The package depends only on the standard library; the process-wide
+// Default() registry is what cmd/stashd serves at GET /metrics.
+package obs

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// set, histograms expanded into cumulative _bucket/_sum/_count series. The
+// output is deterministic for a fixed registry state, which the golden test
+// relies on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f famView, s *series) error {
+	switch {
+	case s.c != nil:
+		return writeSample(w, f.name, s.key, "", float64(s.c.Value()))
+	case s.fn != nil:
+		return writeSample(w, f.name, s.key, "", s.fn())
+	case s.g != nil:
+		return writeSample(w, f.name, s.key, "", float64(s.g.Value()))
+	case s.h != nil:
+		snap := s.h.Snapshot()
+		var cum uint64
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			le := formatFloat(bound)
+			if err := writeSample(w, f.name+"_bucket", s.key, `le="`+le+`"`, float64(cum)); err != nil {
+				return err
+			}
+		}
+		cum += snap.Counts[len(snap.Counts)-1]
+		if err := writeSample(w, f.name+"_bucket", s.key, `le="+Inf"`, float64(cum)); err != nil {
+			return err
+		}
+		if err := writeSample(w, f.name+"_sum", s.key, "", snap.Sum); err != nil {
+			return err
+		}
+		return writeSample(w, f.name+"_count", s.key, "", float64(snap.Count))
+	}
+	return nil
+}
+
+// writeSample emits one `name{labels,extra} value` line.
+func writeSample(w io.Writer, name, labels, extra string, v float64) error {
+	var lb string
+	switch {
+	case labels != "" && extra != "":
+		lb = "{" + labels + "," + extra + "}"
+	case labels != "":
+		lb = "{" + labels + "}"
+	case extra != "":
+		lb = "{" + extra + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, lb, formatFloat(v))
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients do: integral
+// values without exponent or trailing zeros, everything else shortest-form.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// Guard against "1e+06"-style renderings of small integral values not
+	// caught above; Prometheus accepts them, but keep output stable.
+	return strings.TrimSpace(s)
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUntracedContextIsFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("untraced context produced a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan must return the context unchanged")
+	}
+	// Every method is nil-safe.
+	sp.SetAttr("k", "v")
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span duration %v, want 0", d)
+	}
+}
+
+func TestSpanTreeParenting(t *testing.T) {
+	ctx, tr := NewTrace(context.Background())
+	rootCtx, root := StartSpan(ctx, "query")
+	root.SetAttr("query", "q1")
+
+	c1Ctx, c1 := StartSpan(rootCtx, "footprint")
+	c1.End()
+	_, gc := StartSpan(c1Ctx, "never-a-sibling")
+	gc.End()
+	_, c2 := StartSpan(rootCtx, "fanout")
+	c2.End()
+	root.End()
+
+	roots := tr.Tree()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	q := roots[0]
+	if q.Name != "query" || q.Attrs["query"] != "q1" {
+		t.Fatalf("unexpected root: %+v", q)
+	}
+	if len(q.Children) != 2 {
+		t.Fatalf("root has %d children, want 2 (footprint, fanout)", len(q.Children))
+	}
+	if q.Children[0].Name != "footprint" || q.Children[1].Name != "fanout" {
+		t.Fatalf("children out of order: %s, %s", q.Children[0].Name, q.Children[1].Name)
+	}
+	if len(q.Children[0].Children) != 1 || q.Children[0].Children[0].Name != "never-a-sibling" {
+		t.Fatalf("grandchild misplaced: %+v", q.Children[0])
+	}
+}
+
+func TestSpanSnapshotOrdering(t *testing.T) {
+	ctx, tr := NewTrace(context.Background())
+	_, a := StartSpan(ctx, "a")
+	time.Sleep(time.Millisecond)
+	_, b := StartSpan(ctx, "b")
+	b.End()
+	a.End()
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "b" {
+		t.Fatalf("snapshot not start-ordered: %+v", snap)
+	}
+	if snap[0].Dur <= 0 || snap[1].Dur < 0 {
+		t.Fatalf("non-positive durations: %+v", snap)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	ctx, _ := NewTrace(context.Background())
+	_, sp := StartSpan(ctx, "x")
+	d1 := sp.End()
+	time.Sleep(2 * time.Millisecond)
+	d2 := sp.End()
+	if d1 != d2 {
+		t.Fatalf("End not idempotent: %v then %v", d1, d2)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	// The coordinator opens spans from many goroutines against one trace;
+	// this must be race-free (run with -race).
+	ctx, tr := NewTrace(context.Background())
+	rootCtx, root := StartSpan(ctx, "query")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := StartSpan(rootCtx, "share")
+			sp.SetAttr("n", "x")
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	roots := tr.Tree()
+	if len(roots) != 1 || len(roots[0].Children) != 16 {
+		t.Fatalf("want 1 root with 16 children, got %d roots / %d children",
+			len(roots), len(roots[0].Children))
+	}
+}
+
+func TestStageDurationsSumToRoot(t *testing.T) {
+	// The ?trace=1 acceptance shape: the root's direct children partition the
+	// query, so their durations must not exceed the root's.
+	ctx, tr := NewTrace(context.Background())
+	rootCtx, root := StartSpan(ctx, "query")
+	for _, stage := range []string{"footprint", "fanout", "merge"} {
+		_, sp := StartSpan(rootCtx, stage)
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	root.End()
+	roots := tr.Tree()
+	var sum int64
+	for _, c := range roots[0].Children {
+		sum += c.DurUS
+	}
+	if sum <= 0 {
+		t.Fatal("stage durations are zero")
+	}
+	if sum > roots[0].DurUS {
+		t.Fatalf("stage durations (%dµs) exceed end-to-end (%dµs)", sum, roots[0].DurUS)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	ctx, tr := NewTrace(context.Background())
+	rootCtx, root := StartSpan(ctx, "query")
+	shareCtx, share := StartSpan(rootCtx, "share")
+	_, get := StartSpan(shareCtx, "graph.get")
+	get.End()
+	share.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   *int64 `json:"ts"`
+			Dur  *int64 `json:"dur"`
+			PID  int    `json:"pid"`
+			TID  int64  `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("%d events, want 3", len(f.TraceEvents))
+	}
+	lanes := map[string]int64{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s: ph %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS == nil || ev.Dur == nil {
+			t.Errorf("event %s missing ts/dur", ev.Name)
+		}
+		lanes[ev.Name] = ev.TID
+	}
+	// share and its graph.get child share a track; the root has its own.
+	if lanes["share"] != lanes["graph.get"] {
+		t.Errorf("share (tid %d) and graph.get (tid %d) should share a lane",
+			lanes["share"], lanes["graph.get"])
+	}
+	if lanes["query"] == lanes["share"] {
+		t.Error("root should be on its own lane")
+	}
+}
+
+func TestTraceFromContext(t *testing.T) {
+	if TraceFromContext(context.Background()) != nil {
+		t.Fatal("background context should carry no trace")
+	}
+	ctx, tr := NewTrace(context.Background())
+	if TraceFromContext(ctx) != tr {
+		t.Fatal("trace lost from context")
+	}
+}

@@ -109,6 +109,7 @@ func (p *FaultPlan) Crash(id int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.node(id).crashed = true
+	mEventCrash.Inc()
 }
 
 // Pause injects d of extra latency ahead of every request the node serves.
@@ -120,6 +121,9 @@ func (p *FaultPlan) Pause(id int, d time.Duration) {
 		d = 0
 	}
 	p.node(id).pause = d
+	if d > 0 {
+		mEventPause.Inc()
+	}
 }
 
 // SetDropProb makes the node lose each reply with probability prob (clamped
@@ -135,6 +139,9 @@ func (p *FaultPlan) SetDropProb(id int, prob float64) {
 		prob = 1
 	}
 	p.node(id).dropProb = prob
+	if prob > 0 {
+		mEventDrop.Inc()
+	}
 }
 
 // SetReject makes the node bounce every request at admission.
@@ -142,6 +149,9 @@ func (p *FaultPlan) SetReject(id int, reject bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.node(id).reject = reject
+	if reject {
+		mEventReject.Inc()
+	}
 }
 
 // SetError makes the node answer every request with a permanent error.
@@ -149,6 +159,9 @@ func (p *FaultPlan) SetError(id int, errored bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.node(id).errored = errored
+	if errored {
+		mEventError.Inc()
+	}
 }
 
 // Recover restores the node to full health, clearing every fault (the node
@@ -160,6 +173,7 @@ func (p *FaultPlan) Recover(id int) {
 	if nf, ok := p.nodes[id]; ok {
 		seq := nf.dropSeq
 		*nf = nodeFaults{dropSeq: seq}
+		mEventHeal.Inc()
 	}
 }
 

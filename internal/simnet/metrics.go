@@ -1,0 +1,23 @@
+package simnet
+
+import "stash/internal/obs"
+
+// Fault-injection event counters: one increment per injected (or healed)
+// fault, regardless of how many requests it later affects. The per-request
+// firings are counted at the cluster transport (stash_fault_firings_total),
+// where the failure behaviour actually executes — a crash is injected once
+// here but fires on every request that hits the dead node there.
+var (
+	mEventCrash  = faultEventCounter("crash")
+	mEventPause  = faultEventCounter("pause")
+	mEventDrop   = faultEventCounter("drop")
+	mEventReject = faultEventCounter("reject")
+	mEventError  = faultEventCounter("error")
+	mEventHeal   = faultEventCounter("heal")
+)
+
+func faultEventCounter(kind string) *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_fault_events_total", "Chaos-plan fault injections and heals, by kind.")
+	return r.Counter("stash_fault_events_total", "kind", kind)
+}

@@ -58,6 +58,11 @@ type Config struct {
 	// Sleeper disables cost accounting.
 	Model   simnet.Model
 	Sleeper simnet.Sleeper
+	// Tier labels this shard's series in the process metric registry
+	// (stash_cache_*_total{tier=...}). The cluster uses "local" for owner
+	// shards and "guest" for replica shards; the front-end uses
+	// "frontend". Empty defaults to "local".
+	Tier string
 }
 
 // DefaultConfig returns the configuration used by the experiment harness.
@@ -92,6 +97,7 @@ type Graph struct {
 	tick   int64
 	plm    *PLM
 	stats  Stats
+	om     *tierMetrics // process-registry handles, resolved once per tier
 }
 
 // NewGraph returns an empty shard with the given configuration.
@@ -108,7 +114,11 @@ func NewGraph(cfg Config) *Graph {
 	if cfg.DisperseKeyLimit <= 0 {
 		cfg.DisperseKeyLimit = DefaultConfig().DisperseKeyLimit
 	}
-	g := &Graph{cfg: cfg, decay: cell.ExpDecay(cfg.HalfLife), plm: NewPLM()}
+	if cfg.Tier == "" {
+		cfg.Tier = "local"
+	}
+	g := &Graph{cfg: cfg, decay: cell.ExpDecay(cfg.HalfLife), plm: NewPLM(),
+		om: metricsForTier(cfg.Tier)}
 	return g
 }
 
@@ -191,6 +201,9 @@ func (g *Graph) Get(keys []cell.Key) (query.Result, []cell.Key) {
 	if g.cfg.Disperse && len(keys) <= g.cfg.DisperseKeyLimit {
 		g.disperseLocked(keys, requested)
 	}
+	// One batched atomic add per counter per request, not one per key.
+	g.om.hits.Add(int64(len(keys) - len(missing)))
+	g.om.misses.Add(int64(len(missing)))
 	g.charge(len(keys))
 	return res, missing
 }
@@ -282,6 +295,8 @@ func (g *Graph) insert(k cell.Key, s cell.Summary) {
 		g.levels[lvl][k] = c
 		g.size++
 		g.stats.Inserts++
+		g.om.inserts.Inc()
+		g.om.cells.Add(1)
 	}
 	// The graph aliases the inserted summary: results and caches share
 	// summaries under the immutable-by-convention rule (see query.Result).
@@ -306,6 +321,7 @@ func (g *Graph) remove(k cell.Key) {
 	if _, ok := g.levels[lvl][k]; ok {
 		delete(g.levels[lvl], k)
 		g.size--
+		g.om.cells.Add(-1)
 		g.plm.MarkAbsent(k)
 	}
 }
@@ -337,13 +353,16 @@ func (g *Graph) evictLocked() {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })
+	evicted := int64(0)
 	for _, s := range all {
 		if g.size <= target {
 			break
 		}
 		g.remove(s.key)
 		g.stats.Evictions++
+		evicted++
 	}
+	g.om.evictions.Add(evicted)
 }
 
 // Freshness returns a cell's current (decayed) freshness; ok is false if the

@@ -1,0 +1,50 @@
+package stash
+
+import (
+	"sync"
+
+	"stash/internal/obs"
+)
+
+// tierMetrics are the per-cache-tier observability handles. The repo runs
+// the same Graph structure at three tiers — the front-end cache
+// ("frontend"), each node's owner shard ("local"), and the replication
+// guest shard ("guest") — so the registry keys every cache series by tier
+// rather than by instance: 16 node shards aggregate into one "local"
+// series, which is the granularity the paper's figures report at.
+type tierMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	inserts   *obs.Counter
+	evictions *obs.Counter
+	cells     *obs.Gauge // resident cells summed over live graphs of the tier
+}
+
+var (
+	tierMu sync.Mutex
+	tiers  = map[string]*tierMetrics{}
+)
+
+// metricsForTier resolves (once per tier) the shared metric handles.
+func metricsForTier(tier string) *tierMetrics {
+	tierMu.Lock()
+	defer tierMu.Unlock()
+	if m, ok := tiers[tier]; ok {
+		return m
+	}
+	r := obs.Default()
+	r.Help("stash_cache_hits_total", "Cells served from a STASH graph, by cache tier.")
+	r.Help("stash_cache_misses_total", "Cells requested but absent or stale, by cache tier.")
+	r.Help("stash_cache_inserts_total", "Cells inserted into a STASH graph, by cache tier.")
+	r.Help("stash_cache_evictions_total", "Cells evicted by freshness replacement, by cache tier.")
+	r.Help("stash_cache_cells", "Resident cells summed across live graphs of a tier.")
+	m := &tierMetrics{
+		hits:      r.Counter("stash_cache_hits_total", "tier", tier),
+		misses:    r.Counter("stash_cache_misses_total", "tier", tier),
+		inserts:   r.Counter("stash_cache_inserts_total", "tier", tier),
+		evictions: r.Counter("stash_cache_evictions_total", "tier", tier),
+		cells:     r.Gauge("stash_cache_cells", "tier", tier),
+	}
+	tiers[tier] = m
+	return m
+}

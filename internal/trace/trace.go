@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"time"
 
 	"stash/internal/geohash"
@@ -170,6 +172,29 @@ func (s ReplayStats) Mean() time.Duration {
 		return 0
 	}
 	return s.Total / time.Duration(s.Queries)
+}
+
+// Percentile returns the p-th latency percentile (0 < p <= 100) of the
+// replay, computed nearest-rank over a sorted copy of Latencies. Out-of-range
+// p clamps to the valid range; an empty replay reports zero.
+func (s ReplayStats) Percentile(p float64) time.Duration {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.Latencies))
+	copy(sorted, s.Latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // ErrEmptyTrace reports a replay over no events.

@@ -208,3 +208,34 @@ func TestReplayEmptyAndFailed(t *testing.T) {
 		t.Errorf("stats: %+v", stats)
 	}
 }
+
+func TestReplayStatsPercentile(t *testing.T) {
+	var s ReplayStats
+	if got := s.Percentile(50); got != 0 {
+		t.Errorf("empty stats p50 = %v, want 0", got)
+	}
+
+	// 1..100ms, shuffled order must not matter (Percentile sorts a copy).
+	for _, ms := range []int{7, 3, 9, 1, 5, 10, 2, 8, 6, 4} {
+		s.Latencies = append(s.Latencies, time.Duration(ms)*time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},    // clamps to min
+		{50, 5 * time.Millisecond},   // nearest-rank: ceil(0.5*10) = 5th
+		{95, 10 * time.Millisecond},  // ceil(0.95*10) = 10th
+		{99, 10 * time.Millisecond},  // ceil(0.99*10) = 10th
+		{100, 10 * time.Millisecond}, // clamps to max
+	}
+	for _, tc := range cases {
+		if got := s.Percentile(tc.p); got != tc.want {
+			t.Errorf("p%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Percentile must not reorder the caller's slice.
+	if s.Latencies[0] != 7*time.Millisecond {
+		t.Errorf("Percentile mutated Latencies: %v", s.Latencies)
+	}
+}

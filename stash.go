@@ -46,6 +46,7 @@ import (
 	"stash/internal/frontend"
 	"stash/internal/geohash"
 	"stash/internal/namgen"
+	"stash/internal/obs"
 	"stash/internal/query"
 	"stash/internal/replication"
 	"stash/internal/simnet"
@@ -330,6 +331,29 @@ func DefaultFrontendConfig() FrontendConfig { return frontend.DefaultConfig() }
 // NewMomentumPredictor returns the default navigation predictor
 // (pan/zoom/dice momentum extrapolation).
 func NewMomentumPredictor() Predictor { return frontend.NewMomentumPredictor() }
+
+// --- observability ---
+
+// MetricsRegistry is a concurrent metrics registry (counters, gauges,
+// histograms) with Prometheus text exposition. Every subsystem records into
+// the process-global default registry.
+type MetricsRegistry = obs.Registry
+
+// DefaultMetrics returns the process-global metrics registry — the one
+// stashd serves at GET /metrics and every package instruments.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// QueryTrace collects the span tree of one traced operation; export it as
+// Chrome trace-event JSON (WriteChrome) for Perfetto, or walk Tree().
+type QueryTrace = obs.Trace
+
+// SpanNode is one node of an exported span tree.
+type SpanNode = obs.SpanNode
+
+// NewQueryTrace arms span recording on a context: pass the returned context
+// into Client.QueryContext and read the span tree from the returned trace
+// after the query completes.
+var NewQueryTrace = obs.NewTrace
 
 // --- comparator ---
 
