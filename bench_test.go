@@ -9,9 +9,17 @@
 package stash_test
 
 import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"stash/internal/bench"
+	"stash/internal/cell"
+	"stash/internal/geohash"
+	"stash/internal/query"
+	istash "stash/internal/stash"
+	"stash/internal/temporal"
 )
 
 // benchOpts shrinks experiments to benchmark scale.
@@ -87,3 +95,71 @@ func BenchmarkAblationPLM(b *testing.B) { runExperiment(b, "abl-plm") }
 // BenchmarkAblationAntipode regenerates abl-antipode: antipode helper
 // selection vs uniform random.
 func BenchmarkAblationAntipode(b *testing.B) { runExperiment(b, "abl-antipode") }
+
+// BenchmarkGraphParallel measures the STASH graph under concurrent workers at
+// different lock-striping factors. stripes=1 is the original single-lock
+// graph; with -cpu=4 (or more) *hardware* threads the striped variants win by
+// spreading map accesses across independent locks, at the cost of a small
+// single-threaded grouping overhead (on a 1-core box all variants are
+// necessarily within noise of each other, since wall time then equals total
+// CPU work). Run with
+//
+//	go test -run=NONE -bench=GraphParallel -cpu=1,4,8 .
+func BenchmarkGraphParallel(b *testing.B) {
+	day := temporal.MustParse("2015-02-02", temporal.Day)
+	makeKeys := func(n int) []cell.Key {
+		keys := make([]cell.Key, 0, n)
+		for i := 0; len(keys) < n; i++ {
+			gh := string([]byte{
+				geohash.Base32[i%32],
+				geohash.Base32[(i/32)%32],
+				geohash.Base32[(i/1024)%32],
+			})
+			keys = append(keys, cell.Key{Geohash: gh, Time: day})
+		}
+		return keys
+	}
+	keys := makeKeys(4096)
+	warm := query.NewResult()
+	for i, k := range keys {
+		s := cell.NewSummary()
+		s.Observe("temperature", float64(i))
+		warm.Add(k, s)
+	}
+
+	for _, stripes := range []int{1, 8, 16} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			cfg := istash.DefaultConfig()
+			cfg.Capacity = 64_000
+			cfg.Stripes = stripes
+			cfg.Disperse = false // isolate store contention from neighbor algebra
+			g := istash.NewGraph(cfg)
+			g.Put(warm)
+
+			var seed atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					base := rng.Intn(len(keys) - 64)
+					batch := keys[base : base+64]
+					if rng.Intn(8) == 0 {
+						// Occasional population write: re-insert a slice of the
+						// batch so writers contend with readers, as on a
+						// serving node.
+						res := query.NewResult()
+						for j, k := range batch[:16] {
+							s := cell.NewSummary()
+							s.Observe("temperature", float64(j))
+							res.Add(k, s)
+						}
+						g.Put(res)
+					} else {
+						g.Get(batch)
+					}
+				}
+			})
+		})
+	}
+}

@@ -30,6 +30,9 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload and dataset seed")
 		points  = flag.Int("points", 512, "observations per storage block")
 		full    = flag.Bool("full", false, "paper-scale request counts (slow)")
+		stripes = flag.Int("stripes", 0, "lock stripes per STASH graph shard (0 = cache default; 1 = single-lock baseline)")
+		popwork = flag.Int("popworkers", 0, "background cache-population workers per node (0 = cluster default)")
+		diskpar = flag.Int("diskparallel", 0, "concurrent block reads per disk fetch (0/1 = serial)")
 		metrics = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after the experiments (\"-\" for stderr)")
 	)
 	flag.Parse()
@@ -51,11 +54,14 @@ func main() {
 	}
 
 	opts := bench.Options{
-		Nodes:          *nodes,
-		Seed:           *seed,
-		PointsPerBlock: *points,
-		Quick:          !*full,
-		Out:            os.Stdout,
+		Nodes:             *nodes,
+		Seed:              *seed,
+		PointsPerBlock:    *points,
+		Quick:             !*full,
+		Stripes:           *stripes,
+		PopulationWorkers: *popwork,
+		ParallelReads:     *diskpar,
+		Out:               os.Stdout,
 	}
 
 	start := time.Now()

@@ -50,6 +50,9 @@ func main() {
 		points    = flag.Int("points", 512, "observations per storage block")
 		repl      = flag.Bool("replication", true, "enable hotspot clique replication")
 		hists     = flag.Bool("histograms", false, "maintain per-attribute histograms in result cells")
+		stripes   = flag.Int("stripes", stash.DefaultCacheConfig().Stripes, "lock stripes per STASH graph shard (rounded up to a power of two; 1 = single lock)")
+		popwork   = flag.Int("popworkers", 2, "background cache-population workers per node (the paper's population thread, bounded)")
+		diskpar   = flag.Int("diskparallel", 1, "concurrent block reads per disk fetch (1 = serial)")
 		resilient = flag.Bool("resilient", true, "enable the resilient coordinator (deadlines, retries, failover, partial results)")
 		timeout   = flag.Duration("timeout", 0, "default per-query deadline (0 = none; ?timeout= overrides per request)")
 		faults    = flag.Bool("faults", false, "enable the /faults chaos endpoint")
@@ -63,6 +66,9 @@ func main() {
 	cfg.Seed = *seed
 	cfg.PointsPerBlock = *points
 	cfg.Histograms = *hists
+	cfg.Stash.Stripes = *stripes
+	cfg.PopulationWorkers = *popwork
+	cfg.GalileoParallelReads = *diskpar
 	cfg.Sleeper = stash.NewRealSleeper()
 	if *repl {
 		cfg.Replication = stash.DefaultReplicationConfig()

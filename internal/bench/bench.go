@@ -39,6 +39,15 @@ type Options struct {
 	PointsPerBlock int
 	// Quick shrinks request counts/repetitions for CI-sized runs.
 	Quick bool
+	// Stripes overrides the STASH graph lock-striping factor (0 keeps the
+	// cache default).
+	Stripes int
+	// PopulationWorkers overrides the per-node bounded cache-population
+	// pool size (0 keeps the cluster default).
+	PopulationWorkers int
+	// ParallelReads bounds concurrent block reads per disk fetch (0/1 keep
+	// the serial scan).
+	ParallelReads int
 	// Out receives the printed report; nil discards it.
 	Out io.Writer
 }
@@ -182,7 +191,16 @@ func buildCluster(opts Options, kind systemKind, repl replication.Config, mutate
 		cfg.Stash = nil
 	} else {
 		sc := stash.DefaultConfig()
+		if opts.Stripes > 0 {
+			sc.Stripes = opts.Stripes
+		}
 		cfg.Stash = &sc
+	}
+	if opts.PopulationWorkers > 0 {
+		cfg.PopulationWorkers = opts.PopulationWorkers
+	}
+	if opts.ParallelReads > 0 {
+		cfg.GalileoParallelReads = opts.ParallelReads
 	}
 	if mutate != nil {
 		mutate(&cfg)

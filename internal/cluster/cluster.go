@@ -68,6 +68,18 @@ type Config struct {
 	// Workers is the number of request-serving goroutines per node
 	// (the paper's nodes were 8-core machines).
 	Workers int
+	// PopulationWorkers is the number of background cache-population
+	// goroutines per node — the paper's "separate population thread"
+	// (§VIII-C2), actually bounded. Fetched cells are handed to this pool
+	// off the response path; when the pool's queue is full the serving
+	// worker populates inline (backpressure) rather than spawning
+	// goroutines without bound. Zero selects the default (2).
+	PopulationWorkers int
+	// GalileoParallelReads bounds how many storage blocks one disk fetch
+	// scans concurrently. Values <= 1 keep the serial scan (the default):
+	// the simulated disk cost is paid per block either way, but wall-clock
+	// latency of wide footprints drops with real storage parallelism.
+	GalileoParallelReads int
 }
 
 // DefaultConfig returns a mid-sized experiment cluster configuration with
@@ -75,16 +87,17 @@ type Config struct {
 func DefaultConfig() Config {
 	sc := stash.DefaultConfig()
 	return Config{
-		Nodes:          16,
-		PrefixLen:      dht.DefaultPrefixLen,
-		Seed:           42,
-		PointsPerBlock: namgen.DefaultPointsPerBlock,
-		Stash:          &sc,
-		Replication:    replication.Config{}, // disabled unless asked for
-		Model:          simnet.Default(),
-		Sleeper:        simnet.NewMeter(),
-		QueueSize:      512,
-		Workers:        4,
+		Nodes:             16,
+		PrefixLen:         dht.DefaultPrefixLen,
+		Seed:              42,
+		PointsPerBlock:    namgen.DefaultPointsPerBlock,
+		Stash:             &sc,
+		Replication:       replication.Config{}, // disabled unless asked for
+		Model:             simnet.Default(),
+		Sleeper:           simnet.NewMeter(),
+		QueueSize:         512,
+		Workers:           4,
+		PopulationWorkers: 2,
 	}
 }
 
@@ -193,6 +206,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = DefaultConfig().Workers
+	}
+	if cfg.PopulationWorkers <= 0 {
+		cfg.PopulationWorkers = DefaultConfig().PopulationWorkers
+	}
+	if cfg.GalileoParallelReads <= 0 {
+		cfg.GalileoParallelReads = 1
 	}
 	if cfg.Sleeper == nil {
 		cfg.Sleeper = simnet.NewMeter()

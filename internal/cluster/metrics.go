@@ -22,7 +22,13 @@ var (
 	mStageFanout    = stage("fanout")
 	mStageMerge     = stage("merge")
 	mStageGraphGet  = stage("graph_get")
+	mStageDerive    = stage("derive")
 	mStageDiskScan  = stage("disk_scan")
+	mStagePopulate  = stage("populate")
+
+	// Bounded cache-population pool (paper §VIII-C2).
+	mPopQueued = popHandoff("queued")
+	mPopInline = popHandoff("inline")
 
 	// PR 1 failure-handling ladder.
 	mRetries           = counter("stash_coord_retries_total", "Retry attempts against an owner after a retryable failure.")
@@ -91,6 +97,12 @@ func distress(result string) *obs.Counter {
 	r := obs.Default()
 	r.Help("stash_replication_distress_total", "Distress (replica admission) requests handled by helpers, by result.")
 	return r.Counter("stash_replication_distress_total", "result", result)
+}
+
+func popHandoff(mode string) *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_node_population_tasks_total", "Cache-population tasks by handoff mode: queued to the pool, or run inline under backpressure.")
+	return r.Counter("stash_node_population_tasks_total", "mode", mode)
 }
 
 func faultFiring(kind string) *obs.Counter {

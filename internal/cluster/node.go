@@ -56,6 +56,13 @@ type fetchReply struct {
 	err     error
 }
 
+// popTask is one unit of background cache population: the cells fetched
+// from disk plus the keys that requested them (for negative caching).
+type popTask struct {
+	res       query.Result
+	requested []cell.Key
+}
+
 type distressMsg struct {
 	root  cell.Key
 	cells int
@@ -89,8 +96,20 @@ type Node struct {
 	control  chan any
 	done     chan struct{}
 	wg       sync.WaitGroup
-	popWG    sync.WaitGroup
 
+	// Bounded cache-population pool (the paper's population thread,
+	// §VIII-C2): serve workers hand fetched cells to popCh; popWG tracks
+	// the pool goroutines draining it.
+	popCh chan popTask
+	popWG sync.WaitGroup
+
+	// flipState is the per-node lock-free reroute RNG (splitmix64 on an
+	// atomic counter), so probabilistic redirect decisions never serialize
+	// the submitting goroutines.
+	flipState atomic.Uint64
+
+	// rng backs the rare handoff path's helper selection only; the hot
+	// path never takes rngMu.
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -123,8 +142,12 @@ func newNode(id dht.NodeID, c *Cluster, gen *namgen.Generator) *Node {
 		rng:          rand.New(rand.NewSource(int64(id)*7919 + 1)),
 		guestCliques: map[cell.Key]*guestEntry{},
 	}
+	n.flipState.Store(uint64(id)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
 	if c.cfg.Histograms {
 		n.store.SetHistograms(true)
+	}
+	if c.cfg.GalileoParallelReads > 1 {
+		n.store.SetParallelReads(c.cfg.GalileoParallelReads)
 	}
 	if c.cfg.Stash != nil {
 		sc := *c.cfg.Stash
@@ -201,6 +224,23 @@ func (n *Node) start(workers int) {
 			}
 		}()
 	}
+	if n.graph != nil {
+		// The bounded population pool: the paper dedicates a separate
+		// population thread (§VIII-C2); we run a small fixed pool fed by a
+		// bounded queue instead of one goroutine per cache miss. The queue
+		// is sized like the request queue: population work is at most one
+		// task per in-flight request.
+		n.popCh = make(chan popTask, cap(n.requests))
+		for i := 0; i < n.cluster.cfg.PopulationWorkers; i++ {
+			n.popWG.Add(1)
+			go func() {
+				defer n.popWG.Done()
+				for t := range n.popCh {
+					n.populateOne(t)
+				}
+			}()
+		}
+	}
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -215,12 +255,16 @@ func (n *Node) start(workers int) {
 
 func (n *Node) stop() {
 	close(n.done)
-	// Workers first: a worker mid-handle may still spawn background
-	// population work (popWG.Add), so the population WaitGroup can only be
-	// waited on once no worker can add to it. The reverse order races
-	// popWG.Add against popWG.Wait — a documented WaitGroup misuse the
-	// chaos suite exercises under -race.
+	// Workers first: only serve workers send on popCh, so the channel can
+	// be closed exactly when no worker can enqueue anymore; the population
+	// pool then drains the residue and exits. Closing in the reverse order
+	// would race a worker's send against close — the channel-shaped
+	// re-statement of the WaitGroup misuse the chaos suite used to exercise
+	// under -race.
 	n.wg.Wait()
+	if n.popCh != nil {
+		close(n.popCh)
+	}
 	n.popWG.Wait()
 }
 
@@ -326,8 +370,16 @@ func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchR
 	case <-n.done:
 		return fetchReply{}, ErrStopped
 	}
-	if q := int64(len(n.requests)); q > n.queuePeak.Load() {
-		n.queuePeak.Store(q)
+	// CAS max loop: the previous load-then-store pair lost updates when two
+	// submitters raced (both could observe a stale peak and the larger
+	// value could be overwritten by the smaller).
+	if q := int64(len(n.requests)); q > 0 {
+		for {
+			cur := n.queuePeak.Load()
+			if q <= cur || n.queuePeak.CompareAndSwap(cur, q) {
+				break
+			}
+		}
 	}
 	n.maybeHandoff()
 
@@ -377,10 +429,25 @@ func (n *Node) sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// flip draws a reroute decision without locking: one atomic add on the
+// per-node state plus the splitmix64 finalizer. Concurrent submitters each
+// advance the sequence by a fixed odd stride, so the stream stays
+// equidistributed no matter how the adds interleave, and single-threaded
+// callers see a deterministic per-node sequence.
 func (n *Node) flip(p float64) bool {
-	n.rngMu.Lock()
-	defer n.rngMu.Unlock()
-	return n.rng.Float64() < p
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	x := n.flipState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < p
 }
 
 // handle serves one fetch task on a worker goroutine. The task carries the
@@ -420,10 +487,13 @@ func (n *Node) handleGuest(ctx context.Context, keys []cell.Key) fetchReply {
 	return fetchReply{result: found, missing: missing}
 }
 
-// handleLocal serves an owner-path request: STASH graph first, then
-// derivation from cached children, then the backing store for whatever is
-// still missing; fetched cells populate the cache in the background (the
-// paper's separate population thread, §VIII-C2).
+// handleLocal serves an owner-path request as a staged pipeline: (1) one
+// batched graph get (stripe-grouped, one lock acquisition per touched
+// stripe), (2) one batched derivation pass over every miss, (3) one disk
+// scan of the residue, grouped by Galileo block so each covering block is
+// read exactly once, and (4) handoff of the fetched cells to the bounded
+// population pool (the paper's separate population thread, §VIII-C2) so the
+// response returns without waiting for cache maintenance.
 func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 	if n.graph == nil {
 		res, err := n.diskScan(ctx, keys)
@@ -433,9 +503,10 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 		return fetchReply{result: res, err: err}
 	}
 
+	// Stage 1: batched graph get.
 	getStart := time.Now()
 	_, gs := obs.StartSpan(ctx, "graph.get")
-	found, missing := n.graph.Get(keys)
+	found, missing := n.graph.GetBatch(keys)
 	gs.SetAttr("hits", fmt.Sprint(len(keys)-len(missing)))
 	gs.End()
 	mStageGraphGet.ObserveDuration(time.Since(getStart))
@@ -450,31 +521,38 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 			return fetchReply{result: found, err: err}
 		}
 		n.diskCells.Add(int64(len(keys)))
-		n.populateAsync(res, keys)
+		n.populate(res, keys)
 		return fetchReply{result: res}
 	}
 
-	var unfetched []cell.Key
-	for _, k := range missing {
-		if sum, ok := n.graph.DeriveFromChildren(k); ok {
-			found.Add(k, sum)
-			n.derived.Add(1)
-			mDerived.Inc()
-			continue
-		}
-		unfetched = append(unfetched, k)
+	// Stage 2: batched derivation from cached children — every miss is
+	// attempted in one pass, so the child lookups of the whole batch share
+	// stripe-lock acquisitions instead of re-locking per missing key.
+	deriveStart := time.Now()
+	_, drs := obs.StartSpan(ctx, "graph.derive")
+	derived, unfetched := n.graph.DeriveBatch(missing)
+	drs.SetAttr("derived", fmt.Sprint(derived.Len()))
+	drs.End()
+	mStageDerive.ObserveDuration(time.Since(deriveStart))
+	if derived.Len() > 0 {
+		n.derived.Add(int64(derived.Len()))
+		mDerived.Add(int64(derived.Len()))
+		found.Merge(derived)
 	}
 	if len(unfetched) == 0 {
 		return fetchReply{result: found}
 	}
 
+	// Stage 3: disk scan of the residue, grouped by backing block.
 	diskRes, err := n.diskScan(ctx, unfetched)
 	if err != nil {
 		return fetchReply{result: found, err: err}
 	}
 	n.diskCells.Add(int64(len(unfetched)))
 	found.Merge(diskRes)
-	n.populateAsync(diskRes, unfetched)
+
+	// Stage 4: bounded background population.
+	n.populate(diskRes, unfetched)
 	return fetchReply{result: found}
 }
 
@@ -493,27 +571,40 @@ func (n *Node) diskScan(ctx context.Context, keys []cell.Key) (query.Result, err
 	return res, err
 }
 
-// populateAsync inserts fetched cells into the cache off the response path
-// (the paper's separate population thread, §VIII-C2), negative-caching
+// populate hands fetched cells to the bounded population pool off the
+// response path (the paper's separate population thread, §VIII-C2, now with
+// a fixed worker count instead of a goroutine per miss). A full population
+// queue applies backpressure: the serving worker populates inline rather
+// than dropping the work or growing without bound.
+func (n *Node) populate(res query.Result, requested []cell.Key) {
+	t := popTask{res: res, requested: requested}
+	select {
+	case n.popCh <- t:
+		mPopQueued.Inc()
+	default:
+		mPopInline.Inc()
+		n.populateOne(t)
+	}
+}
+
+// populateOne inserts one fetch result into the cache, negative-caching
 // requested keys that held no data.
-func (n *Node) populateAsync(res query.Result, requested []cell.Key) {
-	n.popWG.Add(1)
-	go func() {
-		defer n.popWG.Done()
-		start := time.Now()
-		n.graph.Put(res)
-		var empties []cell.Key
-		for _, k := range requested {
-			if _, ok := res.Cells[k]; !ok {
-				empties = append(empties, k)
-			}
+func (n *Node) populateOne(t popTask) {
+	start := time.Now()
+	n.graph.Put(t.res)
+	var empties []cell.Key
+	for _, k := range t.requested {
+		if _, ok := t.res.Cells[k]; !ok {
+			empties = append(empties, k)
 		}
-		if len(empties) > 0 {
-			n.graph.PutEmpty(empties)
-		}
-		n.populationNs.Add(int64(time.Since(start)))
-		n.populatedCells.Add(int64(len(requested)))
-	}()
+	}
+	if len(empties) > 0 {
+		n.graph.PutEmpty(empties)
+	}
+	d := time.Since(start)
+	mStagePopulate.ObserveDuration(d)
+	n.populationNs.Add(int64(d))
+	n.populatedCells.Add(int64(len(t.requested)))
 }
 
 // --- hotspot handling (paper §VII) ---

@@ -19,6 +19,7 @@ package galileo
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +60,7 @@ type Store struct {
 	sleeper    simnet.Sleeper
 	blockLen   int
 	histograms bool
+	parallel   int // bounded concurrent block reads per fetch; <=1 is serial
 
 	blocksRead    atomic.Int64
 	pointsScanned atomic.Int64
@@ -77,6 +79,17 @@ func NewStore(ring *dht.Ring, node dht.NodeID, gen *namgen.Generator, model simn
 // SetHistograms toggles per-attribute histogram maintenance during scans
 // (using namgen.HistogramSpecs), so result cells can drive histogram panels.
 func (s *Store) SetHistograms(on bool) { s.histograms = on }
+
+// SetParallelReads bounds the number of blocks one FetchCells scans
+// concurrently. Values <= 1 keep the serial scan; the cap is per fetch, so
+// a node serving W workers reads at most W*n blocks at once. Configure
+// before serving traffic.
+func (s *Store) SetParallelReads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.parallel = n
+}
 
 // SetBlockPrefixLen overrides the block granularity (clamped to at least
 // the ring's partition prefix, at most geohash.MaxPrecision).
@@ -172,6 +185,13 @@ func dayLabels(l temporal.Label) ([]temporal.Label, error) {
 // scanned; for keys spanning several nodes the caller merges the per-node
 // partial results (summaries merge associatively).
 //
+// The request is grouped by block up front (BlocksForKeys deduplicates), so
+// each covering block is read exactly once per fetch regardless of how many
+// requested keys draw on it. With SetParallelReads(n > 1) up to n blocks are
+// scanned concurrently, each into a private accumulator, and the per-block
+// partials merge associatively — the same property the cross-node merge
+// relies on.
+//
 // The returned result contains an entry for every requested key whose bounds
 // hold at least one observation in this shard's partitions.
 func (s *Store) FetchCells(keys []cell.Key) (query.Result, error) {
@@ -192,46 +212,129 @@ func (s *Store) FetchCells(keys []cell.Key) (query.Result, error) {
 	if err != nil {
 		return res, err
 	}
-	// Accumulate per cell: Observe mutates the summary's shared stats map,
-	// so one summary per key is built up across all matching points.
-	acc := map[cell.Key]cell.Summary{}
-	for _, b := range blocks {
-		obs, err := s.readBlock(b)
-		if err != nil {
-			return res, err
-		}
-		for _, o := range obs {
-			k := cell.Key{
-				Geohash: geohash.Encode(o.Lat, o.Lon, sres),
-				Time:    temporal.At(o.Time, tres),
-			}
-			if !want[k] {
-				continue
-			}
-			sum, ok := acc[k]
-			if !ok {
-				sum = cell.NewSummary()
-				if s.histograms {
-					// Pre-create the map so later copies of this struct
-					// value share it (ObserveHist mutates the shared map).
-					sum.Hists = map[string]*cell.Histogram{}
-				}
-				acc[k] = sum
-			}
-			for _, attr := range namgen.Attributes {
-				v, _ := o.Value(attr)
-				sum.Observe(attr, v)
-				if s.histograms {
-					spec := namgen.HistogramSpecs[attr]
-					_ = sum.ObserveHist(attr, v, cell.HistogramSpec{Lo: spec.Lo, Hi: spec.Hi, Buckets: spec.Buckets})
-				}
-			}
-		}
+
+	var acc map[cell.Key]cell.Summary
+	if s.parallel > 1 && len(blocks) > 1 {
+		acc, err = s.scanBlocksParallel(blocks, want, sres, tres)
+	} else {
+		acc, err = s.scanBlocks(blocks, want, sres, tres)
+	}
+	if err != nil {
+		return res, err
 	}
 	for k, sum := range acc {
 		res.Add(k, sum)
 	}
 	return res, nil
+}
+
+// scanBlocks reads each block once, serially, accumulating matching
+// observations into one summary per requested key.
+func (s *Store) scanBlocks(blocks []BlockID, want map[cell.Key]bool, sres int, tres temporal.Resolution) (map[cell.Key]cell.Summary, error) {
+	acc := map[cell.Key]cell.Summary{}
+	for _, b := range blocks {
+		if err := s.scanBlockInto(b, want, sres, tres, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// scanBlocksParallel fans the block list over a bounded worker pool. Each
+// worker owns a private accumulator (no locks on the scan inner loop); the
+// partials merge once at the end. The first error wins and remaining blocks
+// are skipped.
+func (s *Store) scanBlocksParallel(blocks []BlockID, want map[cell.Key]bool, sres int, tres temporal.Resolution) (map[cell.Key]cell.Summary, error) {
+	workers := s.parallel
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		firstEr error
+	)
+	partials := make([]map[cell.Key]cell.Summary, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := map[cell.Key]cell.Summary{}
+			partials[w] = local
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(blocks) || failed.Load() {
+					return
+				}
+				if err := s.scanBlockInto(blocks[i], want, sres, tres, local); err != nil {
+					errMu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	// Merge per-worker partials; summaries merge associatively.
+	acc := partials[0]
+	for _, part := range partials[1:] {
+		for k, sum := range part {
+			if base, ok := acc[k]; ok {
+				base.Merge(sum)
+				acc[k] = base // Merge may assign fields on the copy
+			} else {
+				acc[k] = sum
+			}
+		}
+	}
+	return acc, nil
+}
+
+// scanBlockInto reads one block and accumulates its matching observations
+// into acc. Accumulate per cell: Observe mutates the summary's shared stats
+// map, so one summary per key is built up across all matching points.
+func (s *Store) scanBlockInto(b BlockID, want map[cell.Key]bool, sres int, tres temporal.Resolution, acc map[cell.Key]cell.Summary) error {
+	obs, err := s.readBlock(b)
+	if err != nil {
+		return err
+	}
+	for _, o := range obs {
+		k := cell.Key{
+			Geohash: geohash.Encode(o.Lat, o.Lon, sres),
+			Time:    temporal.At(o.Time, tres),
+		}
+		if !want[k] {
+			continue
+		}
+		sum, ok := acc[k]
+		if !ok {
+			sum = cell.NewSummary()
+			if s.histograms {
+				// Pre-create the map so later copies of this struct
+				// value share it (ObserveHist mutates the shared map).
+				sum.Hists = map[string]*cell.Histogram{}
+			}
+			acc[k] = sum
+		}
+		for _, attr := range namgen.Attributes {
+			v, _ := o.Value(attr)
+			sum.Observe(attr, v)
+			if s.histograms {
+				spec := namgen.HistogramSpecs[attr]
+				_ = sum.ObserveHist(attr, v, cell.HistogramSpec{Lo: spec.Lo, Hi: spec.Hi, Buckets: spec.Buckets})
+			}
+		}
+	}
+	return nil
 }
 
 // Query evaluates an aggregation query against this shard: the basic-system

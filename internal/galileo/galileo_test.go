@@ -291,6 +291,94 @@ func TestDiskCostProportionalToBlocks(t *testing.T) {
 	}
 }
 
+func TestFetchCellsReadsEachBlockOnce(t *testing.T) {
+	// The grouped scan must read every covering block exactly once per
+	// request, no matter how many requested keys share a block.
+	ring, _ := dht.NewRing(1, 2)
+	gen := &namgen.Generator{Seed: 42, PointsPerBlock: 64}
+	st := NewStore(ring, 0, gen, simnet.Default(), simnet.NewMeter())
+	day := temporal.MustParse("2015-02-02", temporal.Day)
+	// Eight precision-4 keys spanning two 3-char blocks (4 siblings each),
+	// plus one precision-3 key that is itself a third block.
+	keys := []cell.Key{
+		{Geohash: "9q1b", Time: day}, {Geohash: "9q1c", Time: day},
+		{Geohash: "9q1f", Time: day}, {Geohash: "9q1g", Time: day},
+		{Geohash: "9q2b", Time: day}, {Geohash: "9q2c", Time: day},
+		{Geohash: "9q2f", Time: day}, {Geohash: "9q2g", Time: day},
+	}
+	blocks, err := st.BlocksForKeys(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("expected 2 covering blocks, got %d", len(blocks))
+	}
+	before := st.BlocksRead()
+	if _, err := st.FetchCells(keys); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.BlocksRead() - before; got != int64(len(blocks)) {
+		t.Errorf("fetch of %d keys over %d blocks read %d blocks, want %d",
+			len(keys), len(blocks), got, len(blocks))
+	}
+	// Repeating the request scans the same blocks again (the store is
+	// stateless), but still once each.
+	before = st.BlocksRead()
+	if _, err := st.FetchCells(keys); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.BlocksRead() - before; got != int64(len(blocks)) {
+		t.Errorf("repeat fetch read %d blocks, want %d", got, len(blocks))
+	}
+}
+
+func TestFetchCellsParallelMatchesSerial(t *testing.T) {
+	// The bounded-parallel block scan must be invisible in the results: same
+	// cells, same aggregates, same number of block reads as the serial scan.
+	newStore := func() *Store {
+		ring, _ := dht.NewRing(1, 2)
+		gen := &namgen.Generator{Seed: 42, PointsPerBlock: 64}
+		return NewStore(ring, 0, gen, simnet.Default(), simnet.NewMeter())
+	}
+	serial := newStore()
+	par := newStore()
+	par.SetParallelReads(4)
+
+	day := temporal.MustParse("2015-02-02", temporal.Day)
+	keys := []cell.Key{
+		{Geohash: "9q1", Time: day}, {Geohash: "9q2", Time: day},
+		{Geohash: "9r1", Time: day}, {Geohash: "9w1", Time: day},
+		{Geohash: "9y1", Time: day}, {Geohash: "9z1", Time: day},
+	}
+	rs, err := serial.FetchCells(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := par.FetchCells(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != rp.Len() {
+		t.Fatalf("cell counts differ: serial=%d parallel=%d", rs.Len(), rp.Len())
+	}
+	for k, ss := range rs.Cells {
+		sp, ok := rp.Cells[k]
+		if !ok {
+			t.Fatalf("cell %v missing from parallel result", k)
+		}
+		for _, attr := range namgen.Attributes {
+			a, b := ss.Stats[attr], sp.Stats[attr]
+			if a.Count != b.Count || a.Min != b.Min || a.Max != b.Max || a.Sum != b.Sum {
+				t.Fatalf("cell %v attr %s differs: %+v vs %+v", k, attr, a, b)
+			}
+		}
+	}
+	if serial.BlocksRead() != par.BlocksRead() {
+		t.Errorf("block reads differ: serial=%d parallel=%d",
+			serial.BlocksRead(), par.BlocksRead())
+	}
+}
+
 func TestBlockIDString(t *testing.T) {
 	b := BlockID{Prefix: "9q", Day: temporal.MustParse("2015-02-02", temporal.Day)}
 	if b.String() != "9q/2015-02-02" {

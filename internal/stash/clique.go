@@ -30,21 +30,32 @@ func (c Clique) Size() int { return len(c.Keys) }
 // the root plus depth generations of spatial children, restricted to cells
 // resident in the graph. Depth 0 is the root alone; the paper's example
 // depth 2 adds children and grandchildren.
+//
+// Clique assembly is a whole-graph read (members span stripes), so it takes
+// every stripe lock for a consistent snapshot. It runs only on the rare
+// hotspot-handoff path, never per request.
 func (g *Graph) CliqueAt(root cell.Key, depth int) Clique {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.lockAll()
+	defer g.unlockAll()
 	return g.cliqueLocked(root, depth)
 }
 
+// lookupAllLocked finds a cell in its home stripe. Callers hold every stripe
+// lock (lockAll).
+func (g *Graph) lookupAllLocked(k cell.Key) *cell.Cell {
+	return g.stripeFor(k).lookup(k)
+}
+
 func (g *Graph) cliqueLocked(root cell.Key, depth int) Clique {
+	tick := g.tick.Load()
 	cl := Clique{Root: root}
 	frontier := []cell.Key{root}
 	for gen := 0; gen <= depth; gen++ {
 		var next []cell.Key
 		for _, k := range frontier {
-			if c := g.lookup(k); c != nil {
+			if c := g.lookupAllLocked(k); c != nil {
 				cl.Keys = append(cl.Keys, k)
-				cl.Freshness += c.FreshnessAt(g.tick, g.decay)
+				cl.Freshness += c.FreshnessAt(tick, g.decay)
 			}
 			if gen < depth {
 				if ch, ok := k.SpatialChildren(); ok {
@@ -66,21 +77,23 @@ func (g *Graph) cliqueLocked(root cell.Key, depth int) Clique {
 // resident (so cliques nest as deep as the cached hierarchy allows without
 // double-counting), ranked by cumulative freshness and taken greedily.
 func (g *Graph) TopCliques(depth, maxCells int) []Clique {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	if maxCells <= 0 {
 		return nil
 	}
+	g.lockAll()
+	defer g.unlockAll()
 
 	var candidates []Clique
-	for lvl := range g.levels {
-		for k := range g.levels[lvl] {
-			if parent, ok := spatialParentKey(k); ok && g.lookup(parent) != nil {
-				continue // covered by the parent's clique
-			}
-			cl := g.cliqueLocked(k, depth)
-			if cl.Size() > 0 && cl.Freshness > 0 {
-				candidates = append(candidates, cl)
+	for _, s := range g.stripes {
+		for lvl := range s.levels {
+			for k := range s.levels[lvl] {
+				if parent, ok := spatialParentKey(k); ok && g.lookupAllLocked(parent) != nil {
+					continue // covered by the parent's clique
+				}
+				cl := g.cliqueLocked(k, depth)
+				if cl.Size() > 0 && cl.Freshness > 0 {
+					candidates = append(candidates, cl)
+				}
 			}
 		}
 	}

@@ -13,14 +13,24 @@
 // data structure: freshness-based cell replacement with neighborhood
 // dispersion (§V-C) and the precision-level map (PLM) that tracks
 // completeness against the backing store (§IV-D).
+//
+// Concurrency: the store is hash-striped. Each stripe owns a private
+// per-level map set under its own mutex, so requests touching disjoint
+// stripes proceed in parallel across a node's workers (memcached-style lock
+// striping). The replacement *policy* stays global — logical time, stats,
+// and the eviction trigger are process-wide atomics, and eviction ranks
+// victims across all stripes — so striping changes scalability, not
+// semantics. See DESIGN.md "Concurrency model".
 package stash
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stash/internal/cell"
 	"stash/internal/geohash"
+	"stash/internal/obs"
 	"stash/internal/query"
 	"stash/internal/simnet"
 )
@@ -53,6 +63,12 @@ type Config struct {
 	// neighbor algebra would dominate the request cost. Zero selects the
 	// default.
 	DisperseKeyLimit int
+	// Stripes is the lock-striping factor: the store is split into this many
+	// hash-sharded segments, each under its own mutex, so concurrent workers
+	// contend only when their keys collide on a stripe. Rounded up to a
+	// power of two; zero selects the default, 1 degenerates to the original
+	// single-lock graph (useful as a benchmark baseline).
+	Stripes int
 	// Model and Sleeper price the in-memory work (cell touches) so that
 	// experiments account for STASH's own overhead (paper Fig. 6c). A nil
 	// Sleeper disables cost accounting.
@@ -75,8 +91,13 @@ func DefaultConfig() Config {
 		HalfLife:         10_000,
 		Disperse:         true,
 		DisperseKeyLimit: 1024,
+		Stripes:          16,
 	}
 }
+
+// maxStripes bounds the striping factor: beyond this the per-stripe maps are
+// too sparse to matter and the per-stripe metric series get noisy.
+const maxStripes = 256
 
 // Stats are cumulative counters of one graph shard.
 type Stats struct {
@@ -86,18 +107,37 @@ type Stats struct {
 	Evictions int64 // cells evicted by replacement
 }
 
-// Graph is one node's shard of the STASH graph. It is safe for concurrent
-// use.
-type Graph struct {
+// stripe is one hash shard of the store: a private per-level map set under
+// its own lock. A cell lives in exactly one stripe (chosen by key hash), so
+// holding the stripe lock protects both the maps and the freshness fields of
+// every resident *cell.Cell.
+type stripe struct {
 	mu     sync.Mutex
-	cfg    Config
-	decay  cell.DecayFunc
+	idx    int // position in Graph.stripes, for the per-stripe gauges
 	levels [cell.NumLevels]map[cell.Key]*cell.Cell
 	size   int
-	tick   int64
-	plm    *PLM
-	stats  Stats
-	om     *tierMetrics // process-registry handles, resolved once per tier
+}
+
+// Graph is one node's shard of the STASH graph. It is safe for concurrent
+// use: the store is lock-striped and all policy state is atomic.
+type Graph struct {
+	cfg     Config
+	decay   cell.DecayFunc
+	stripes []*stripe
+	mask    uint32 // len(stripes)-1; len is a power of two
+	plm     *PLM
+	om      *tierMetrics // process-registry handles, resolved once per tier
+	gauges  []*obs.Gauge // per-stripe occupancy, summed across graphs of the tier
+
+	tick     atomic.Int64 // logical time, one advance per operation batch
+	size     atomic.Int64 // resident cells across all stripes
+	levelLen [cell.NumLevels]atomic.Int64
+	evicting atomic.Bool // single-flight guard for the global eviction pass
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	inserts   atomic.Int64
+	evictions atomic.Int64
 }
 
 // NewGraph returns an empty shard with the given configuration.
@@ -114,48 +154,180 @@ func NewGraph(cfg Config) *Graph {
 	if cfg.DisperseKeyLimit <= 0 {
 		cfg.DisperseKeyLimit = DefaultConfig().DisperseKeyLimit
 	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = DefaultConfig().Stripes
+	}
+	if cfg.Stripes > maxStripes {
+		cfg.Stripes = maxStripes
+	}
+	n := 1
+	for n < cfg.Stripes {
+		n <<= 1
+	}
+	cfg.Stripes = n
 	if cfg.Tier == "" {
 		cfg.Tier = "local"
 	}
-	g := &Graph{cfg: cfg, decay: cell.ExpDecay(cfg.HalfLife), plm: NewPLM(),
-		om: metricsForTier(cfg.Tier)}
+	g := &Graph{
+		cfg:     cfg,
+		decay:   cell.ExpDecay(cfg.HalfLife),
+		stripes: make([]*stripe, n),
+		mask:    uint32(n - 1),
+		plm:     NewPLM(),
+		om:      metricsForTier(cfg.Tier),
+		gauges:  stripeGauges(cfg.Tier, n),
+	}
+	for i := range g.stripes {
+		g.stripes[i] = &stripe{idx: i}
+	}
 	return g
 }
 
-// Len returns the number of cells currently cached.
-func (g *Graph) Len() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.size
+// Stripes returns the (normalized) lock-striping factor.
+func (g *Graph) Stripes() int { return len(g.stripes) }
+
+// stripeIndex hashes a key onto its stripe index (FNV-1a over the key labels).
+func (g *Graph) stripeIndex(k cell.Key) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(k.Geohash); i++ {
+		h = (h ^ uint32(k.Geohash[i])) * prime32
+	}
+	h = (h ^ uint32(k.Time.Res)) * prime32
+	for i := 0; i < len(k.Time.Text); i++ {
+		h = (h ^ uint32(k.Time.Text[i])) * prime32
+	}
+	// Fold the high bits in so low-entropy keys still spread.
+	h ^= h >> 16
+	return h & g.mask
 }
+
+// stripeFor hashes a key onto its stripe.
+func (g *Graph) stripeFor(k cell.Key) *stripe {
+	return g.stripes[g.stripeIndex(k)]
+}
+
+// lockStripe acquires a stripe lock, counting contended acquisitions so
+// /metrics shows when the striping factor is too low for the worker count.
+func (g *Graph) lockStripe(s *stripe) {
+	if s.mu.TryLock() {
+		return
+	}
+	g.om.contention.Inc()
+	s.mu.Lock()
+}
+
+// lockAll acquires every stripe lock in index order (whole-graph scans:
+// clique assembly). Counterpart unlockAll releases in reverse.
+func (g *Graph) lockAll() {
+	for _, s := range g.stripes {
+		g.lockStripe(s)
+	}
+}
+
+func (g *Graph) unlockAll() {
+	for i := len(g.stripes) - 1; i >= 0; i-- {
+		g.stripes[i].mu.Unlock()
+	}
+}
+
+// Len returns the number of cells currently cached.
+func (g *Graph) Len() int { return int(g.size.Load()) }
 
 // LevelLen returns the number of cells cached at one hierarchy level.
 func (g *Graph) LevelLen(level int) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	if level < 0 || level >= cell.NumLevels {
 		return 0
 	}
-	return len(g.levels[level])
+	return int(g.levelLen[level].Load())
+}
+
+// StripeLen returns the number of cells resident in one stripe.
+func (g *Graph) StripeLen(i int) int {
+	if i < 0 || i >= len(g.stripes) {
+		return 0
+	}
+	s := g.stripes[i]
+	g.lockStripe(s)
+	defer s.mu.Unlock()
+	return s.size
 }
 
 // Stats returns a snapshot of the shard's counters.
 func (g *Graph) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	return Stats{
+		Hits:      g.hits.Load(),
+		Misses:    g.misses.Load(),
+		Inserts:   g.inserts.Load(),
+		Evictions: g.evictions.Load(),
+	}
 }
 
 // Tick returns the current logical time.
-func (g *Graph) Tick() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.tick
-}
+func (g *Graph) Tick() int64 { return g.tick.Load() }
 
 // PLM exposes the shard's precision-level map.
 func (g *Graph) PLM() *PLM {
 	return g.plm
+}
+
+// stripeGroup is one stripe's share of a batched request: the indices (into
+// the caller's key slice) of the keys hashing to the stripe.
+type stripeGroup struct {
+	s   *stripe
+	idx []int
+}
+
+// groupByStripe partitions keys by stripe, preserving per-stripe request
+// order. Requests are visual footprints (tens to a few thousand keys) and sit
+// on the serve hot path, so the grouping is a counting sort into one shared
+// index arena: two passes, three allocations, independent of stripe count.
+func (g *Graph) groupByStripe(keys []cell.Key) []stripeGroup {
+	if len(g.stripes) == 1 {
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		return []stripeGroup{{s: g.stripes[0], idx: idx}}
+	}
+	// Pass 1: hash every key once, counting per-stripe populations.
+	// maxStripes is 256, so a stripe index fits a byte.
+	si := make([]uint8, len(keys))
+	var counts [maxStripes]int32
+	touched := 0
+	for i, k := range keys {
+		s := g.stripeIndex(k)
+		si[i] = uint8(s)
+		if counts[s] == 0 {
+			touched++
+		}
+		counts[s]++
+	}
+	// Pass 2: carve one arena into per-stripe segments and scatter the key
+	// indices, keeping request order within each stripe.
+	arena := make([]int, len(keys))
+	groups := make([]stripeGroup, 0, touched)
+	var gi [maxStripes]int32 // stripe -> group position
+	off := int32(0)
+	for s := range counts {
+		if counts[s] == 0 {
+			continue
+		}
+		gi[s] = int32(len(groups))
+		groups = append(groups, stripeGroup{
+			s:   g.stripes[s],
+			idx: arena[off : off : off+counts[s]],
+		})
+		off += counts[s]
+	}
+	for i := range keys {
+		g := &groups[gi[si[i]]]
+		g.idx = append(g.idx, i)
+	}
+	return groups
 }
 
 // Get serves a region request from the cache: it returns the summaries of
@@ -163,87 +335,124 @@ func (g *Graph) PLM() *PLM {
 // caller must fetch from the backing store. Found cells are touched; if
 // dispersion is enabled, the lateral neighbors and parents of the requested
 // region receive their freshness share (paper §V-C2).
+//
+// Get is the batched entry point (GetBatch is an alias): keys are grouped by
+// stripe and each stripe lock is taken once per request, not once per key.
 func (g *Graph) Get(keys []cell.Key) (query.Result, []cell.Key) {
+	return g.GetBatch(keys)
+}
+
+// GetBatch is Get under its pipeline name: one stripe-lock acquisition per
+// touched stripe for the whole key batch.
+func (g *Graph) GetBatch(keys []cell.Key) (query.Result, []cell.Key) {
 	res := query.NewResult()
 	if len(keys) == 0 {
 		return res, nil
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.tick++
+	tick := g.tick.Add(1)
 
-	requested := make(map[cell.Key]bool, len(keys))
-	for _, k := range keys {
-		requested[k] = true
+	missed := make([]bool, len(keys)) // by key index, so missing keeps request order
+	nMiss := 0
+	for _, grp := range g.groupByStripe(keys) {
+		g.lockStripe(grp.s)
+		for _, i := range grp.idx {
+			k := keys[i]
+			c := grp.s.lookup(k)
+			if c == nil || g.plm.IsStale(k) {
+				if c != nil {
+					// Stale cell: drop it so the refetch replaces it.
+					g.removeLocked(grp.s, k)
+				}
+				missed[i] = true
+				nMiss++
+				continue
+			}
+			c.Touch(tick, g.cfg.FreshInc, g.decay)
+			// Negative-cached (empty) cells count as hits but add nothing
+			// to the result, matching the disk path's omission of dataless
+			// bins.
+			if !c.Summary.Empty() {
+				res.Add(k, c.Summary)
+			}
+		}
+		grp.s.mu.Unlock()
 	}
 
 	var missing []cell.Key
-	for _, k := range keys {
-		c := g.lookup(k)
-		if c == nil || g.plm.IsStale(k) {
-			if c != nil {
-				// Stale cell: drop it so the refetch replaces it.
-				g.remove(k)
+	if nMiss > 0 {
+		missing = make([]cell.Key, 0, nMiss)
+		for i, m := range missed {
+			if m {
+				missing = append(missing, keys[i])
 			}
-			missing = append(missing, k)
-			g.stats.Misses++
-			continue
 		}
-		c.Touch(g.tick, g.cfg.FreshInc, g.decay)
-		// Negative-cached (empty) cells count as hits but add nothing to
-		// the result, matching the disk path's omission of dataless bins.
-		if !c.Summary.Empty() {
-			res.Add(k, c.Summary)
-		}
-		g.stats.Hits++
 	}
 
 	if g.cfg.Disperse && len(keys) <= g.cfg.DisperseKeyLimit {
-		g.disperseLocked(keys, requested)
+		g.disperse(tick, keys)
 	}
 	// One batched atomic add per counter per request, not one per key.
-	g.om.hits.Add(int64(len(keys) - len(missing)))
-	g.om.misses.Add(int64(len(missing)))
+	g.hits.Add(int64(len(keys) - nMiss))
+	g.misses.Add(int64(nMiss))
+	g.om.hits.Add(int64(len(keys) - nMiss))
+	g.om.misses.Add(int64(nMiss))
 	g.charge(len(keys))
 	return res, missing
 }
 
-// disperseLocked grants the neighborhood of the requested region its
-// freshness share. Only the region boundary matters: interior neighbors are
-// themselves requested and already touched.
-func (g *Graph) disperseLocked(keys []cell.Key, requested map[cell.Key]bool) {
+// disperse grants the neighborhood of the requested region its freshness
+// share. Only the region boundary matters: interior neighbors are themselves
+// requested and already touched. The boost set is computed from pure key
+// algebra with no locks held, then applied stripe by stripe.
+func (g *Graph) disperse(tick int64, keys []cell.Key) {
 	inc := g.cfg.FreshInc * g.cfg.DisperseFraction
 	if inc <= 0 {
 		return
 	}
+	requested := make(map[cell.Key]bool, len(keys))
+	for _, k := range keys {
+		requested[k] = true
+	}
 	boosted := map[cell.Key]bool{}
-	boost := func(k cell.Key) {
+	var boost []cell.Key
+	add := func(k cell.Key) {
 		if requested[k] || boosted[k] {
 			return
 		}
 		boosted[k] = true
-		if c := g.lookup(k); c != nil {
-			c.Disperse(g.tick, inc, g.decay)
-		}
+		boost = append(boost, k)
 	}
 	for _, k := range keys {
 		if ns, err := k.LateralNeighbors(); err == nil {
 			for _, n := range ns {
-				boost(n)
+				add(n)
 			}
 		}
 		for _, p := range k.Parents() {
-			boost(p)
+			add(p)
 		}
+	}
+	if len(boost) == 0 {
+		return
+	}
+	for _, grp := range g.groupByStripe(boost) {
+		g.lockStripe(grp.s)
+		for _, i := range grp.idx {
+			if c := grp.s.lookup(boost[i]); c != nil {
+				c.Disperse(tick, inc, g.decay)
+			}
+		}
+		grp.s.mu.Unlock()
 	}
 }
 
 // Peek returns a cell's summary without touching freshness or dispersing.
 // ok is false if the cell is absent or stale.
 func (g *Graph) Peek(k cell.Key) (cell.Summary, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	c := g.lookup(k)
+	s := g.stripeFor(k)
+	g.lockStripe(s)
+	defer s.mu.Unlock()
+	c := s.lookup(k)
 	if c == nil || g.plm.IsStale(k) {
 		return cell.Summary{}, false
 	}
@@ -253,15 +462,24 @@ func (g *Graph) Peek(k cell.Key) (cell.Summary, bool) {
 // Put inserts (or replaces) the cells of a fetch result, marking them fresh
 // in the PLM, then evicts down to the safe limit if the capacity threshold
 // was breached. This is the cache-population path measured by the paper's
-// maintenance experiment (Fig. 6c).
+// maintenance experiment (Fig. 6c). Cells are inserted stripe by stripe,
+// one lock acquisition per touched stripe.
 func (g *Graph) Put(res query.Result) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.tick++
-	for k, s := range res.Cells {
-		g.insert(k, s)
+	tick := g.tick.Add(1)
+	if res.Len() > 0 {
+		keys := make([]cell.Key, 0, res.Len())
+		for k := range res.Cells {
+			keys = append(keys, k)
+		}
+		for _, grp := range g.groupByStripe(keys) {
+			g.lockStripe(grp.s)
+			for _, i := range grp.idx {
+				g.insertLocked(grp.s, keys[i], res.Cells[keys[i]], tick)
+			}
+			grp.s.mu.Unlock()
+		}
 	}
-	g.evictLocked()
+	g.maybeEvict()
 	g.charge(res.Len())
 }
 
@@ -269,124 +487,171 @@ func (g *Graph) Put(res query.Result) {
 // caching the negative result so repeated queries over sparse regions do not
 // re-scan disk. The cells carry empty summaries.
 func (g *Graph) PutEmpty(keys []cell.Key) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.tick++
-	for _, k := range keys {
-		if g.lookup(k) == nil {
-			g.insert(k, cell.NewSummary())
+	tick := g.tick.Add(1)
+	for _, grp := range g.groupByStripe(keys) {
+		g.lockStripe(grp.s)
+		for _, i := range grp.idx {
+			if grp.s.lookup(keys[i]) == nil {
+				g.insertLocked(grp.s, keys[i], cell.NewSummary(), tick)
+			}
 		}
+		grp.s.mu.Unlock()
 	}
-	g.evictLocked()
+	g.maybeEvict()
 	g.charge(len(keys))
 }
 
-func (g *Graph) insert(k cell.Key, s cell.Summary) {
+// insertLocked inserts or replaces one cell. Callers hold s.mu; k hashes to s.
+func (g *Graph) insertLocked(s *stripe, k cell.Key, sum cell.Summary, tick int64) {
 	lvl := k.Level()
 	if lvl < 0 || lvl >= cell.NumLevels {
 		return
 	}
-	if g.levels[lvl] == nil {
-		g.levels[lvl] = map[cell.Key]*cell.Cell{}
+	if s.levels[lvl] == nil {
+		s.levels[lvl] = map[cell.Key]*cell.Cell{}
 	}
-	c, exists := g.levels[lvl][k]
+	c, exists := s.levels[lvl][k]
 	if !exists {
 		c = cell.New(k)
-		g.levels[lvl][k] = c
-		g.size++
-		g.stats.Inserts++
+		s.levels[lvl][k] = c
+		s.size++
+		g.size.Add(1)
+		g.levelLen[lvl].Add(1)
+		g.inserts.Add(1)
 		g.om.inserts.Inc()
 		g.om.cells.Add(1)
+		g.gauges[s.idx].Add(1)
 	}
 	// The graph aliases the inserted summary: results and caches share
 	// summaries under the immutable-by-convention rule (see query.Result).
-	c.Summary = s
-	c.Touch(g.tick, g.cfg.FreshInc, g.decay)
+	c.Summary = sum
+	c.Touch(tick, g.cfg.FreshInc, g.decay)
 	g.plm.MarkPresent(k)
 }
 
-func (g *Graph) lookup(k cell.Key) *cell.Cell {
+// lookup finds a cell within one stripe. Callers hold s.mu.
+func (s *stripe) lookup(k cell.Key) *cell.Cell {
 	lvl := k.Level()
-	if lvl < 0 || lvl >= cell.NumLevels || g.levels[lvl] == nil {
+	if lvl < 0 || lvl >= cell.NumLevels || s.levels[lvl] == nil {
 		return nil
 	}
-	return g.levels[lvl][k]
+	return s.levels[lvl][k]
 }
 
-func (g *Graph) remove(k cell.Key) {
+// removeLocked removes one cell. Callers hold s.mu; k hashes to s.
+func (g *Graph) removeLocked(s *stripe, k cell.Key) {
 	lvl := k.Level()
-	if lvl < 0 || lvl >= cell.NumLevels || g.levels[lvl] == nil {
+	if lvl < 0 || lvl >= cell.NumLevels || s.levels[lvl] == nil {
 		return
 	}
-	if _, ok := g.levels[lvl][k]; ok {
-		delete(g.levels[lvl], k)
-		g.size--
+	if _, ok := s.levels[lvl][k]; ok {
+		delete(s.levels[lvl], k)
+		s.size--
+		g.size.Add(-1)
+		g.levelLen[lvl].Add(-1)
 		g.om.cells.Add(-1)
+		g.gauges[s.idx].Add(-1)
 		g.plm.MarkAbsent(k)
 	}
 }
 
 // Delete removes a cell outright (used when purging stale guest entries).
 func (g *Graph) Delete(k cell.Key) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.remove(k)
+	s := g.stripeFor(k)
+	g.lockStripe(s)
+	defer s.mu.Unlock()
+	g.removeLocked(s, k)
 }
 
-// evictLocked enforces the capacity threshold: if breached, cells are evicted
+// maybeEvict enforces the capacity threshold: if breached, cells are evicted
 // in ascending freshness order until the graph is back at the safe limit
 // (paper §V-C2: evict lowest freshness "till the capacity goes below a safe
-// limit").
-func (g *Graph) evictLocked() {
-	if g.size <= g.cfg.Capacity {
+// limit"). The pass is single-flight (concurrent writers that lose the CAS
+// skip it; the winner drives size back down) and stripe-aware: victim
+// scores are snapshotted one stripe at a time, ranked globally so the
+// freshness ordering matches the single-lock graph exactly, then removed in
+// per-stripe batches — at most two lock acquisitions per stripe per pass.
+func (g *Graph) maybeEvict() {
+	if g.size.Load() <= int64(g.cfg.Capacity) {
 		return
 	}
-	target := int(float64(g.cfg.Capacity) * g.cfg.SafeFraction)
+	if !g.evicting.CompareAndSwap(false, true) {
+		return
+	}
+	defer g.evicting.Store(false)
+
+	target := int64(float64(g.cfg.Capacity) * g.cfg.SafeFraction)
+	need := g.size.Load() - target
+	if need <= 0 {
+		return
+	}
+	tick := g.tick.Load()
 	type scored struct {
 		key   cell.Key
+		s     *stripe
 		score float64
 	}
-	all := make([]scored, 0, g.size)
-	for lvl := range g.levels {
-		for k, c := range g.levels[lvl] {
-			all = append(all, scored{key: k, score: c.FreshnessAt(g.tick, g.decay)})
+	all := make([]scored, 0, g.size.Load())
+	for _, s := range g.stripes {
+		g.lockStripe(s)
+		for lvl := range s.levels {
+			for k, c := range s.levels[lvl] {
+				all = append(all, scored{key: k, s: s, score: c.FreshnessAt(tick, g.decay)})
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })
-	evicted := int64(0)
-	for _, s := range all {
-		if g.size <= target {
-			break
-		}
-		g.remove(s.key)
-		g.stats.Evictions++
-		evicted++
+	if int64(len(all)) < need {
+		need = int64(len(all))
 	}
+	victims := all[:need]
+
+	// Group removals by stripe so each stripe lock is taken once.
+	byStripe := map[*stripe][]cell.Key{}
+	for _, v := range victims {
+		byStripe[v.s] = append(byStripe[v.s], v.key)
+	}
+	evicted := int64(0)
+	for s, ks := range byStripe {
+		g.lockStripe(s)
+		for _, k := range ks {
+			if s.lookup(k) != nil {
+				g.removeLocked(s, k)
+				evicted++
+			}
+		}
+		s.mu.Unlock()
+	}
+	g.evictions.Add(evicted)
 	g.om.evictions.Add(evicted)
 }
 
 // Freshness returns a cell's current (decayed) freshness; ok is false if the
 // cell is absent.
 func (g *Graph) Freshness(k cell.Key) (float64, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	c := g.lookup(k)
+	s := g.stripeFor(k)
+	g.lockStripe(s)
+	defer s.mu.Unlock()
+	c := s.lookup(k)
 	if c == nil {
 		return 0, false
 	}
-	return c.FreshnessAt(g.tick, g.decay), true
+	return c.FreshnessAt(g.tick.Load(), g.decay), true
 }
 
 // Keys returns every cached key at one level, in unspecified order.
 func (g *Graph) Keys(level int) []cell.Key {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	if level < 0 || level >= cell.NumLevels {
 		return nil
 	}
-	out := make([]cell.Key, 0, len(g.levels[level]))
-	for k := range g.levels[level] {
-		out = append(out, k)
+	out := make([]cell.Key, 0, g.levelLen[level].Load())
+	for _, s := range g.stripes {
+		g.lockStripe(s)
+		for k := range s.levels[level] {
+			out = append(out, k)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -394,13 +659,15 @@ func (g *Graph) Keys(level int) []cell.Key {
 // Snapshot extracts the summaries of the given keys (used for clique
 // replication payloads); absent keys are skipped.
 func (g *Graph) Snapshot(keys []cell.Key) query.Result {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	res := query.NewResult()
-	for _, k := range keys {
-		if c := g.lookup(k); c != nil {
-			res.Add(k, c.Summary)
+	for _, grp := range g.groupByStripe(keys) {
+		g.lockStripe(grp.s)
+		for _, i := range grp.idx {
+			if c := grp.s.lookup(keys[i]); c != nil {
+				res.Add(keys[i], c.Summary)
+			}
 		}
+		grp.s.mu.Unlock()
 	}
 	return res
 }
@@ -412,47 +679,130 @@ func (g *Graph) Snapshot(keys []cell.Key) query.Result {
 // complete child cover: all 32 spatial children, or all temporal children,
 // resident and fresh. On success the derived cell is inserted and returned.
 func (g *Graph) DeriveFromChildren(k cell.Key) (cell.Summary, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	res, _ := g.DeriveBatch([]cell.Key{k})
+	sum, ok := res.Cells[k]
+	return sum, ok
+}
 
-	try := func(children []cell.Key) (cell.Summary, bool) {
+// deriveCandidate is one (parent, child-cover) derivation attempt.
+type deriveCandidate struct {
+	parent   int // index into the request's key slice
+	children []cell.Key
+}
+
+// DeriveBatch attempts child-cover derivation for a batch of missing keys in
+// three stripe-grouped stages: (1) plan candidate child covers from level
+// occupancy and key algebra alone, with no locks held; (2) fetch every
+// needed child summary, taking each stripe lock once for the whole batch;
+// (3) merge covers per parent and batch-insert the derived cells. It
+// returns the derived result plus the keys still unresolved, in request
+// order. Derived cells are resident afterwards, exactly as with the
+// single-key path.
+func (g *Graph) DeriveBatch(keys []cell.Key) (query.Result, []cell.Key) {
+	res := query.NewResult()
+	if len(keys) == 0 {
+		return res, nil
+	}
+
+	// Stage 1: plan. Check child-level occupancy from level arithmetic alone
+	// before materializing any child keys: building temporal children parses
+	// and formats timestamps, far too costly to do per cache miss.
+	var cands []deriveCandidate
+	for i, k := range keys {
+		if len(k.Geohash) < cell.MaxSpatialPrecision {
+			childLvl := int(k.Time.Res)*cell.MaxSpatialPrecision + len(k.Geohash)
+			if g.levelLen[childLvl].Load() >= int64(geohash.BranchFactor) {
+				if children, ok := k.SpatialChildren(); ok {
+					cands = append(cands, deriveCandidate{parent: i, children: children})
+				}
+			}
+		}
+		if finer, ok := k.Time.Res.Finer(); ok {
+			childLvl := int(finer)*cell.MaxSpatialPrecision + len(k.Geohash) - 1
+			if g.levelLen[childLvl].Load() > 0 {
+				if children, ok := k.TemporalChildren(); ok {
+					cands = append(cands, deriveCandidate{parent: i, children: children})
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return res, keys
+	}
+
+	// Stage 2: fetch. Union the child keys of every candidate and read their
+	// summaries with one lock acquisition per stripe. Summaries are shared
+	// by value under the immutable-by-convention rule, so reading them under
+	// the stripe lock and merging after release is safe.
+	var lookups []cell.Key
+	seen := map[cell.Key]bool{}
+	for _, c := range cands {
+		for _, ck := range c.children {
+			if !seen[ck] {
+				seen[ck] = true
+				lookups = append(lookups, ck)
+			}
+		}
+	}
+	got := make(map[cell.Key]cell.Summary, len(lookups))
+	for _, grp := range g.groupByStripe(lookups) {
+		g.lockStripe(grp.s)
+		for _, i := range grp.idx {
+			ck := lookups[i]
+			if c := grp.s.lookup(ck); c != nil && !g.plm.IsStale(ck) {
+				got[ck] = c.Summary
+			}
+		}
+		grp.s.mu.Unlock()
+	}
+
+	// Stage 3: merge complete covers and batch-insert the derived cells.
+	derived := map[cell.Key]cell.Summary{}
+	for _, c := range cands {
+		k := keys[c.parent]
+		if _, done := derived[k]; done {
+			continue // spatial cover already succeeded for this parent
+		}
 		sum := cell.NewSummary()
-		for _, ck := range children {
-			c := g.lookup(ck)
-			if c == nil || g.plm.IsStale(ck) {
-				return cell.Summary{}, false
+		ok := true
+		for _, ck := range c.children {
+			cs, present := got[ck]
+			if !present {
+				ok = false
+				break
 			}
-			sum.Merge(c.Summary)
+			sum.Merge(cs)
 		}
-		return sum, true
+		if ok {
+			derived[k] = sum
+		}
+	}
+	if len(derived) > 0 {
+		tick := g.tick.Add(1)
+		ins := make([]cell.Key, 0, len(derived))
+		for k := range derived {
+			ins = append(ins, k)
+		}
+		for _, grp := range g.groupByStripe(ins) {
+			g.lockStripe(grp.s)
+			for _, i := range grp.idx {
+				g.insertLocked(grp.s, ins[i], derived[ins[i]], tick)
+			}
+			grp.s.mu.Unlock()
+		}
+		for k, sum := range derived {
+			res.Add(k, sum)
+		}
+		g.maybeEvict()
 	}
 
-	// Check child-level occupancy from level arithmetic alone before
-	// materializing any child keys: building temporal children parses and
-	// formats timestamps, far too costly to do per cache miss.
-	if len(k.Geohash) < cell.MaxSpatialPrecision {
-		childLvl := int(k.Time.Res)*cell.MaxSpatialPrecision + len(k.Geohash)
-		if len(g.levels[childLvl]) >= geohash.BranchFactor {
-			if children, ok := k.SpatialChildren(); ok {
-				if sum, ok := try(children); ok {
-					g.insert(k, sum)
-					return sum, true
-				}
-			}
+	var unresolved []cell.Key
+	for _, k := range keys {
+		if _, ok := derived[k]; !ok {
+			unresolved = append(unresolved, k)
 		}
 	}
-	if finer, ok := k.Time.Res.Finer(); ok {
-		childLvl := int(finer)*cell.MaxSpatialPrecision + len(k.Geohash) - 1
-		if len(g.levels[childLvl]) > 0 {
-			if children, ok := k.TemporalChildren(); ok {
-				if sum, ok := try(children); ok {
-					g.insert(k, sum)
-					return sum, true
-				}
-			}
-		}
-	}
-	return cell.Summary{}, false
+	return res, unresolved
 }
 
 func (g *Graph) charge(cells int) {

@@ -1,6 +1,7 @@
 package stash
 
 import (
+	"strconv"
 	"sync"
 
 	"stash/internal/obs"
@@ -18,6 +19,10 @@ type tierMetrics struct {
 	inserts   *obs.Counter
 	evictions *obs.Counter
 	cells     *obs.Gauge // resident cells summed over live graphs of the tier
+	// contention counts stripe-lock acquisitions that found the lock held
+	// (TryLock failed). A rate near zero means the striping factor is ample
+	// for the worker count; a high rate says raise Stripes.
+	contention *obs.Counter
 }
 
 var (
@@ -38,13 +43,30 @@ func metricsForTier(tier string) *tierMetrics {
 	r.Help("stash_cache_inserts_total", "Cells inserted into a STASH graph, by cache tier.")
 	r.Help("stash_cache_evictions_total", "Cells evicted by freshness replacement, by cache tier.")
 	r.Help("stash_cache_cells", "Resident cells summed across live graphs of a tier.")
+	r.Help("stash_graph_stripe_contention_total", "Stripe-lock acquisitions that contended (TryLock failed), by cache tier.")
 	m := &tierMetrics{
-		hits:      r.Counter("stash_cache_hits_total", "tier", tier),
-		misses:    r.Counter("stash_cache_misses_total", "tier", tier),
-		inserts:   r.Counter("stash_cache_inserts_total", "tier", tier),
-		evictions: r.Counter("stash_cache_evictions_total", "tier", tier),
-		cells:     r.Gauge("stash_cache_cells", "tier", tier),
+		hits:       r.Counter("stash_cache_hits_total", "tier", tier),
+		misses:     r.Counter("stash_cache_misses_total", "tier", tier),
+		inserts:    r.Counter("stash_cache_inserts_total", "tier", tier),
+		evictions:  r.Counter("stash_cache_evictions_total", "tier", tier),
+		cells:      r.Gauge("stash_cache_cells", "tier", tier),
+		contention: r.Counter("stash_graph_stripe_contention_total", "tier", tier),
 	}
 	tiers[tier] = m
 	return m
+}
+
+// stripeGauges resolves the per-stripe occupancy gauges of a tier. Graphs of
+// the same tier and striping factor share series (the registry deduplicates
+// by label set), so each gauge reads as the tier-wide cell count of that
+// stripe index — skew across the series is hash imbalance, and a hot single
+// stripe under contention shows up against a flat neighborhood.
+func stripeGauges(tier string, n int) []*obs.Gauge {
+	r := obs.Default()
+	r.Help("stash_graph_stripe_cells", "Resident cells per lock stripe, summed across live graphs of a tier.")
+	out := make([]*obs.Gauge, n)
+	for i := range out {
+		out[i] = r.Gauge("stash_graph_stripe_cells", "tier", tier, "stripe", strconv.Itoa(i))
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package stash
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"stash/internal/cell"
 	"stash/internal/temporal"
@@ -34,6 +35,11 @@ type PLM struct {
 	epoch   int64
 	present [cell.NumLevels]map[cell.Key]int64
 	stale   map[BlockRef]int64
+	// staleN mirrors len(stale) atomically so the hot read path (IsStale on
+	// every cache hit, called under a graph stripe lock) skips the PLM mutex
+	// entirely whenever no invalidation is outstanding — the overwhelmingly
+	// common case.
+	staleN atomic.Int64
 }
 
 // NewPLM returns an empty precision-level map.
@@ -120,6 +126,9 @@ func (p *PLM) MarkStale(b BlockRef) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.epoch++
+	if _, exists := p.stale[b]; !exists {
+		p.staleN.Add(1)
+	}
 	p.stale[b] = p.epoch
 }
 
@@ -128,6 +137,9 @@ func (p *PLM) MarkStale(b BlockRef) {
 func (p *PLM) ClearStale(b BlockRef) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if _, exists := p.stale[b]; exists {
+		p.staleN.Add(-1)
+	}
 	delete(p.stale, b)
 }
 
@@ -140,7 +152,11 @@ func (p *PLM) StaleCount() int {
 
 // IsStale reports whether the cell is resident but invalidated by a later
 // block update. Non-resident cells are not stale (they are just absent).
+// With no outstanding invalidations the check is a single atomic load.
 func (p *PLM) IsStale(k cell.Key) bool {
+	if p.staleN.Load() == 0 {
+		return false
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	lvl := k.Level()
