@@ -96,6 +96,10 @@ func BenchmarkAblationPLM(b *testing.B) { runExperiment(b, "abl-plm") }
 // selection vs uniform random.
 func BenchmarkAblationAntipode(b *testing.B) { runExperiment(b, "abl-antipode") }
 
+// BenchmarkExtCoalesce regenerates ext-coalesce: duplicate-heavy concurrent
+// sessions with request coalescing + serve-side singleflight off vs on.
+func BenchmarkExtCoalesce(b *testing.B) { runExperiment(b, "ext-coalesce") }
+
 // BenchmarkGraphParallel measures the STASH graph under concurrent workers at
 // different lock-striping factors. stripes=1 is the original single-lock
 // graph; with -cpu=4 (or more) *hardware* threads the striped variants win by

@@ -24,16 +24,18 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		list    = flag.Bool("list", false, "list available experiment ids and exit")
-		nodes   = flag.Int("nodes", 16, "simulated cluster size (paper: 120)")
-		seed    = flag.Int64("seed", 42, "workload and dataset seed")
-		points  = flag.Int("points", 512, "observations per storage block")
-		full    = flag.Bool("full", false, "paper-scale request counts (slow)")
-		stripes = flag.Int("stripes", 0, "lock stripes per STASH graph shard (0 = cache default; 1 = single-lock baseline)")
-		popwork = flag.Int("popworkers", 0, "background cache-population workers per node (0 = cluster default)")
-		diskpar = flag.Int("diskparallel", 0, "concurrent block reads per disk fetch (0/1 = serial)")
-		metrics = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after the experiments (\"-\" for stderr)")
+		exp      = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		list     = flag.Bool("list", false, "list available experiment ids and exit")
+		nodes    = flag.Int("nodes", 16, "simulated cluster size (paper: 120)")
+		seed     = flag.Int64("seed", 42, "workload and dataset seed")
+		points   = flag.Int("points", 512, "observations per storage block")
+		full     = flag.Bool("full", false, "paper-scale request counts (slow)")
+		stripes  = flag.Int("stripes", 0, "lock stripes per STASH graph shard (0 = cache default; 1 = single-lock baseline)")
+		popwork  = flag.Int("popworkers", 0, "background cache-population workers per node (0 = cluster default)")
+		diskpar  = flag.Int("diskparallel", 0, "concurrent block reads per disk fetch (0/1 = serial)")
+		coalesce = flag.Bool("coalesce", false, "enable request coalescing + serve-side singleflight on experiment clusters")
+		window   = flag.Duration("window", 0, "coalescer admission window (0 with -coalesce = cluster default)")
+		metrics  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after the experiments (\"-\" for stderr)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,8 @@ func main() {
 		Stripes:           *stripes,
 		PopulationWorkers: *popwork,
 		ParallelReads:     *diskpar,
+		Coalesce:          *coalesce,
+		CoalesceWindow:    *window,
 		Out:               os.Stdout,
 	}
 

@@ -54,6 +54,8 @@ func main() {
 		popwork   = flag.Int("popworkers", 2, "background cache-population workers per node (the paper's population thread, bounded)")
 		diskpar   = flag.Int("diskparallel", 1, "concurrent block reads per disk fetch (1 = serial)")
 		resilient = flag.Bool("resilient", true, "enable the resilient coordinator (deadlines, retries, failover, partial results)")
+		coalesce  = flag.Bool("coalesce", true, "enable request coalescing (admission-window batching) and serve-side singleflight")
+		window    = flag.Duration("window", stash.DefaultCoalesceWindow, "coalescer admission window (how long the first fetch waits for mergeable peers)")
 		timeout   = flag.Duration("timeout", 0, "default per-query deadline (0 = none; ?timeout= overrides per request)")
 		faults    = flag.Bool("faults", false, "enable the /faults chaos endpoint")
 		faultseed = flag.Int64("faultseed", 1, "seed for randomized fault decisions (reply-drop sequences)")
@@ -75,6 +77,13 @@ func main() {
 	}
 	if *resilient {
 		cfg.Resilience = stash.DefaultResilienceConfig()
+	}
+	if *coalesce {
+		cfg.CoalesceWindow = *window
+		if cfg.CoalesceWindow <= 0 {
+			cfg.CoalesceWindow = stash.DefaultCoalesceWindow
+		}
+		cfg.ServeSingleflight = true
 	}
 	var fp *stash.FaultPlan
 	if *faults {

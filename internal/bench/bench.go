@@ -48,6 +48,12 @@ type Options struct {
 	// ParallelReads bounds concurrent block reads per disk fetch (0/1 keep
 	// the serial scan).
 	ParallelReads int
+	// Coalesce enables client-side request coalescing plus serve-side
+	// singleflight on the built clusters.
+	Coalesce bool
+	// CoalesceWindow overrides the coalescer admission window (0 with
+	// Coalesce set uses cluster.DefaultCoalesceWindow).
+	CoalesceWindow time.Duration
 	// Out receives the printed report; nil discards it.
 	Out io.Writer
 }
@@ -201,6 +207,13 @@ func buildCluster(opts Options, kind systemKind, repl replication.Config, mutate
 	}
 	if opts.ParallelReads > 0 {
 		cfg.GalileoParallelReads = opts.ParallelReads
+	}
+	if opts.Coalesce {
+		cfg.CoalesceWindow = opts.CoalesceWindow
+		if cfg.CoalesceWindow <= 0 {
+			cfg.CoalesceWindow = cluster.DefaultCoalesceWindow
+		}
+		cfg.ServeSingleflight = true
 	}
 	if mutate != nil {
 		mutate(&cfg)

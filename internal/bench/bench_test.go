@@ -32,6 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-freshness", "abl-plm", "abl-antipode",
 		"ext-frontend",
 		"ext-faults",
+		"ext-coalesce",
 	}
 	have := map[string]bool{}
 	for _, id := range Experiments() {
@@ -203,6 +204,42 @@ func TestRunExtFaultsSmoke(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "ext-faults") {
 		t.Error("report not printed to Out")
+	}
+}
+
+// TestRunExtCoalesceSmoke runs the duplicate-heavy multi-session experiment
+// and asserts the acceptance shape: with coalescing + singleflight on, the
+// same workload reads no more disk blocks (it should read far fewer — the
+// concurrent identical misses share one scan) and measurably fewer request
+// bytes go on the wire. Assertions are weak inequalities so scheduler
+// timing can't flake the suite; the strong ratios are quoted in the notes.
+func TestRunExtCoalesceSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Nodes = 8
+	opts.Out = &buf
+	rep, out, err := runExtCoalesce(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want off/on", len(rep.Rows))
+	}
+	if out.blocksOn > out.blocksOff {
+		t.Errorf("coalescing read MORE disk blocks: on=%d off=%d", out.blocksOn, out.blocksOff)
+	}
+	if out.batches <= 0 {
+		t.Errorf("no coalesced batches recorded (batches=%v)", out.batches)
+	}
+	if out.bytesSaved <= 0 {
+		t.Errorf("no request bytes saved (bytesSaved=%v)", out.bytesSaved)
+	}
+	if out.dedupKeys <= 0 {
+		t.Errorf("no duplicate keys elided (dedupKeys=%v)", out.dedupKeys)
+	}
+	rep.Print(&buf)
+	if !strings.Contains(buf.String(), "ext-coalesce") {
+		t.Error("report not printed")
 	}
 }
 

@@ -117,6 +117,16 @@ func (cl *Client) FetchContext(ctx context.Context, keys []cell.Key) (query.Resu
 	return res, err
 }
 
+// submit issues one owner sub-request, routing through the request coalescer
+// when the cluster has one (CoalesceWindow > 0). With coalescing disabled the
+// call degenerates to a direct node submit — today's behavior, exactly.
+func (cl *Client) submit(ctx context.Context, n *Node, keys []cell.Key) (query.Result, error) {
+	if co := cl.cluster.coalescer; co != nil {
+		return co.fetch(ctx, n, keys)
+	}
+	return n.Submit(ctx, keys)
+}
+
 // TimedQuery evaluates a query and reports its wall-clock latency.
 func (cl *Client) TimedQuery(q query.Query) (query.Result, time.Duration, error) {
 	start := time.Now()
@@ -150,7 +160,7 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 			shareCtx, ss := obs.StartSpan(fanCtx, "share")
 			ss.SetAttr("node", id.String())
 			ss.SetAttr("keys", fmt.Sprint(len(ks)))
-			res, err := cl.cluster.nodes[id].Submit(shareCtx, ks)
+			res, err := cl.submit(shareCtx, cl.cluster.nodes[id], ks)
 			ss.End()
 			mu.Lock()
 			parts = append(parts, part{res: res, err: err})
@@ -376,7 +386,7 @@ func (cl *Client) submitOnce(ctx context.Context, n *Node, keys []cell.Key, rc R
 		ctx, cancel = context.WithTimeout(ctx, rc.RequestTimeout)
 		defer cancel()
 	}
-	return n.Submit(ctx, keys)
+	return cl.submit(ctx, n, keys)
 }
 
 // fetchFromHelpers tries to serve the whole share from replicas on helper
@@ -567,11 +577,22 @@ func (cl *Client) GroupByOwner(keys []cell.Key) map[dht.NodeID][]cell.Key {
 // partitions. Keys at or finer than the partition prefix have exactly one
 // owner; coarser keys span every extending partition, and each owner
 // computes its partial summary (partials merge associatively).
+//
+// Repeated keys in the footprint (overlapping viewport tiles, duplicated
+// drill-down cells) are elided before fan-out: a duplicate would only make
+// the owner serve — and the wire carry — the same summary twice.
 func (cl *Client) groupByOwner(keys []cell.Key) map[dht.NodeID][]cell.Key {
 	ring := cl.cluster.ring
 	plen := ring.PrefixLen()
 	out := map[dht.NodeID][]cell.Key{}
+	seenKey := make(map[cell.Key]struct{}, len(keys))
+	dups := 0
 	for _, k := range keys {
+		if _, dup := seenKey[k]; dup {
+			dups++
+			continue
+		}
+		seenKey[k] = struct{}{}
 		if len(k.Geohash) >= plen {
 			id := ring.Owner(k.Geohash)
 			out[id] = append(out[id], k)
@@ -595,6 +616,9 @@ func (cl *Client) groupByOwner(keys []cell.Key) map[dht.NodeID][]cell.Key {
 				out[id] = append(out[id], k)
 			}
 		}
+	}
+	if dups > 0 {
+		mCoordDedupKeys.Add(int64(dups))
 	}
 	return out
 }

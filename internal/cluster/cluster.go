@@ -80,7 +80,26 @@ type Config struct {
 	// the simulated disk cost is paid per block either way, but wall-clock
 	// latency of wide footprints drops with real storage parallelism.
 	GalileoParallelReads int
+	// CoalesceWindow enables the client-side request coalescer: concurrent
+	// fetches destined for the same owner node that arrive within this
+	// admission window merge into one batched wire message with cross-caller
+	// key dedup, and the reply is demultiplexed to every waiter. Zero (the
+	// default) disables coalescing entirely and preserves the uncoalesced
+	// per-share request behavior exactly. See DefaultCoalesceWindow.
+	CoalesceWindow time.Duration
+	// ServeSingleflight enables the per-node in-flight miss table: while one
+	// request is deriving or disk-scanning a cell, concurrent requests for
+	// the same cell attach as waiters and share the one result
+	// (groupcache-style) instead of issuing duplicate scans. Off by default;
+	// result semantics are identical either way.
+	ServeSingleflight bool
 }
+
+// DefaultCoalesceWindow is the admission window production deployments use
+// when coalescing is on: long enough for the concurrent shares of a
+// fanned-out query wave to meet, short enough to be invisible next to a
+// disk-backed miss.
+const DefaultCoalesceWindow = 200 * time.Microsecond
 
 // DefaultConfig returns a mid-sized experiment cluster configuration with
 // STASH enabled and metered (non-sleeping) costs.
@@ -189,6 +208,9 @@ type Cluster struct {
 	ring  *dht.Ring
 	gen   *namgen.Generator
 	nodes map[dht.NodeID]*Node
+	// coalescer batches concurrent same-owner fetches inside the admission
+	// window; nil when CoalesceWindow is zero (coalescing disabled).
+	coalescer *coalescer
 
 	mu      sync.Mutex
 	started bool
@@ -227,6 +249,9 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{cfg: cfg, ring: ring, gen: gen, nodes: make(map[dht.NodeID]*Node, cfg.Nodes)}
 	for _, id := range ring.Nodes() {
 		c.nodes[id] = newNode(id, c, gen)
+	}
+	if cfg.CoalesceWindow > 0 {
+		c.coalescer = newCoalescer(cfg.CoalesceWindow)
 	}
 	// Queue depth is sampled live at scrape time: the sum of every node's
 	// pending requests. Re-registering (a later cluster in the same process)

@@ -1,0 +1,179 @@
+package cluster
+
+// Client-side request coalescing: the visual-exploration workloads the paper
+// targets are dominated by overlapping viewports, so at high concurrency
+// many coordinator shares are bound for the same owner node — often carrying
+// the very same cell keys — within microseconds of each other. The coalescer
+// holds the first fetch for a small admission window, merges every share
+// that arrives for the same node in that window into one batched wire
+// message with cross-caller key dedup, and demultiplexes the single reply to
+// each waiter. One NetHop is paid per batch instead of per caller, and the
+// deduplicated, prefix-delta-encoded key set shrinks NetByte.
+//
+// Cancellation contract: a waiter whose context expires abandons the batch
+// without poisoning it — the batch keeps running for the remaining waiters
+// under its own context, which is cancelled only when the LAST waiter has
+// departed (so an all-abandoned batch against a dead node cannot leak its
+// goroutine past the waiters' deadlines).
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"stash/internal/cell"
+	"stash/internal/dht"
+	"stash/internal/query"
+	"stash/internal/wire"
+)
+
+// coalescer merges concurrent same-owner fetches that arrive within one
+// admission window into a single batched node request.
+type coalescer struct {
+	window time.Duration
+
+	mu      sync.Mutex
+	pending map[dht.NodeID]*coalesceBatch
+}
+
+// coalesceBatch is one admission window's worth of fetches for one node.
+// Mutable fields are guarded by the coalescer mutex until flush removes the
+// batch from pending; after that only the flusher touches them, and waiters
+// read res/err strictly after done closes.
+type coalesceBatch struct {
+	node *Node
+
+	keys     []cell.Key            // deduplicated batch key set, admission order
+	keySet   map[cell.Key]struct{} // membership for cross-caller dedup
+	joined   int                   // waiters that ever joined (metrics)
+	active   int                   // waiters still attached (cancellation refcount)
+	rawKeys  int                   // keys requested including duplicates
+	rawBytes int                   // sum of per-waiter uncoalesced request encodings
+	flushed  bool                  // removed from pending; no more joiners
+
+	ctx    context.Context    // batch-lifetime context, detached from any waiter
+	cancel context.CancelFunc // fired when the last waiter departs
+	done   chan struct{}      // closed when res/err are final
+	res    query.Result
+	err    error
+}
+
+func newCoalescer(window time.Duration) *coalescer {
+	return &coalescer{window: window, pending: map[dht.NodeID]*coalesceBatch{}}
+}
+
+// fetch joins (or opens) the admission window for n's batch, waits for the
+// batched reply, and returns the slice of it this caller asked for. A
+// caller whose ctx expires first gets ctx.Err() while the batch runs on for
+// the other waiters.
+func (co *coalescer) fetch(ctx context.Context, n *Node, keys []cell.Key) (query.Result, error) {
+	co.mu.Lock()
+	b := co.pending[n.id]
+	if b == nil {
+		bctx, cancel := context.WithCancel(context.Background())
+		b = &coalesceBatch{
+			node:   n,
+			keySet: make(map[cell.Key]struct{}, len(keys)),
+			ctx:    bctx,
+			cancel: cancel,
+			done:   make(chan struct{}),
+		}
+		co.pending[n.id] = b
+		time.AfterFunc(co.window, func() { co.flush(n.id, b) })
+	}
+	for _, k := range keys {
+		if _, dup := b.keySet[k]; !dup {
+			b.keySet[k] = struct{}{}
+			b.keys = append(b.keys, k)
+		}
+	}
+	b.joined++
+	b.active++
+	b.rawKeys += len(keys)
+	b.rawBytes += wire.KeysSize(keys)
+	co.mu.Unlock()
+
+	select {
+	case <-b.done:
+		co.release(b)
+		if b.err != nil {
+			return query.Result{}, b.err
+		}
+		// Demux: project the caller's keys out of the batch result. The
+		// summaries are shared with the batch result and the other waiters —
+		// safe, because result summaries are immutable by convention and
+		// query.Result.Add clones before any merge.
+		out := query.NewResultCap(len(keys))
+		for _, k := range keys {
+			if s, ok := b.res.Cells[k]; ok {
+				out.Add(k, s)
+			}
+		}
+		return out, nil
+	case <-ctx.Done():
+		co.release(b)
+		return query.Result{}, ctx.Err()
+	}
+}
+
+// release detaches one waiter; the last one out cancels the batch context.
+// Cancellation waits for the flush barrier so that an early-abandoned batch
+// cannot poison waiters that join later in the same window.
+func (co *coalescer) release(b *coalesceBatch) {
+	co.mu.Lock()
+	b.active--
+	last := b.active == 0 && b.flushed
+	co.mu.Unlock()
+	if last {
+		b.cancel()
+	}
+}
+
+// flush closes the admission window: it removes the batch from pending (no
+// more joiners), prices and records the coalescing win, issues the single
+// batched node request under the batch context, and publishes the reply.
+func (co *coalescer) flush(id dht.NodeID, b *coalesceBatch) {
+	co.mu.Lock()
+	if co.pending[id] == b {
+		delete(co.pending, id)
+	}
+	b.flushed = true
+	abandoned := b.active == 0
+	joined, rawKeys, rawBytes := b.joined, b.rawKeys, b.rawBytes
+	keys := b.keys
+	co.mu.Unlock()
+
+	if abandoned {
+		// Every waiter gave up inside the window; don't bill the node for a
+		// request nobody wants.
+		b.err = context.Canceled
+		close(b.done)
+		b.cancel()
+		return
+	}
+
+	// Deterministic batch order; sorted keys also maximize the shared
+	// prefixes the delta key encoding compresses away.
+	wire.SortKeys(keys)
+
+	mCoalesceBatches.Inc()
+	mCoalesceBatchKeys.Observe(float64(len(keys)))
+	mCoalesceBatchWaiters.Observe(float64(joined))
+	if d := rawKeys - len(keys); d > 0 {
+		mCoalesceDedupKeys.Add(int64(d))
+	}
+	if joined > 1 {
+		mCoalesceHopsSaved.Add(int64(joined - 1))
+	}
+	// Encode the batched key set once (pooled buffer, prefix-delta form) to
+	// price the message; the savings counter is the difference against what
+	// each waiter's uncoalesced request would have encoded to.
+	buf := wire.AppendKeysDelta(wire.GetBuf(), keys)
+	if saved := rawBytes - len(buf); saved > 0 {
+		mCoalesceBytesSaved.Add(int64(saved))
+	}
+	wire.PutBuf(buf)
+
+	b.res, b.err = b.node.Submit(b.ctx, keys)
+	close(b.done)
+}

@@ -55,6 +55,21 @@ var (
 	mFireDrop   = faultFiring("drop")
 	mFireReject = faultFiring("reject")
 	mFireError  = faultFiring("error")
+
+	// Serve-side singleflight (duplicate-miss suppression at the owner).
+	mSFLeader = singleflight("leader")
+	mSFShared = singleflight("shared")
+
+	// Client-side request coalescing (admission-window batching).
+	mCoalesceBatches      = counter("stash_coalesce_batches_total", "Coalesced batches flushed to owner nodes.")
+	mCoalesceBatchKeys    = batchHistogram("keys")
+	mCoalesceBatchWaiters = batchHistogram("waiters")
+	mCoalesceDedupKeys    = counter("stash_coalesce_dedup_keys_total", "Duplicate keys elided by cross-caller coalescing.")
+	mCoalesceHopsSaved    = counter("stash_coalesce_hops_saved_total", "Network round trips avoided by merging waiters into one batch.")
+	mCoalesceBytesSaved   = counter("stash_coalesce_bytes_saved_total", "Request bytes saved by dedup plus prefix-delta key encoding.")
+
+	// groupByOwner intra-request key dedup (satellite of coalescing).
+	mCoordDedupKeys = counter("stash_coord_request_dedup_keys_total", "Duplicate footprint keys elided before owner fan-out.")
 )
 
 func counter(name, help string) *obs.Counter {
@@ -109,6 +124,18 @@ func faultFiring(kind string) *obs.Counter {
 	r := obs.Default()
 	r.Help("stash_fault_firings_total", "Injected faults actually firing on requests at the transport, by kind.")
 	return r.Counter("stash_fault_firings_total", "kind", kind)
+}
+
+func singleflight(role string) *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_node_singleflight_total", "Serve-side singleflight participants, by role (leader resolves, shared waits).")
+	return r.Counter("stash_node_singleflight_total", "role", role)
+}
+
+func batchHistogram(dim string) *obs.Histogram {
+	r := obs.Default()
+	r.Help("stash_coalesce_batch_size", "Coalesced batch sizes, by dimension (keys, waiters).")
+	return r.HistogramBuckets("stash_coalesce_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}, "dim", dim)
 }
 
 func fanoutHistogram() *obs.Histogram {

@@ -119,6 +119,13 @@ type Node struct {
 	guestMu      sync.Mutex
 	guestCliques map[cell.Key]*guestEntry
 
+	// sfInflight is the serve-side singleflight table (groupcache-style):
+	// one entry per cell key currently being derived or fetched from disk,
+	// so concurrent identical misses attach as waiters instead of issuing
+	// their own scans. Guarded by sfMu; entries resolve via channel close.
+	sfMu       sync.Mutex
+	sfInflight map[cell.Key]*sfEntry
+
 	processed      atomic.Int64
 	derived        atomic.Int64
 	diskCells      atomic.Int64
@@ -141,6 +148,7 @@ func newNode(id dht.NodeID, c *Cluster, gen *namgen.Generator) *Node {
 		done:         make(chan struct{}),
 		rng:          rand.New(rand.NewSource(int64(id)*7919 + 1)),
 		guestCliques: map[cell.Key]*guestEntry{},
+		sfInflight:   map[cell.Key]*sfEntry{},
 	}
 	n.flipState.Store(uint64(id)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
 	if c.cfg.Histograms {
@@ -489,9 +497,11 @@ func (n *Node) handleGuest(ctx context.Context, keys []cell.Key) fetchReply {
 
 // handleLocal serves an owner-path request as a staged pipeline: (1) one
 // batched graph get (stripe-grouped, one lock acquisition per touched
-// stripe), (2) one batched derivation pass over every miss, (3) one disk
-// scan of the residue, grouped by Galileo block so each covering block is
-// read exactly once, and (4) handoff of the fetched cells to the bounded
+// stripe), (2) a serve-side singleflight claim over the misses (when
+// enabled) so concurrent identical misses share one derivation/disk scan,
+// (3) one batched derivation pass over every owned miss, (4) one disk scan
+// of the residue, grouped by Galileo block so each covering block is read
+// exactly once, and (5) handoff of the fetched cells to the bounded
 // population pool (the paper's separate population thread, §VIII-C2) so the
 // response returns without waiting for cache maintenance.
 func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
@@ -525,9 +535,53 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 		return fetchReply{result: res}
 	}
 
-	// Stage 2: batched derivation from cached children — every miss is
-	// attempted in one pass, so the child lookups of the whole batch share
-	// stripe-lock acquisitions instead of re-locking per missing key.
+	if !n.cluster.cfg.ServeSingleflight {
+		err := n.resolveMisses(ctx, missing, &found)
+		return fetchReply{result: found, err: err}
+	}
+
+	// Singleflight: claim the misses no in-flight request is already
+	// fetching; for the rest, attach as a waiter to the owning request's
+	// entry. Owned keys are resolved and PUBLISHED BEFORE waiting, which is
+	// what makes cross-request claim cycles (A owns k1 and waits on k2 while
+	// B owns k2 and waits on k1) deadlock-free.
+	owned, ownedEntries, waits := n.sfClaim(missing)
+	if len(owned) > 0 {
+		mSFLeader.Add(int64(len(owned)))
+		err := n.resolveMisses(ctx, owned, &found)
+		// Owned keys were graph misses, so their presence in found is
+		// exactly what resolveMisses produced — publish straight from it.
+		n.sfPublish(owned, ownedEntries, found, err)
+		if err != nil {
+			return fetchReply{result: found, err: err}
+		}
+	}
+	if len(waits) > 0 {
+		fallback, err := n.sfWait(ctx, waits, &found)
+		if err != nil {
+			return fetchReply{result: found, err: err}
+		}
+		if len(fallback) > 0 {
+			// The leader that owned these keys failed; fetch them ourselves
+			// rather than propagating its error to an unrelated request.
+			if err := n.resolveMisses(ctx, fallback, &found); err != nil {
+				return fetchReply{result: found, err: err}
+			}
+		}
+	}
+	return fetchReply{result: found}
+}
+
+// resolveMisses runs the post-cache stages for a set of graph misses —
+// batched derivation from cached children, disk scan of the residue, and
+// handoff to the bounded population pool — merging everything it resolves
+// directly into dst (no intermediate result, no second merge pass). After
+// it returns, dst holds every missing key that produced data; keys still
+// absent are genuinely empty.
+func (n *Node) resolveMisses(ctx context.Context, missing []cell.Key, dst *query.Result) error {
+	// Batched derivation from cached children — every miss is attempted in
+	// one pass, so the child lookups of the whole batch share stripe-lock
+	// acquisitions instead of re-locking per missing key.
 	deriveStart := time.Now()
 	_, drs := obs.StartSpan(ctx, "graph.derive")
 	derived, unfetched := n.graph.DeriveBatch(missing)
@@ -537,23 +591,109 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 	if derived.Len() > 0 {
 		n.derived.Add(int64(derived.Len()))
 		mDerived.Add(int64(derived.Len()))
-		found.Merge(derived)
+		dst.Merge(derived)
 	}
 	if len(unfetched) == 0 {
-		return fetchReply{result: found}
+		return nil
 	}
 
-	// Stage 3: disk scan of the residue, grouped by backing block.
+	// Disk scan of the residue, grouped by backing block.
 	diskRes, err := n.diskScan(ctx, unfetched)
 	if err != nil {
-		return fetchReply{result: found, err: err}
+		return err
 	}
 	n.diskCells.Add(int64(len(unfetched)))
-	found.Merge(diskRes)
+	dst.Merge(diskRes)
 
-	// Stage 4: bounded background population.
+	// Bounded background population.
 	n.populate(diskRes, unfetched)
-	return fetchReply{result: found}
+	return nil
+}
+
+// sfEntry is one in-flight miss in the serve-side singleflight table. The
+// leader fills sum/found/err and closes done; waiters read the fields only
+// after done closes (the channel close is the happens-before edge).
+type sfEntry struct {
+	done  chan struct{}
+	sum   cell.Summary
+	found bool // key produced data (false = genuinely empty, not an error)
+	err   error
+}
+
+// sfClaim partitions a request's misses into keys this request now owns
+// (new entries inserted into the in-flight table) and keys another request
+// is already fetching (returned as waiters). A duplicate key inside one
+// request lands in waits against our own entry, which resolves when we
+// publish — before we wait — so self-waits cannot deadlock.
+func (n *Node) sfClaim(missing []cell.Key) ([]cell.Key, []*sfEntry, map[cell.Key]*sfEntry) {
+	var owned []cell.Key
+	var ownedEntries []*sfEntry
+	var waits map[cell.Key]*sfEntry
+	n.sfMu.Lock()
+	for _, k := range missing {
+		if e, ok := n.sfInflight[k]; ok {
+			if waits == nil {
+				waits = make(map[cell.Key]*sfEntry, 4)
+			}
+			waits[k] = e
+			continue
+		}
+		e := &sfEntry{done: make(chan struct{})}
+		n.sfInflight[k] = e
+		owned = append(owned, k)
+		ownedEntries = append(ownedEntries, e)
+	}
+	n.sfMu.Unlock()
+	return owned, ownedEntries, waits
+}
+
+// sfPublish resolves the owned entries from the leader's result (or error)
+// and removes them from the in-flight table. It must run before the leader
+// waits on any entry it does not own.
+func (n *Node) sfPublish(owned []cell.Key, entries []*sfEntry, res query.Result, err error) {
+	for i, k := range owned {
+		e := entries[i]
+		if err != nil {
+			e.err = err
+		} else {
+			e.sum, e.found = res.Cells[k]
+		}
+		close(e.done)
+	}
+	n.sfMu.Lock()
+	for _, k := range owned {
+		delete(n.sfInflight, k)
+	}
+	n.sfMu.Unlock()
+}
+
+// sfWait blocks on the entries another request owns, merging resolved
+// summaries into dst. Keys whose leader failed come back as fallback for the
+// caller to fetch itself; only context/shutdown aborts return an error.
+func (n *Node) sfWait(ctx context.Context, waits map[cell.Key]*sfEntry, dst *query.Result) ([]cell.Key, error) {
+	var fallback []cell.Key
+	shared := 0
+	for k, e := range waits {
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			mSFShared.Add(int64(shared))
+			return nil, ctx.Err()
+		case <-n.done:
+			mSFShared.Add(int64(shared))
+			return nil, ErrStopped
+		}
+		if e.err != nil {
+			fallback = append(fallback, k)
+			continue
+		}
+		shared++
+		if e.found {
+			dst.Add(k, e.sum)
+		}
+	}
+	mSFShared.Add(int64(shared))
+	return fallback, nil
 }
 
 // diskScan fetches cells from the backing store under a "disk.scan" span and

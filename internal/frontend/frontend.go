@@ -36,11 +36,18 @@ type Config struct {
 	// Predictor overrides the navigation predictor; nil selects
 	// NewMomentumPredictor.
 	Predictor Predictor
+	// Singleflight dedups identical concurrent queries: when several UI
+	// sessions ask for the same viewport at once (dashboards, shared links),
+	// one leader runs the fetch and the rest share its result. A leader
+	// failure never poisons followers — they fall back to their own fetch.
+	// The zero Config leaves it off, preserving uncoalesced behavior.
+	Singleflight bool
 }
 
-// DefaultConfig returns a 20k-cell prefetching front-end.
+// DefaultConfig returns a 20k-cell prefetching front-end with query
+// singleflight enabled.
 func DefaultConfig() Config {
-	return Config{CacheCells: 20_000, Prefetch: true}
+	return Config{CacheCells: 20_000, Prefetch: true, Singleflight: true}
 }
 
 // Stats counts front-end activity.
@@ -50,16 +57,18 @@ type Stats struct {
 	CellsFromBack  int64
 	Prefetches     int64
 	FullyLocal     int64 // queries answered without any back-end round trip
+	Deduped        int64 // queries answered by sharing a concurrent identical fetch
 }
 
 // Client is a front-end query client: a small local STASH graph in front of
 // the cluster coordinator, with optional prefetching. It is safe for
 // concurrent use by the handlers of one UI session.
 type Client struct {
-	inner     *cluster.Client
-	cache     *stash.Graph
-	predictor Predictor
-	prefetch  bool
+	inner        *cluster.Client
+	cache        *stash.Graph
+	predictor    Predictor
+	prefetch     bool
+	singleflight bool
 
 	mu      sync.Mutex
 	history []query.Query
@@ -67,6 +76,18 @@ type Client struct {
 	// inflight tracks the single outstanding prefetch so they never pile up.
 	prefetchBusy bool
 	prefetchWG   sync.WaitGroup
+
+	// sfMu guards the in-flight query table for singleflight dedup.
+	sfMu sync.Mutex
+	sf   map[string]*feFlight
+}
+
+// feFlight is one in-flight query fetch shared by every concurrent caller
+// asking the identical query. res/err are written once, before done closes.
+type feFlight struct {
+	done chan struct{}
+	res  query.Result
+	err  error
 }
 
 // NewClient wraps a cluster client with a front-end tier.
@@ -82,10 +103,12 @@ func NewClient(inner *cluster.Client, cfg Config) *Client {
 		p = NewMomentumPredictor()
 	}
 	return &Client{
-		inner:     inner,
-		cache:     stash.NewGraph(sc),
-		predictor: p,
-		prefetch:  cfg.Prefetch,
+		inner:        inner,
+		cache:        stash.NewGraph(sc),
+		predictor:    p,
+		prefetch:     cfg.Prefetch,
+		singleflight: cfg.Singleflight,
+		sf:           map[string]*feFlight{},
 	}
 }
 
@@ -136,7 +159,7 @@ func (c *Client) QueryContext(ctx context.Context, q query.Query) (query.Result,
 	if err != nil {
 		return query.Result{}, err
 	}
-	res, err := c.fetch(ctx, keys)
+	res, err := c.fetchShared(ctx, q.String(), keys)
 	if err != nil {
 		return query.Result{}, err
 	}
@@ -174,6 +197,54 @@ func (c *Client) QueryContext(ctx context.Context, q query.Query) (query.Result,
 		}
 	}
 	return res, nil
+}
+
+// fetchShared is the singleflight gate in front of fetch: identical queries
+// in flight at the same moment share one fetch. The leader registers a
+// flight keyed by the query's canonical string, runs the real fetch, and
+// publishes; followers wait and shallow-copy the published result (fresh
+// Cells map, shared immutable summaries) so later caller-side merges cannot
+// alias the leader's map. A leader error is never inherited: followers whose
+// leader failed — or whose own context expired first — run or fail on their
+// own terms, so one cancelled tab cannot poison the others.
+func (c *Client) fetchShared(ctx context.Context, qkey string, keys []cell.Key) (query.Result, error) {
+	if !c.singleflight {
+		return c.fetch(ctx, keys)
+	}
+	c.sfMu.Lock()
+	if f := c.sf[qkey]; f != nil {
+		c.sfMu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return query.Result{}, ctx.Err()
+		}
+		if f.err != nil {
+			// Leader failed (its error may be its own cancellation); do the
+			// work ourselves rather than inherit it.
+			return c.fetch(ctx, keys)
+		}
+		c.mu.Lock()
+		c.stats.Deduped++
+		c.mu.Unlock()
+		mDeduped.Inc()
+		out := query.NewResultCap(len(f.res.Cells))
+		for k, s := range f.res.Cells {
+			out.Add(k, s)
+		}
+		out.Coverage = f.res.Coverage
+		return out, nil
+	}
+	f := &feFlight{done: make(chan struct{})}
+	c.sf[qkey] = f
+	c.sfMu.Unlock()
+
+	f.res, f.err = c.fetch(ctx, keys)
+	c.sfMu.Lock()
+	delete(c.sf, qkey)
+	c.sfMu.Unlock()
+	close(f.done)
+	return f.res, f.err
 }
 
 // fetch serves keys from the front cache, pulling misses from the back-end

@@ -1,6 +1,9 @@
 package frontend
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -337,5 +340,182 @@ func TestPartialBackendResultNotCached(t *testing.T) {
 	if healed.TotalCount("temperature") != want.TotalCount("temperature") {
 		t.Fatalf("post-heal counts differ (negative-cache poisoning?): %d vs %d",
 			healed.TotalCount("temperature"), want.TotalCount("temperature"))
+	}
+}
+
+// --- query singleflight tests ---
+
+// TestQuerySingleflightFollowerSharesLeaderResult drives fetchShared
+// deterministically: a flight is pre-registered for the query key, a
+// follower attaches, and the test publishes the leader result. The follower
+// must get an isolated shallow copy (fresh Cells map) and count as deduped.
+func TestQuerySingleflightFollowerSharesLeaderResult(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: false, Singleflight: true})
+	q := stateQuery()
+	keys, err := q.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := &feFlight{done: make(chan struct{})}
+	fc.sfMu.Lock()
+	fc.sf[q.String()] = f
+	fc.sfMu.Unlock()
+
+	type out struct {
+		res query.Result
+		err error
+	}
+	got := make(chan out, 1)
+	go func() {
+		r, err := fc.fetchShared(context.Background(), q.String(), keys)
+		got <- out{r, err}
+	}()
+
+	want, err := fc.fetch(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.res = want
+	fc.sfMu.Lock()
+	delete(fc.sf, q.String())
+	fc.sfMu.Unlock()
+	close(f.done)
+
+	o := <-got
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if o.res.Len() != want.Len() || o.res.TotalCount("temperature") != want.TotalCount("temperature") {
+		t.Fatalf("follower result diverges: %d/%d vs %d/%d",
+			o.res.Len(), o.res.TotalCount("temperature"), want.Len(), want.TotalCount("temperature"))
+	}
+	if fc.Stats().Deduped != 1 {
+		t.Errorf("Deduped = %d, want 1", fc.Stats().Deduped)
+	}
+	// The follower's Cells map must be its own: deleting from it must not
+	// touch the leader's result.
+	for k := range o.res.Cells {
+		delete(o.res.Cells, k)
+		break
+	}
+	if o.res.Len() == want.Len() {
+		t.Fatal("delete had no effect; test is vacuous")
+	}
+	if want.Len() == o.res.Len() {
+		t.Error("follower mutation reached the leader's result map")
+	}
+}
+
+// TestQuerySingleflightLeaderErrorNotInherited: a follower whose leader
+// failed must run its own fetch rather than surface the leader's error.
+func TestQuerySingleflightLeaderErrorNotInherited(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: false, Singleflight: true})
+	q := stateQuery()
+	keys, err := q.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := &feFlight{done: make(chan struct{}), err: context.Canceled}
+	fc.sfMu.Lock()
+	fc.sf[q.String()] = f
+	fc.sfMu.Unlock()
+	close(f.done)
+	fc.sfMu.Lock()
+	delete(fc.sf, q.String())
+	fc.sfMu.Unlock()
+
+	res, err := fc.fetchShared(context.Background(), q.String(), keys)
+	if err != nil {
+		t.Fatalf("follower inherited the leader's error: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("follower fallback fetch returned nothing")
+	}
+	if fc.Stats().Deduped != 0 {
+		t.Errorf("a fallback fetch must not count as deduped (Deduped=%d)", fc.Stats().Deduped)
+	}
+}
+
+// TestQuerySingleflightFollowerCancellation: a follower whose own context
+// dies while waiting gets its context error, not a hang.
+func TestQuerySingleflightFollowerCancellation(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: false, Singleflight: true})
+	q := stateQuery()
+	keys, err := q.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := &feFlight{done: make(chan struct{})} // never resolves
+	fc.sfMu.Lock()
+	fc.sf[q.String()] = f
+	fc.sfMu.Unlock()
+	defer func() {
+		fc.sfMu.Lock()
+		delete(fc.sf, q.String())
+		fc.sfMu.Unlock()
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fc.fetchShared(ctx, q.String(), keys); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestQuerySingleflightConcurrentStorm exercises the table under real
+// concurrency (meaningful under -race): identical concurrent queries must
+// all agree; the flight table must drain.
+func TestQuerySingleflightConcurrentStorm(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: false, Singleflight: true})
+	q := stateQuery()
+
+	const storm = 8
+	results := make([]query.Result, storm)
+	errs := make([]error, storm)
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = fc.Query(q)
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if results[i].TotalCount("temperature") != results[0].TotalCount("temperature") {
+			t.Errorf("query %d disagrees with query 0", i)
+		}
+	}
+	fc.sfMu.Lock()
+	left := len(fc.sf)
+	fc.sfMu.Unlock()
+	if left != 0 {
+		t.Errorf("%d flights leaked in the table", left)
+	}
+}
+
+// TestQuerySingleflightOffPreservesBehavior: the zero Config must bypass the
+// flight table entirely.
+func TestQuerySingleflightOffPreservesBehavior(t *testing.T) {
+	back := testBackend(t)
+	fc := NewClient(back.Client(), Config{CacheCells: 50_000, Prefetch: false})
+	if fc.singleflight {
+		t.Fatal("zero Config enabled singleflight")
+	}
+	if _, err := fc.Query(stateQuery()); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Stats().Deduped != 0 {
+		t.Errorf("Deduped = %d with singleflight off", fc.Stats().Deduped)
 	}
 }

@@ -10,6 +10,7 @@ var (
 	mStageCacheProbe = stageCacheProbe()
 	mPrefetches      = feCounter("stash_frontend_prefetches_total", "Background prefetches that landed in the front-end cache.")
 	mFullyLocal      = feCounter("stash_frontend_fully_local_total", "Queries answered without any back-end round trip.")
+	mDeduped         = feCounter("stash_frontend_dedup_total", "Queries answered by sharing a concurrent identical fetch (singleflight followers).")
 )
 
 func feCounter(name, help string) *obs.Counter {

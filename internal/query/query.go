@@ -393,6 +393,13 @@ type Result struct {
 // NewResult returns an empty result.
 func NewResult() Result { return Result{Cells: map[cell.Key]cell.Summary{}} }
 
+// NewResultCap returns an empty result preallocated for n cells, for callers
+// (wire decoders, coalescer demux) that know the size up front and want to
+// avoid incremental map growth.
+func NewResultCap(n int) Result {
+	return Result{Cells: make(map[cell.Key]cell.Summary, n)}
+}
+
 // Add merges a summary into the result under the given key. The first
 // insert aliases s (do not mutate it afterwards); subsequent inserts for
 // the same key merge into a private clone, never into s or the original.

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"stash/internal/cell"
+	"stash/internal/temporal"
+)
+
+// FuzzKeysDeltaRoundTrip feeds arbitrary bytes to the prefix-delta key
+// decoder. The invariants:
+//
+//  1. the decoder never panics and never reads past the input (enforced by
+//     the reader's bounds checks);
+//  2. whatever it accepts must re-encode and re-decode to the identical key
+//     list — decode∘encode is the identity on the decoder's accepted set;
+//  3. every accepted key is structurally valid (cell.NewKey passed during
+//     decoding), so corrupt inputs cannot smuggle malformed geohashes or
+//     temporal labels into the cluster.
+//
+// The seed corpus holds valid encodings (shared prefixes, repeated labels,
+// mixed resolutions, the empty list) so coverage starts inside the accepted
+// set, plus near-miss corruptions of each header field.
+func FuzzKeysDeltaRoundTrip(f *testing.F) {
+	seedKeys := [][]cell.Key{
+		{},
+		{cell.MustKey("9q8y", "2015-02-02", temporal.Day)},
+		{
+			cell.MustKey("9q8y", "2015-02-02", temporal.Day),
+			cell.MustKey("9q8y7z", "2015-02-02T10", temporal.Hour),
+			cell.MustKey("9q8z", "2015-02-02", temporal.Day),
+			cell.MustKey("d", "2015", temporal.Year),
+			cell.MustKey("u4pr", "2015-02", temporal.Month),
+		},
+		sampleKeys(32, 11),
+	}
+	for _, ks := range seedKeys {
+		sorted := append([]cell.Key(nil), ks...)
+		SortKeys(sorted)
+		f.Add(EncodeKeysDelta(ks))
+		f.Add(EncodeKeysDelta(sorted))
+	}
+	// Near-miss corruptions: bad version, truncated count, over-shared prefix.
+	f.Add([]byte{magic, version, 0})
+	f.Add([]byte{magic, versionDelta, 0xFF})
+	f.Add([]byte{magic, versionDelta, 1, 3, 1, 'y', 0, byte(temporal.Day), 10, '2', '0', '1', '5', '-', '0', '2', '-', '0', '2'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, err := DecodeKeysDelta(data)
+		if err != nil {
+			return // rejected: fine, as long as we didn't panic
+		}
+		for i, k := range keys {
+			if _, err := cell.NewKey(k.Geohash, k.Time); err != nil {
+				t.Fatalf("decoder accepted invalid key %d (%v): %v", i, k, err)
+			}
+		}
+		re := EncodeKeysDelta(keys)
+		back, err := DecodeKeysDelta(re)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted input does not decode: %v", err)
+		}
+		if len(back) != len(keys) {
+			t.Fatalf("round trip changed key count: %d -> %d", len(keys), len(back))
+		}
+		for i := range keys {
+			if back[i] != keys[i] {
+				t.Fatalf("round trip changed key %d: %v -> %v", i, keys[i], back[i])
+			}
+		}
+		// Canonical inputs (what AppendKeysDelta itself emits for these keys
+		// in this order) must be byte-stable: encode is deterministic.
+		if again := EncodeKeysDelta(back); !bytes.Equal(re, again) {
+			t.Fatal("re-encoding is not deterministic")
+		}
+	})
+}

@@ -15,6 +15,21 @@
 //
 // Attributes are encoded in sorted order, so equal results encode to equal
 // bytes.
+//
+// Key lists additionally have a delta form (version 2) built for coalesced
+// fetch batches: geohashes are encoded as a shared-prefix length against the
+// previous key plus the differing suffix, and a repeated temporal label
+// costs one flag byte. On a sorted batch (SortKeys) the marginal cost of one
+// more key in an already-covered region approaches two bytes:
+//
+//	KeysDelta := magic u8 | versionDelta u8 | count uvarint | DKey*
+//	DKey      := shared uvarint | suffix string |
+//	             timeFlag u8 | [timeRes u8 | timeText string]   (flag 0)
+//
+// The hot encode/decode paths are allocation-frugal: encode buffers and
+// decoder scratch are pooled (GetBuf/PutBuf and an internal reader pool),
+// repeated strings (attribute names, temporal labels) are interned per
+// decoder, and parsed temporal labels are memoized.
 package wire
 
 import (
@@ -22,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"stash/internal/cell"
 	"stash/internal/query"
@@ -29,8 +46,9 @@ import (
 )
 
 const (
-	magic   = 0xC5
-	version = 1
+	magic        = 0xC5
+	version      = 1
+	versionDelta = 2
 )
 
 // ErrCorrupt reports malformed or truncated input.
@@ -39,6 +57,34 @@ var ErrCorrupt = errors.New("wire: corrupt payload")
 // maxElems caps decoded collection sizes so corrupt or hostile input cannot
 // trigger giant allocations.
 const maxElems = 16 << 20
+
+// --- pooled encode buffers ---
+
+// maxPooledBuf bounds the capacity of buffers returned to the pool, so one
+// giant batch does not pin its memory forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// GetBuf returns a pooled, zero-length encode buffer. Append into it (the
+// Append* APIs), consume the bytes, then hand it back with PutBuf. The
+// returned slice may have been used before; never assume zeroed capacity.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf returns an encode buffer to the pool. The caller must not touch b
+// afterwards. Oversized buffers are dropped rather than pooled.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
 
 // --- encoding ---
 
@@ -104,9 +150,48 @@ func ResultSize(r query.Result) int {
 
 // --- decoding ---
 
+// maxInterned bounds the per-reader intern and label-cache maps; a reader
+// whose caches grew past this is not worth pooling the maps of.
+const maxInterned = 4096
+
+type labelKey struct {
+	res  byte
+	text string
+}
+
+// reader is the pooled decode scratch: the cursor plus two memoization maps
+// that survive between decodes. Attribute names and temporal-label texts
+// repeat across the cells of a result (and across results), so interning
+// them turns most string allocations in DecodeResult into map hits; the
+// label cache additionally skips re-parsing a temporal label seen before.
 type reader struct {
 	b   []byte
 	pos int
+	// intern dedupes repeated strings (attribute names, label texts).
+	intern map[string]string
+	// labels memoizes parsed temporal labels by (resolution, text).
+	labels map[labelKey]temporal.Label
+}
+
+var readerPool = sync.Pool{New: func() any { return &reader{} }}
+
+// getReader leases a pooled reader positioned at the start of b.
+func getReader(b []byte) *reader {
+	r := readerPool.Get().(*reader)
+	r.b, r.pos = b, 0
+	return r
+}
+
+// putReader returns a reader to the pool, dropping oversized caches.
+func putReader(r *reader) {
+	r.b = nil
+	if len(r.intern) > maxInterned {
+		r.intern = nil
+	}
+	if len(r.labels) > maxInterned {
+		r.labels = nil
+	}
+	readerPool.Put(r)
 }
 
 func (r *reader) uvarint() (uint64, error) {
@@ -148,6 +233,50 @@ func (r *reader) str() (string, error) {
 	return string(b), nil
 }
 
+// internStr reads a length-prefixed string through the reader's intern table:
+// a string seen before costs a map probe (the map[string] lookup on a []byte
+// key compiles allocation-free), a new one is allocated once and remembered.
+// Use it for strings that repeat across elements (attribute names, label
+// texts), not for unique ones (geohashes).
+func (r *reader) internStr() (string, error) {
+	n, err := r.uvarint()
+	if err != nil || n > maxElems {
+		return "", ErrCorrupt
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	if s, ok := r.intern[string(b)]; ok {
+		return s, nil
+	}
+	s := string(b)
+	if r.intern == nil {
+		r.intern = make(map[string]string, 16)
+	}
+	r.intern[s] = s
+	return s, nil
+}
+
+// label parses (res, text) into a temporal label through the reader's
+// memoization cache, so a result whose cells share a handful of labels pays
+// the parse once.
+func (r *reader) label(res byte, text string) (temporal.Label, error) {
+	lk := labelKey{res: res, text: text}
+	if l, ok := r.labels[lk]; ok {
+		return l, nil
+	}
+	l, err := temporal.Parse(text, temporal.Resolution(res))
+	if err != nil {
+		return temporal.Label{}, err
+	}
+	if r.labels == nil {
+		r.labels = make(map[labelKey]temporal.Label, 16)
+	}
+	r.labels[lk] = l
+	return l, nil
+}
+
 func (r *reader) float() (float64, error) {
 	b, err := r.bytes(8)
 	if err != nil {
@@ -165,9 +294,13 @@ func (r *reader) byte1() (byte, error) {
 }
 
 // DecodeResult decodes an encoded result. Cell keys are validated, so a
-// decoded result is structurally safe to insert into a graph.
+// decoded result is structurally safe to insert into a graph. Decoder
+// scratch (cursor, string intern table, parsed-label cache) comes from a
+// pool, so repeated decodes of similar results allocate only the result
+// itself.
 func DecodeResult(b []byte) (query.Result, error) {
-	r := &reader{b: b}
+	r := getReader(b)
+	defer putReader(r)
 	m, err := r.byte1()
 	if err != nil || m != magic {
 		return query.Result{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
@@ -180,7 +313,7 @@ func DecodeResult(b []byte) (query.Result, error) {
 	if err != nil || count > maxElems {
 		return query.Result{}, ErrCorrupt
 	}
-	out := query.NewResult()
+	out := query.NewResultCap(capHint(count))
 	for i := uint64(0); i < count; i++ {
 		k, err := decodeKey(r)
 		if err != nil {
@@ -207,11 +340,11 @@ func decodeKey(r *reader) (cell.Key, error) {
 	if err != nil {
 		return cell.Key{}, err
 	}
-	text, err := r.str()
+	text, err := r.internStr()
 	if err != nil {
 		return cell.Key{}, err
 	}
-	label, err := temporal.Parse(text, temporal.Resolution(res))
+	label, err := r.label(res, text)
 	if err != nil {
 		return cell.Key{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -227,9 +360,9 @@ func decodeSummary(r *reader) (cell.Summary, error) {
 	if err != nil || n > 1024 {
 		return cell.Summary{}, ErrCorrupt
 	}
-	s := cell.NewSummary()
+	s := cell.Summary{Stats: make(map[string]cell.Stat, n)}
 	for i := uint64(0); i < n; i++ {
-		name, err := r.str()
+		name, err := r.internStr()
 		if err != nil {
 			return cell.Summary{}, err
 		}
@@ -259,9 +392,9 @@ func decodeSummary(r *reader) (cell.Summary, error) {
 
 // --- key lists ---
 
-// EncodeKeys encodes a key list (a fetch request payload).
-func EncodeKeys(keys []cell.Key) []byte {
-	dst := make([]byte, 0, KeysSize(keys))
+// AppendKeys appends the plain (version 1) encoding of a key list to dst
+// and returns the extended slice; pair with GetBuf/PutBuf on hot paths.
+func AppendKeys(dst []byte, keys []cell.Key) []byte {
 	dst = append(dst, magic, version)
 	dst = binary.AppendUvarint(dst, uint64(len(keys)))
 	for _, k := range keys {
@@ -270,31 +403,49 @@ func EncodeKeys(keys []cell.Key) []byte {
 	return dst
 }
 
+// EncodeKeys encodes a key list (a fetch request payload).
+func EncodeKeys(keys []cell.Key) []byte {
+	return AppendKeys(make([]byte, 0, KeysSize(keys)), keys)
+}
+
 // DecodeKeys decodes a key list.
 func DecodeKeys(b []byte) ([]cell.Key, error) {
-	r := &reader{b: b}
+	return DecodeKeysInto(nil, b)
+}
+
+// DecodeKeysInto decodes a key list, appending into dst so callers on a hot
+// path can reuse one slice across requests. On error the returned slice is
+// dst unchanged.
+func DecodeKeysInto(dst []cell.Key, b []byte) ([]cell.Key, error) {
+	r := getReader(b)
+	defer putReader(r)
 	m, err := r.byte1()
 	if err != nil || m != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		return dst, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	v, err := r.byte1()
 	if err != nil || v != version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+		return dst, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
 	count, err := r.uvarint()
 	if err != nil || count > maxElems {
-		return nil, ErrCorrupt
+		return dst, ErrCorrupt
 	}
-	out := make([]cell.Key, 0, min(count, 4096))
+	out := dst
+	if need := capHint(count); cap(out)-len(out) < need {
+		grown := make([]cell.Key, len(out), len(out)+need)
+		copy(grown, out)
+		out = grown
+	}
 	for i := uint64(0); i < count; i++ {
 		k, err := decodeKey(r)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		out = append(out, k)
 	}
 	if r.pos != len(b) {
-		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+		return dst, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
 	}
 	return out, nil
 }
@@ -306,6 +457,175 @@ func KeysSize(keys []cell.Key) int {
 		n += stringLen(k.Geohash) + 1 + stringLen(k.Time.Text)
 	}
 	return n
+}
+
+// --- prefix-delta key lists (version 2) ---
+
+// SortKeys orders keys lexicographically by (geohash, time resolution, time
+// text): the order that maximizes shared geohash prefixes and temporal-label
+// runs for the delta encoding, and makes batched encodings deterministic.
+func SortKeys(keys []cell.Key) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Geohash != b.Geohash {
+			return a.Geohash < b.Geohash
+		}
+		if a.Time.Res != b.Time.Res {
+			return a.Time.Res < b.Time.Res
+		}
+		return a.Time.Text < b.Time.Text
+	})
+}
+
+// AppendKeysDelta appends the delta encoding of a key list to dst and
+// returns the extended slice. Keys are encoded in the given order; call
+// SortKeys first for the tightest (and deterministic) encoding. Decoding
+// preserves the order, so any order round-trips.
+func AppendKeysDelta(dst []byte, keys []cell.Key) []byte {
+	dst = append(dst, magic, versionDelta)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	var prev cell.Key
+	for i, k := range keys {
+		shared := 0
+		if i > 0 {
+			shared = commonPrefixLen(prev.Geohash, k.Geohash)
+		}
+		dst = binary.AppendUvarint(dst, uint64(shared))
+		dst = appendString(dst, k.Geohash[shared:])
+		if i > 0 && k.Time == prev.Time {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0, byte(k.Time.Res))
+			dst = appendString(dst, k.Time.Text)
+		}
+		prev = k
+	}
+	return dst
+}
+
+// EncodeKeysDelta delta-encodes a key list into a fresh buffer.
+func EncodeKeysDelta(keys []cell.Key) []byte {
+	return AppendKeysDelta(make([]byte, 0, KeysDeltaSize(keys)), keys)
+}
+
+// DecodeKeysDelta decodes a delta-encoded key list.
+func DecodeKeysDelta(b []byte) ([]cell.Key, error) {
+	return DecodeKeysDeltaInto(nil, b)
+}
+
+// DecodeKeysDeltaInto decodes a delta-encoded key list, appending into dst.
+// Every reconstructed key is validated (geohash alphabet and precision,
+// temporal label), so corrupt prefixes and suffixes are rejected rather than
+// propagated. On error the returned slice is dst unchanged.
+func DecodeKeysDeltaInto(dst []cell.Key, b []byte) ([]cell.Key, error) {
+	r := getReader(b)
+	defer putReader(r)
+	m, err := r.byte1()
+	if err != nil || m != magic {
+		return dst, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	v, err := r.byte1()
+	if err != nil || v != versionDelta {
+		return dst, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	count, err := r.uvarint()
+	if err != nil || count > maxElems {
+		return dst, ErrCorrupt
+	}
+	out := dst
+	if need := capHint(count); cap(out)-len(out) < need {
+		grown := make([]cell.Key, len(out), len(out)+need)
+		copy(grown, out)
+		out = grown
+	}
+	prevGh := ""
+	var prevLabel temporal.Label
+	for i := uint64(0); i < count; i++ {
+		shared, err := r.uvarint()
+		if err != nil || shared > uint64(len(prevGh)) {
+			return dst, fmt.Errorf("%w: shared prefix %d exceeds previous geohash", ErrCorrupt, shared)
+		}
+		suffix, err := r.str()
+		if err != nil {
+			return dst, err
+		}
+		gh := prevGh[:shared] + suffix
+		flag, err := r.byte1()
+		if err != nil {
+			return dst, err
+		}
+		var label temporal.Label
+		switch flag {
+		case 1:
+			if i == 0 {
+				return dst, fmt.Errorf("%w: repeat-label flag on first key", ErrCorrupt)
+			}
+			label = prevLabel
+		case 0:
+			res, err := r.byte1()
+			if err != nil {
+				return dst, err
+			}
+			text, err := r.internStr()
+			if err != nil {
+				return dst, err
+			}
+			label, err = r.label(res, text)
+			if err != nil {
+				return dst, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		default:
+			return dst, fmt.Errorf("%w: bad time flag %d", ErrCorrupt, flag)
+		}
+		k, err := cell.NewKey(gh, label)
+		if err != nil {
+			return dst, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		out = append(out, k)
+		prevGh, prevLabel = gh, label
+	}
+	if r.pos != len(b) {
+		return dst, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// KeysDeltaSize returns the exact delta-encoded length of a key list in the
+// given order — what a coalesced batch request costs on the wire.
+func KeysDeltaSize(keys []cell.Key) int {
+	n := 2 + uvarintLen(uint64(len(keys)))
+	var prev cell.Key
+	for i, k := range keys {
+		shared := 0
+		if i > 0 {
+			shared = commonPrefixLen(prev.Geohash, k.Geohash)
+		}
+		n += uvarintLen(uint64(shared)) + stringLen(k.Geohash[shared:]) + 1
+		if !(i > 0 && k.Time == prev.Time) {
+			n += 1 + stringLen(k.Time.Text)
+		}
+		prev = k
+	}
+	return n
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a and b.
+func commonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// capHint clamps an untrusted element count to a sane preallocation size.
+func capHint(count uint64) int {
+	return min(count, 4096)
 }
 
 // --- size helpers ---

@@ -186,6 +186,206 @@ func TestFloatEdgeCases(t *testing.T) {
 	}
 }
 
+// sampleKeys builds n pseudo-random day-resolution keys clustered under a
+// few shared geohash prefixes — the shape a sorted coalesced batch has.
+func sampleKeys(n int, seed int64) []cell.Key {
+	rng := rand.New(rand.NewSource(seed))
+	const alpha = "0123456789bcdefghjkmnpqrstuvwxyz"
+	prefixes := []string{"9q8", "9q9", "u4p", "dr5"}
+	keys := make([]cell.Key, 0, n)
+	for i := 0; i < n; i++ {
+		gh := prefixes[rng.Intn(len(prefixes))]
+		for j := 0; j < 3; j++ {
+			gh += string(alpha[rng.Intn(32)])
+		}
+		keys = append(keys, cell.Key{Geohash: gh, Time: day})
+	}
+	return keys
+}
+
+func TestKeysDeltaRoundTrip(t *testing.T) {
+	keys := []cell.Key{
+		cell.MustKey("9q8y", "2015-02-02", temporal.Day),
+		cell.MustKey("9q8y7z", "2015-02-02T10", temporal.Hour),
+		cell.MustKey("9q8z", "2015-02-02", temporal.Day),
+		cell.MustKey("d", "2015", temporal.Year),
+		cell.MustKey("u4pr", "2015-02", temporal.Month),
+	}
+	for _, sorted := range []bool{false, true} {
+		ks := append([]cell.Key(nil), keys...)
+		if sorted {
+			SortKeys(ks)
+		}
+		b := EncodeKeysDelta(ks)
+		if len(b) != KeysDeltaSize(ks) {
+			t.Fatalf("sorted=%v: KeysDeltaSize=%d, encoded=%d", sorted, KeysDeltaSize(ks), len(b))
+		}
+		got, err := DecodeKeysDelta(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ks) {
+			t.Fatalf("decoded %d keys, want %d", len(got), len(ks))
+		}
+		for i := range ks {
+			if got[i] != ks[i] {
+				t.Fatalf("sorted=%v key %d: %v != %v", sorted, i, got[i], ks[i])
+			}
+		}
+	}
+}
+
+func TestKeysDeltaSortedSmallerThanPlain(t *testing.T) {
+	keys := sampleKeys(256, 7)
+	SortKeys(keys)
+	delta := len(EncodeKeysDelta(keys))
+	plain := KeysSize(keys)
+	if delta >= plain {
+		t.Errorf("delta encoding (%dB) not smaller than plain (%dB)", delta, plain)
+	}
+}
+
+func TestKeysDeltaRejectsGarbage(t *testing.T) {
+	valid := EncodeKeysDelta(sampleKeys(16, 3))
+	cases := [][]byte{
+		nil,
+		{},
+		{magic},
+		{magic, version},            // v1 header on the delta decoder
+		{magic, versionDelta, 0xFF}, // truncated count
+		{0x42, versionDelta, 0x00},  // bad magic
+		// shared prefix on the FIRST key (no previous geohash to share with)
+		{magic, versionDelta, 1, 3, 1, 'y', 0, byte(temporal.Day), 10, '2', '0', '1', '5', '-', '0', '2', '-', '0', '2'},
+		// repeat-label flag on the first key
+		{magic, versionDelta, 1, 0, 4, '9', 'q', '8', 'y', 1},
+		// bad time flag
+		{magic, versionDelta, 1, 0, 4, '9', 'q', '8', 'y', 7},
+		append(append([]byte(nil), valid...), 0xAA), // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := DecodeKeysDelta(b); err == nil {
+			t.Errorf("case %d: corrupt delta key list accepted", i)
+		}
+	}
+	for cut := 1; cut < len(valid); cut += 3 {
+		if _, err := DecodeKeysDelta(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestKeysDeltaIntoReusesDst(t *testing.T) {
+	keys := sampleKeys(32, 5)
+	b := EncodeKeysDelta(keys)
+	dst := make([]cell.Key, 0, 64)
+	got, err := DecodeKeysDeltaInto(dst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("decode-into did not reuse the destination's backing array")
+	}
+	// On error dst must come back unchanged.
+	if back, err := DecodeKeysDeltaInto(got, []byte{0x42}); err == nil || len(back) != len(got) {
+		t.Errorf("error path altered dst: len=%d err=%v", len(back), err)
+	}
+}
+
+func TestBufPoolRoundTrip(t *testing.T) {
+	b := GetBuf()
+	if len(b) != 0 {
+		t.Fatalf("pooled buffer not reset: len=%d", len(b))
+	}
+	b = append(b, 1, 2, 3)
+	PutBuf(b)
+	b2 := GetBuf()
+	if len(b2) != 0 {
+		t.Fatalf("reused buffer not truncated: len=%d", len(b2))
+	}
+	PutBuf(b2)
+	// Oversized buffers must be dropped, never pooled.
+	PutBuf(make([]byte, 0, maxPooledBuf+1))
+}
+
+// BenchmarkWireRoundTrip is the allocation benchmark of the pooled wire
+// path: one encode into a pooled buffer plus one decode through the pooled
+// reader per iteration. Run with -benchmem; the B/op column is the
+// acceptance number for the zero-alloc work (decode output — the Result map
+// and its summaries — still allocates; scratch must not).
+func BenchmarkWireRoundTrip(b *testing.B) {
+	r := sampleResult(500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := AppendResult(GetBuf(), r)
+		got, err := DecodeResult(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		PutBuf(buf)
+		if got.Len() != r.Len() {
+			b.Fatal("round trip lost cells")
+		}
+	}
+}
+
+// BenchmarkWireRoundTripUnpooled is the contrast run: fresh buffers every
+// iteration, so the delta against BenchmarkWireRoundTrip is the pool's win.
+func BenchmarkWireRoundTripUnpooled(b *testing.B) {
+	r := sampleResult(500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := DecodeResult(EncodeResult(r))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Len() != r.Len() {
+			b.Fatal("round trip lost cells")
+		}
+	}
+}
+
+func BenchmarkEncodeKeysPlain(b *testing.B) {
+	keys := sampleKeys(256, 1)
+	SortKeys(keys)
+	b.ReportAllocs()
+	b.SetBytes(int64(KeysSize(keys)))
+	for i := 0; i < b.N; i++ {
+		buf := AppendKeys(GetBuf(), keys)
+		PutBuf(buf)
+	}
+}
+
+func BenchmarkEncodeKeysDelta(b *testing.B) {
+	keys := sampleKeys(256, 1)
+	SortKeys(keys)
+	b.ReportAllocs()
+	b.SetBytes(int64(KeysDeltaSize(keys)))
+	for i := 0; i < b.N; i++ {
+		buf := AppendKeysDelta(GetBuf(), keys)
+		PutBuf(buf)
+	}
+}
+
+func BenchmarkDecodeKeysDeltaInto(b *testing.B) {
+	keys := sampleKeys(256, 1)
+	SortKeys(keys)
+	buf := EncodeKeysDelta(keys)
+	dst := make([]cell.Key, 0, len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := DecodeKeysDeltaInto(dst[:0], buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(keys) {
+			b.Fatal("short decode")
+		}
+	}
+}
+
 func BenchmarkEncodeResult(b *testing.B) {
 	r := sampleResult(500, 1)
 	b.ReportAllocs()

@@ -260,6 +260,10 @@ type ResilienceConfig = cluster.ResilienceConfig
 // DefaultResilienceConfig returns production-shaped failure handling.
 func DefaultResilienceConfig() ResilienceConfig { return cluster.DefaultResilienceConfig() }
 
+// DefaultCoalesceWindow is the default admission window for client-side
+// request coalescing (Config.CoalesceWindow).
+const DefaultCoalesceWindow = cluster.DefaultCoalesceWindow
+
 // Coverage is a result's partial-result report: which requested keys were
 // fully covered, degraded (under-counted), or missing, and why. The zero
 // value means complete by construction.
