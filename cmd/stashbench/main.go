@@ -8,6 +8,7 @@
 //	stashbench -exp fig6a,fig7c      # several
 //	stashbench -exp all              # everything
 //	stashbench -exp all -full        # paper-scale request counts (slow)
+//	stashbench -exp diff             # differential oracle cross-check (exits 1 on divergence)
 //	stashbench -list                 # list experiment IDs
 package main
 

@@ -33,6 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-frontend",
 		"ext-faults",
 		"ext-coalesce",
+		"diff",
 	}
 	have := map[string]bool{}
 	for _, id := range Experiments() {
@@ -252,5 +253,33 @@ func TestNewRngDeterministic(t *testing.T) {
 	c := newRng(Options{Seed: 7}, 4)
 	if a.Int63() == c.Int63() {
 		t.Error("different salts should diverge (probabilistically)")
+	}
+}
+
+// TestRunDiffSmoke runs the differential-oracle experiment end to end at a
+// reduced scale and asserts its gate semantics: one row per matrix config,
+// every status ok, nil error. (A divergence would return an error carrying
+// the shrunk repro; that path is exercised by the difftest mutation smoke.)
+func TestRunDiffSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not -short sized")
+	}
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Out = &buf
+	rep, err := Run("diff", opts)
+	if err != nil {
+		t.Fatalf("differential gate failed: %v", err)
+	}
+	if len(rep.Rows) < 8 {
+		t.Fatalf("diff covered %d configs, want the full matrix (>= 8)", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r[len(r)-1] != "ok" {
+			t.Errorf("config %s status %q", r[0], r[len(r)-1])
+		}
+	}
+	if !strings.Contains(buf.String(), "zero divergence") {
+		t.Error("report missing the zero-divergence note")
 	}
 }

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+
+	"stash/internal/oracle/difftest"
+)
+
+func init() {
+	registry["diff"] = Diff
+}
+
+// Diff runs the differential correctness harness as a stashbench experiment:
+// every configuration of the difftest matrix (striping, coalescing,
+// serve-side singleflight, replication, live updates, fault injection) is
+// driven through seeded randomized OLAP navigation sessions and every
+// response is cross-checked cell-by-cell against the sequential oracle.
+//
+// Unlike the performance experiments this one has a hard pass/fail: any
+// divergence aborts the run with the failing config, seed, and the shrunk
+// minimal repro, so `stashbench -exp diff` exits non-zero and can gate a
+// release the same way the CI differential step does. Quick runs use
+// CI-sized sessions; -full uses the default 200-step x 4-session load. The
+// cluster scale (nodes, block density) is the harness's own calibrated size,
+// not -nodes/-points: the oracle re-scans raw blocks per query, so the
+// differential gate trades cluster scale for config-matrix breadth.
+func Diff(opts Options) (Report, error) {
+	rep := Report{
+		ID:      "diff",
+		Title:   "differential correctness: cluster vs sequential oracle",
+		Columns: []string{"config", "queries", "cells", "complete", "partial", "errors", "updates", "status"},
+	}
+	dopts := difftest.Options{
+		Seed:     uint64(opts.Seed),
+		Steps:    opts.pick(60, 200),
+		Sessions: opts.pick(2, 4),
+	}
+	var total difftest.Stats
+	for _, cfg := range difftest.Matrix() {
+		stats, fail := difftest.Run(cfg, dopts)
+		status := "ok"
+		if fail != nil {
+			status = "FAIL:" + fail.Kind
+		}
+		rep.AddRow(cfg.Name,
+			fmt.Sprint(stats.Queries), fmt.Sprint(stats.Cells),
+			fmt.Sprint(stats.Complete), fmt.Sprint(stats.Partial),
+			fmt.Sprint(stats.Errors), fmt.Sprint(stats.Updates), status)
+		if fail != nil {
+			rep.AddNote("%s diverged from the oracle:\n%s", cfg.Name, fail.Error())
+			rep.Print(opts.Out)
+			return rep, fmt.Errorf("bench: differential harness failed on %s: %w", cfg.Name, fail)
+		}
+		total.Queries += stats.Queries
+		total.Cells += stats.Cells
+		total.Repeats += stats.Repeats
+		total.PanPairs += stats.PanPairs
+	}
+	rep.AddNote("%d configs, %d queries, %d cells cross-checked, %d repeat-identity and %d pan-continuity checks, zero divergence",
+		len(difftest.Matrix()), total.Queries, total.Cells, total.Repeats, total.PanPairs)
+	return rep, nil
+}

@@ -266,6 +266,50 @@ func (s Stat) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// ApproxEqual reports whether two aggregates describe the same observation
+// set. Count, Min and Max are order-independent reductions and must match
+// exactly; Sum depends on float addition order (block-scan order vs merge
+// order differ across serving paths), so it is compared within the given
+// relative epsilon.
+func (s Stat) ApproxEqual(o Stat, eps float64) bool {
+	if s.Count != o.Count {
+		return false
+	}
+	if s.Count == 0 {
+		return true
+	}
+	return s.Min == o.Min && s.Max == o.Max && approxFloat(s.Sum, o.Sum, eps)
+}
+
+// SubsetOf reports whether s could be the aggregate of a subset of the
+// observations o aggregates: no more observations, a minimum no smaller and
+// a maximum no larger. This is the per-stat contract a *partial* query
+// result (graceful degradation under node failures) must honor against a
+// full recomputation — under-counting is acceptable, impossible bounds are
+// not. Sum is unconstrained: a subset of signed values bounds nothing.
+func (s Stat) SubsetOf(o Stat) bool {
+	if s.Count > o.Count {
+		return false
+	}
+	if s.Count == 0 {
+		return true
+	}
+	return s.Min >= o.Min && s.Max <= o.Max
+}
+
+// approxFloat compares floats within a relative epsilon (absolute near zero).
+func approxFloat(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1 {
+		return d < eps
+	}
+	return d/m < eps
+}
+
 // Summary is the per-attribute aggregate payload of a Cell — the content
 // returned to clients (paper Table I, "aggregated summary statistics").
 // Hists optionally carries per-attribute distributions for histogram

@@ -272,6 +272,13 @@ func New(cfg Config) (*Cluster, error) {
 // Ring returns the cluster's partition map.
 func (c *Cluster) Ring() *dht.Ring { return c.ring }
 
+// Generator returns the cluster's synthetic dataset generator. A reference
+// evaluator (internal/oracle) built over the same generator sees exactly the
+// dataset the cluster serves — including block version bumps from
+// UpdateBlock — which is what makes end-to-end answer cross-checking
+// well-defined.
+func (c *Cluster) Generator() *namgen.Generator { return c.gen }
+
 // Faults returns the cluster's fault plan (nil when fault injection is
 // disabled). Callers may flip faults at runtime; the transport observes them
 // on the next request.

@@ -24,16 +24,40 @@ import (
 	"stash/internal/cell"
 	"stash/internal/dht"
 	"stash/internal/query"
+	"stash/internal/temporal"
 	"stash/internal/wire"
 )
 
 // coalescer merges concurrent same-owner fetches that arrive within one
 // admission window into a single batched node request.
+//
+// Batches are keyed by (node, hierarchy level), not node alone: every fetch
+// carries keys of a single level (a query footprint is one level by
+// construction), and the storage scan underneath rejects mixed-resolution
+// key sets — merging two callers at different zoom levels into one wire
+// message would turn two valid requests into one invalid one.
 type coalescer struct {
 	window time.Duration
 
 	mu      sync.Mutex
-	pending map[dht.NodeID]*coalesceBatch
+	pending map[batchKey]*coalesceBatch
+}
+
+// batchKey identifies one admission window: one owner node at one hierarchy
+// level.
+type batchKey struct {
+	id   dht.NodeID
+	sres int
+	tres temporal.Resolution
+}
+
+func batchKeyFor(id dht.NodeID, keys []cell.Key) batchKey {
+	bk := batchKey{id: id}
+	if len(keys) > 0 {
+		bk.sres = keys[0].SpatialRes()
+		bk.tres = keys[0].TemporalRes()
+	}
+	return bk
 }
 
 // coalesceBatch is one admission window's worth of fetches for one node.
@@ -59,7 +83,7 @@ type coalesceBatch struct {
 }
 
 func newCoalescer(window time.Duration) *coalescer {
-	return &coalescer{window: window, pending: map[dht.NodeID]*coalesceBatch{}}
+	return &coalescer{window: window, pending: map[batchKey]*coalesceBatch{}}
 }
 
 // fetch joins (or opens) the admission window for n's batch, waits for the
@@ -67,8 +91,9 @@ func newCoalescer(window time.Duration) *coalescer {
 // caller whose ctx expires first gets ctx.Err() while the batch runs on for
 // the other waiters.
 func (co *coalescer) fetch(ctx context.Context, n *Node, keys []cell.Key) (query.Result, error) {
+	bk := batchKeyFor(n.id, keys)
 	co.mu.Lock()
-	b := co.pending[n.id]
+	b := co.pending[bk]
 	if b == nil {
 		bctx, cancel := context.WithCancel(context.Background())
 		b = &coalesceBatch{
@@ -78,8 +103,8 @@ func (co *coalescer) fetch(ctx context.Context, n *Node, keys []cell.Key) (query
 			cancel: cancel,
 			done:   make(chan struct{}),
 		}
-		co.pending[n.id] = b
-		time.AfterFunc(co.window, func() { co.flush(n.id, b) })
+		co.pending[bk] = b
+		time.AfterFunc(co.window, func() { co.flush(bk, b) })
 	}
 	for _, k := range keys {
 		if _, dup := b.keySet[k]; !dup {
@@ -132,10 +157,10 @@ func (co *coalescer) release(b *coalesceBatch) {
 // flush closes the admission window: it removes the batch from pending (no
 // more joiners), prices and records the coalescing win, issues the single
 // batched node request under the batch context, and publishes the reply.
-func (co *coalescer) flush(id dht.NodeID, b *coalesceBatch) {
+func (co *coalescer) flush(bk batchKey, b *coalesceBatch) {
 	co.mu.Lock()
-	if co.pending[id] == b {
-		delete(co.pending, id)
+	if co.pending[bk] == b {
+		delete(co.pending, bk)
 	}
 	b.flushed = true
 	abandoned := b.active == 0

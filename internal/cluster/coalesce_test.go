@@ -405,3 +405,69 @@ func TestGroupByOwnerDedupsRepeatedKeys(t *testing.T) {
 		}
 	}
 }
+
+// TestCoalesceKeepsHierarchyLevelsApart is the regression test for a bug the
+// differential harness (internal/oracle/difftest) caught: batches were keyed
+// by owner node alone, so two concurrent callers at different zoom levels —
+// one session panning at res 4 while another rolls up to res 3 — merged into
+// a single mixed-resolution key set, which the storage scan underneath
+// rightly rejects. Batches must be keyed by (node, level): both callers
+// succeed, each with its own level's answer.
+func TestCoalesceKeepsHierarchyLevelsApart(t *testing.T) {
+	c := newTestCluster(t, func(cfg *Config) { cfg.CoalesceWindow = 5 * time.Millisecond })
+	n, fineKeys := ownerShare(t, c)
+
+	// Keys for the same node one level up: roll the fine keys' geohashes up
+	// and keep only those this node owns.
+	coarseSet := map[cell.Key]struct{}{}
+	for _, k := range fineKeys {
+		ck := cell.Key{Geohash: k.Geohash[:len(k.Geohash)-1], Time: k.Time}
+		coarseSet[ck] = struct{}{}
+	}
+	var coarseKeys []cell.Key
+	for ck := range coarseSet {
+		for id, ks := range c.Client().GroupByOwner([]cell.Key{ck}) {
+			if id == n.id {
+				coarseKeys = append(coarseKeys, ks...)
+			}
+		}
+	}
+	if len(coarseKeys) == 0 {
+		t.Skip("no coarse key lands on the same owner at this cluster size")
+	}
+
+	wantFine, err := n.Submit(context.Background(), fineKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCoarse, err := n.Submit(context.Background(), coarseKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var fineRes, coarseRes query.Result
+	var fineErr, coarseErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		fineRes, fineErr = c.coalescer.fetch(context.Background(), n, fineKeys)
+	}()
+	go func() {
+		defer wg.Done()
+		coarseRes, coarseErr = c.coalescer.fetch(context.Background(), n, coarseKeys)
+	}()
+	wg.Wait()
+
+	if fineErr != nil || coarseErr != nil {
+		t.Fatalf("mixed-level coalesced fetches failed: fine=%v coarse=%v", fineErr, coarseErr)
+	}
+	if fineRes.Len() != wantFine.Len() || fineRes.TotalCount("temperature") != wantFine.TotalCount("temperature") {
+		t.Errorf("fine level: %d cells / count %d, want %d / %d",
+			fineRes.Len(), fineRes.TotalCount("temperature"), wantFine.Len(), wantFine.TotalCount("temperature"))
+	}
+	if coarseRes.Len() != wantCoarse.Len() || coarseRes.TotalCount("temperature") != wantCoarse.TotalCount("temperature") {
+		t.Errorf("coarse level: %d cells / count %d, want %d / %d",
+			coarseRes.Len(), coarseRes.TotalCount("temperature"), wantCoarse.Len(), wantCoarse.TotalCount("temperature"))
+	}
+}

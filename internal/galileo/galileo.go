@@ -106,6 +106,13 @@ func (s *Store) SetBlockPrefixLen(n int) {
 // Node returns the owning node's ID.
 func (s *Store) Node() dht.NodeID { return s.node }
 
+// BlockPrefixLen returns the geohash length at which this shard's blocks are
+// stored. An external reference evaluator must enumerate blocks at exactly
+// this granularity: the synthetic dataset is *defined* by the set of
+// (prefix, day) blocks materialized, so a different prefix length would
+// describe a different dataset, not a different view of this one.
+func (s *Store) BlockPrefixLen() int { return s.blockLen }
+
 // BlocksRead returns the number of blocks this shard has read since creation.
 func (s *Store) BlocksRead() int64 { return s.blocksRead.Load() }
 

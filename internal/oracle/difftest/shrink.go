@@ -1,0 +1,81 @@
+package difftest
+
+import (
+	"stash/internal/oracle"
+)
+
+// shrinkBudget caps the number of replay attempts one shrink may spend.
+// Each attempt builds a fresh small cluster and replays sequentially, so
+// the cap bounds shrink cost even for long sessions.
+const shrinkBudget = 80
+
+// Shrink reduces a failing session to a minimal reproducing step list with
+// a delta-debugging pass (ddmin-lite): truncate to the failing step, then
+// repeatedly try dropping chunks of decreasing size, keeping any candidate
+// that still fails on a fresh cluster. The final step (the one that
+// exposed the divergence) is always retained. If the failure does not
+// reproduce under sequential replay — e.g. it needed cross-session
+// concurrency — the truncated list is returned unshrunk.
+func Shrink(cfg Config, opts Options, steps []Step, failStep int) []Step {
+	opts = opts.withDefaults()
+	if failStep >= 0 && failStep < len(steps) {
+		steps = steps[:failStep+1]
+	}
+	budget := shrinkBudget
+	fails := func(s []Step) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return Replay(cfg, opts, s) != nil
+	}
+	if !fails(steps) {
+		return steps
+	}
+	// ddmin over the prefix; the last step is pinned (it is the failure).
+	last := steps[len(steps)-1]
+	prefix := steps[:len(steps)-1]
+	chunk := (len(prefix) + 1) / 2
+	for chunk >= 1 && len(prefix) > 0 && budget > 0 {
+		removed := false
+		for i := 0; i < len(prefix); i += chunk {
+			end := i + chunk
+			if end > len(prefix) {
+				end = len(prefix)
+			}
+			cand := make([]Step, 0, len(prefix)-(end-i)+1)
+			cand = append(cand, prefix[:i]...)
+			cand = append(cand, prefix[end:]...)
+			cand = append(cand, last)
+			if fails(cand) {
+				prefix = cand[:len(cand)-1]
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk /= 2
+		}
+	}
+	out := make([]Step, 0, len(prefix)+1)
+	out = append(out, prefix...)
+	out = append(out, last)
+	return out
+}
+
+// Replay runs a step list sequentially against a fresh cluster and oracle,
+// returning the first failure (or nil). Used by Shrink and directly by
+// tests and the seed-replay debugging workflow.
+func Replay(cfg Config, opts Options, steps []Step) *Failure {
+	opts = opts.withDefaults()
+	replayCfg := cfg
+	replayCfg.Faults = false // fault timing is wall-clock; replays run healthy
+	c := buildCluster(replayCfg, opts)
+	defer c.Stop()
+	o := oracle.ForCluster(c)
+	_, fail := runSession(c, o, replayCfg, opts, 0, steps)
+	return fail
+}

@@ -148,6 +148,27 @@ func (q Query) Level() int {
 	return int(q.TemporalRes)*cell.MaxSpatialPrecision + (q.SpatialRes - 1)
 }
 
+// Equal reports whether two queries denote the same request. Query contains
+// a Polygon slice, so == does not apply; Equal compares the polygon
+// vertex-wise. The metamorphic round-trip identities (drill-down then
+// roll-up, zoom-out then zoom-in) rely on this to assert the operators
+// returned to the starting query exactly.
+func (q Query) Equal(o Query) bool {
+	if q.Box != o.Box || q.Time != o.Time ||
+		q.SpatialRes != o.SpatialRes || q.TemporalRes != o.TemporalRes {
+		return false
+	}
+	if len(q.Polygon) != len(o.Polygon) {
+		return false
+	}
+	for i, v := range q.Polygon {
+		if v != o.Polygon[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func (q Query) String() string {
 	return fmt.Sprintf("q{%v %s..%s res=(%d,%v)}",
 		q.Box, q.Time.Start.Format("2006-01-02T15"), q.Time.End.Format("2006-01-02T15"),

@@ -677,11 +677,16 @@ func (g *Graph) Snapshot(keys []cell.Key) query.Result {
 // access is required only if the missing values "are not available by
 // computing from the existing cached values"). The derivation needs a
 // complete child cover: all 32 spatial children, or all temporal children,
-// resident and fresh. On success the derived cell is inserted and returned.
+// resident and fresh. On success the derived cell is inserted and returned;
+// a parent whose children are all negative-cached empties derives to an
+// empty summary (ok=true), mirroring how a disk scan of the same cell would
+// find nothing.
 func (g *Graph) DeriveFromChildren(k cell.Key) (cell.Summary, bool) {
-	res, _ := g.DeriveBatch([]cell.Key{k})
-	sum, ok := res.Cells[k]
-	return sum, ok
+	res, unresolved := g.DeriveBatch([]cell.Key{k})
+	if len(unresolved) > 0 {
+		return cell.Summary{}, false
+	}
+	return res.Cells[k], true
 }
 
 // deriveCandidate is one (parent, child-cover) derivation attempt.
@@ -791,7 +796,13 @@ func (g *Graph) DeriveBatch(keys []cell.Key) (query.Result, []cell.Key) {
 			grp.s.mu.Unlock()
 		}
 		for k, sum := range derived {
-			res.Add(k, sum)
+			// A parent derived from all-empty children is a legitimate
+			// negative-cache entry (inserted above), but it must not appear
+			// in the served result: the disk path omits dataless bins, and
+			// GetBatch skips negative hits the same way.
+			if !sum.Empty() {
+				res.Add(k, sum)
+			}
 		}
 		g.maybeEvict()
 	}

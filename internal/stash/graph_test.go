@@ -592,3 +592,36 @@ func TestEvictionNeverBelowSafeLimit(t *testing.T) {
 		t.Error("eviction emptied the graph")
 	}
 }
+
+// TestDeriveAllEmptyChildrenOmittedFromResult is the regression test for a
+// contract violation the differential harness (internal/oracle/difftest)
+// caught: a parent derived from 32 negative-cached (empty) children produced
+// an empty summary that DeriveBatch added to the served result, while the
+// disk path — and GetBatch's negative-hit handling — omit dataless bins.
+// The derived empty must be cached (it is a valid parent-level negative
+// entry) but must not appear in the result.
+func TestDeriveAllEmptyChildrenOmittedFromResult(t *testing.T) {
+	g := newTestGraph()
+	parent := k("9q8")
+	children, _ := parent.SpatialChildren()
+	g.PutEmpty(children)
+
+	res, unresolved := g.DeriveBatch([]cell.Key{parent})
+	if len(unresolved) != 0 {
+		t.Fatalf("parent unresolved despite full (empty) child cover: %v", unresolved)
+	}
+	if _, inResult := res.Cells[parent]; inResult {
+		t.Error("derived-empty parent appeared in the served result")
+	}
+	// But it must be resident as a parent-level negative-cache entry ...
+	if sum, present := g.Peek(parent); !present {
+		t.Error("derived-empty parent not cached")
+	} else if !sum.Empty() {
+		t.Errorf("cached parent should be empty, got %+v", sum.Stats)
+	}
+	// ... and the single-key path mirrors the disk scan: success, empty.
+	sum, ok := g.DeriveFromChildren(parent)
+	if !ok || !sum.Empty() {
+		t.Errorf("DeriveFromChildren = (%+v, %v), want empty summary, true", sum.Stats, ok)
+	}
+}

@@ -1,0 +1,140 @@
+package temporal
+
+import (
+	"testing"
+	"time"
+)
+
+// clampRange maps arbitrary fuzz integers onto a bounded, valid Range: start
+// within [1900, 2100) and span within (0, ~400 days]. Cover materializes one
+// label per covered unit, so the harness — not the fuzzer — must bound the
+// walk; an unbounded range at Hour resolution would be a multi-million-label
+// enumeration, not a test.
+func clampRange(startSec, durSec int64) Range {
+	const (
+		epochLo = -2208988800       // 1900-01-01T00:00:00Z
+		span    = 200 * 365 * 86400 // two centuries
+		maxDur  = 400 * 86400       // ~400 days
+	)
+	s := epochLo + mod64(startSec, span)
+	d := 1 + mod64(durSec, maxDur)
+	start := time.Unix(s, 0).UTC()
+	return Range{Start: start, End: start.Add(time.Duration(d) * time.Second)}
+}
+
+func mod64(v, m int64) int64 {
+	r := v % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// FuzzRangeCover checks the covering invariants for arbitrary ranges at every
+// resolution: labels are valid, chronological, contiguous (each label's
+// successor is the next label), the first contains the range start, the last
+// reaches the range end, and CoverCount agrees with the materialized length.
+func FuzzRangeCover(f *testing.F) {
+	f.Add(int64(0), int64(86400), uint8(2))
+	f.Add(int64(1422835200), int64(3600), uint8(3))     // 2015-02-02, one hour
+	f.Add(int64(1422835200), int64(90*86400), uint8(1)) // month cover crossing Feb
+	f.Add(int64(-1), int64(1), uint8(0))                // year boundary
+	f.Add(int64(951782400), int64(2*86400), uint8(2))   // 2000-02-29 leap day
+	f.Fuzz(func(t *testing.T, startSec, durSec int64, resRaw uint8) {
+		res := Resolution(resRaw % 4)
+		r := clampRange(startSec, durSec)
+		labels, err := r.Cover(res)
+		if err != nil {
+			t.Fatalf("Cover(%v, %v): %v", r, res, err)
+		}
+		if len(labels) == 0 {
+			t.Fatalf("Cover(%v, %v) returned no labels for a valid range", r, res)
+		}
+		n, err := r.CoverCount(res)
+		if err != nil || n != len(labels) {
+			t.Fatalf("CoverCount = %d, %v; len(Cover) = %d", n, err, len(labels))
+		}
+		first, last := labels[0], labels[len(labels)-1]
+		if !first.Contains(r.Start) {
+			t.Errorf("first label %v does not contain range start %v", first, r.Start)
+		}
+		lastEnd, err := last.End()
+		if err != nil {
+			t.Fatalf("last label %v: %v", last, err)
+		}
+		if lastEnd.Before(r.End) {
+			t.Errorf("last label %v ends %v, before range end %v", last, lastEnd, r.End)
+		}
+		for i, l := range labels {
+			if l.Res != res || !l.Valid() {
+				t.Fatalf("label %d invalid: %+v", i, l)
+			}
+			if i == 0 {
+				continue
+			}
+			next, err := labels[i-1].Next()
+			if err != nil {
+				t.Fatalf("Next(%v): %v", labels[i-1], err)
+			}
+			if next != l {
+				t.Fatalf("cover not contiguous: %v.Next() = %v, cover has %v",
+					labels[i-1], next, l)
+			}
+		}
+	})
+}
+
+// FuzzLabelParse feeds arbitrary text to the label parser at every
+// resolution: it must never panic, and any accepted label must round-trip —
+// re-deriving the label from its own start instant reproduces it exactly,
+// its span is non-empty, and Prev/Next are inverses across it.
+func FuzzLabelParse(f *testing.F) {
+	f.Add("2015-02", uint8(1))
+	f.Add("2015-02-02", uint8(2))
+	f.Add("2015-02-02T15", uint8(3))
+	f.Add("2015", uint8(0))
+	f.Add("0000-01-01", uint8(2))
+	f.Add("9999-12-31T23", uint8(3))
+	f.Add("not a label", uint8(2))
+	f.Add("2015-13-45", uint8(2))
+	f.Fuzz(func(t *testing.T, text string, resRaw uint8) {
+		res := Resolution(resRaw % 4)
+		l, err := Parse(text, res)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if !l.Valid() {
+			t.Fatalf("Parse accepted %q but Valid() is false", text)
+		}
+		start, err := l.Start()
+		if err != nil {
+			t.Fatalf("accepted label %v has no start: %v", l, err)
+		}
+		end, err := l.End()
+		if err != nil {
+			t.Fatalf("accepted label %v has no end: %v", l, err)
+		}
+		if !end.After(start) {
+			t.Fatalf("label %v spans nothing: [%v, %v)", l, start, end)
+		}
+		if rt := At(start, res); rt != l {
+			t.Fatalf("round trip: At(%v, %v) = %v, want %v", start, res, rt, l)
+		}
+		next, err := l.Next()
+		if err != nil {
+			t.Fatalf("Next(%v): %v", l, err)
+		}
+		if !next.Valid() {
+			// The label format is fixed-width (years 0000–9999); the
+			// successor of the last representable label falls outside it.
+			return
+		}
+		back, err := next.Prev()
+		if err != nil {
+			t.Fatalf("Prev(%v): %v", next, err)
+		}
+		if back != l {
+			t.Fatalf("Prev(Next(%v)) = %v", l, back)
+		}
+	})
+}
