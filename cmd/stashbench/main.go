@@ -13,14 +13,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
 
 	"stash/internal/bench"
+	"stash/internal/cluster"
 	"stash/internal/obs"
+	"stash/internal/workload"
 )
 
 func main() {
@@ -37,6 +41,7 @@ func main() {
 		coalesce = flag.Bool("coalesce", false, "enable request coalescing + serve-side singleflight on experiment clusters")
 		window   = flag.Duration("window", 0, "coalescer admission window (0 with -coalesce = cluster default)")
 		metrics  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after the experiments (\"-\" for stderr)")
+		explain  = flag.Bool("explain", false, "profile a sample query (cold, then warm) on a default cluster and print its EXPLAIN summaries")
 	)
 	flag.Parse()
 
@@ -45,6 +50,15 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	if *explain {
+		if err := runExplain(*nodes, *seed, *points); err != nil {
+			fmt.Fprintf(os.Stderr, "stashbench: explain: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "" {
+			return
+		}
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "stashbench: -exp required (try -list)")
@@ -91,6 +105,47 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runExplain drives one state-level query against a default cluster twice —
+// cold (disk-backed) and warm (cache-served) — with query profiling on, and
+// prints each run's EXPLAIN summary plus the full JSON of the cold run. The
+// side-by-side pair is the quickest demonstration of what the profile
+// captures: the cold run shows disk scans and blocks read, the warm run the
+// same footprint served from the graph.
+func runExplain(nodes int, seed int64, points int) error {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Seed = uint64(seed)
+	cfg.PointsPerBlock = points
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	c.Start()
+	defer c.Stop()
+
+	rng := rand.New(rand.NewSource(seed))
+	q := workload.RandomQuery(rng, workload.State)
+	cl := c.Client()
+	for _, label := range []string{"cold", "warm"} {
+		ctx, p := obs.WithProfile(context.Background())
+		res, err := cl.QueryContext(ctx, q)
+		if err != nil {
+			return fmt.Errorf("%s run: %w", label, err)
+		}
+		status := "ok"
+		if !res.Coverage.Complete() {
+			status = "partial"
+		}
+		p.Finish(status)
+		d := p.Data()
+		fmt.Printf("%-4s %s\n", label, d.String())
+		if label == "cold" {
+			fmt.Printf("     %s\n", d.JSON())
+		}
+	}
+	return nil
 }
 
 // writeMetricsSnapshot dumps the process-global metrics registry accumulated

@@ -12,14 +12,24 @@
 //	               ?trace=1 records the query as a span tree and embeds it in
 //	               the JSON response; ?trace=chrome returns the spans as
 //	               Chrome trace-event JSON loadable in Perfetto.
-//	GET  /stats    cluster counters plus a flat metrics snapshot
+//	               ?explain=1 embeds the query's profile — per-stage latencies,
+//	               cache-tier outcomes, nodes contacted, blocks read — in the
+//	               JSON response (EXPLAIN ANALYZE for STASH; never cached).
+//	GET  /stats    cluster counters, a flat metrics snapshot, and the hot keys
 //	GET  /metrics  Prometheus text exposition of every registered metric
-//	GET  /healthz  liveness
+//	GET  /healthz  readiness detail as JSON (ingest version, node count,
+//	               recorder/coalescer flags)
 //	POST /faults   inject or heal a node fault (requires -faults; see FaultRequest)
 //	GET  /faults   list currently faulted nodes
 //
 // With -debug the standard net/http/pprof profiles are additionally served
-// under /debug/pprof/.
+// under /debug/pprof/, alongside the introspection endpoints:
+//
+//	GET  /debug/queries  the flight recorder's last -flightrec completed query
+//	                     profiles, newest first (?min_ms=, ?level=, ?n= filter)
+//	GET  /debug/slow     the slow-query ring: profiles over -slowms
+//	GET  /debug/hot      hot-key telemetry: the top-K most-requested cell keys,
+//	                     globally and per node (?n= bounds each list)
 //
 // Usage:
 //
@@ -36,9 +46,12 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"strconv"
 	"time"
 
 	"stash"
+	"stash/internal/cell"
 	"stash/internal/obs"
 )
 
@@ -59,7 +72,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "default per-query deadline (0 = none; ?timeout= overrides per request)")
 		faults    = flag.Bool("faults", false, "enable the /faults chaos endpoint")
 		faultseed = flag.Int64("faultseed", 1, "seed for randomized fault decisions (reply-drop sequences)")
-		debug     = flag.Bool("debug", false, "serve net/http/pprof profiles under /debug/pprof/")
+		debug     = flag.Bool("debug", false, "serve net/http/pprof profiles and the /debug/queries, /debug/slow, /debug/hot introspection endpoints")
+		flightrec = flag.Int("flightrec", 512, "flight recorder capacity: keep the last N completed query profiles (0 disables)")
+		slowms    = flag.Int("slowms", 100, "slow-query threshold in milliseconds: profiles over it are logged to stderr and kept at /debug/slow (0 disables)")
 	)
 	flag.Parse()
 
@@ -97,7 +112,13 @@ func main() {
 	sys.Start()
 	defer sys.Stop()
 
-	srv := &server{sys: sys, faults: fp, defaultTimeout: *timeout}
+	srv := &server{
+		sys:            sys,
+		faults:         fp,
+		defaultTimeout: *timeout,
+		rec:            obs.NewFlightRecorder(*flightrec),
+		slow:           obs.NewSlowLog(time.Duration(*slowms)*time.Millisecond, slowRingCapacity, os.Stderr),
+	}
 	mux := newMux(srv, *debug)
 
 	log.Printf("stashd: %d nodes, serving on %s", *nodes, *addr)
@@ -114,10 +135,7 @@ func newMux(srv *server, debug bool) *http.ServeMux {
 	mux.HandleFunc("GET /metrics", srv.handleMetrics)
 	mux.HandleFunc("POST /faults", srv.handleFaultsPost)
 	mux.HandleFunc("GET /faults", srv.handleFaultsGet)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", srv.handleHealthz)
 	if debug {
 		// The pprof handlers register themselves on DefaultServeMux at
 		// import; route them explicitly so they exist only behind -debug.
@@ -126,14 +144,41 @@ func newMux(srv *server, debug bool) *http.ServeMux {
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		// Query introspection rides the same gate: profiles carry query
+		// strings, so they are operator-facing, not public.
+		mux.HandleFunc("GET /debug/queries", srv.handleDebugQueries)
+		mux.HandleFunc("GET /debug/slow", srv.handleDebugSlow)
+		mux.HandleFunc("GET /debug/hot", srv.handleDebugHot)
 	}
 	return mux
 }
+
+// slowRingCapacity bounds the slow-query ring behind /debug/slow: offenders
+// are rare by definition, so the ring stays much smaller than the flight
+// recorder.
+const slowRingCapacity = 64
 
 type server struct {
 	sys            *stash.Cluster
 	faults         *stash.FaultPlan
 	defaultTimeout time.Duration
+	// rec is the always-on flight recorder of completed query profiles; nil
+	// when -flightrec is 0.
+	rec *obs.FlightRecorder
+	// slow retains and logs profiles over the -slowms threshold; nil when
+	// disabled.
+	slow *obs.SlowLog
+}
+
+// record finishes a query's profile with the given status and feeds it to the
+// flight recorder and slow-query log. Returns the settled snapshot for
+// ?explain=1 responses.
+func (s *server) record(p *obs.QueryProfile, status string) obs.ProfileData {
+	p.Finish(status)
+	d := p.Data()
+	s.rec.Record(d)
+	s.slow.Observe(d)
+	return d
 }
 
 // QueryRequest is the JSON body of POST /query.
@@ -200,6 +245,9 @@ type QueryResponse struct {
 	LatencyMS float64         `json:"latencyMs"`
 	Coverage  *CoverageBlock  `json:"coverage,omitempty"`
 	Trace     []*obs.SpanNode `json:"trace,omitempty"`
+	// Profile is the query's EXPLAIN ANALYZE provenance, present with
+	// ?explain=1 (never cached).
+	Profile *obs.ProfileData `json:"profile,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -245,9 +293,29 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	explain := false
+	switch raw := r.URL.Query().Get("explain"); raw {
+	case "", "0", "false":
+	case "1", "true":
+		explain = true
+	default:
+		http.Error(w, "unknown explain mode "+raw, http.StatusBadRequest)
+		return
+	}
+	// Profile the query whenever anyone will see the result: the explain
+	// response, the flight recorder, or the slow-query log. With all three
+	// off, no profile is installed and the serve path stays allocation-free.
+	var prof *obs.QueryProfile
+	if explain || s.rec != nil || s.slow != nil {
+		ctx, prof = obs.WithProfile(ctx)
+	}
+
 	begin := time.Now()
 	res, err := s.sys.Client().QueryContext(ctx, q)
 	if err != nil {
+		if prof != nil {
+			s.record(prof, "error")
+		}
 		switch {
 		case errors.Is(err, context.DeadlineExceeded),
 			errors.Is(err, stash.ErrNoCoverage),
@@ -262,10 +330,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	status := http.StatusOK
+	outcome := "ok"
 	if !res.Coverage.Complete() {
 		// Partial answer under degradation: signal it in the status code so
 		// dashboards can badge the panel, but still deliver the cells.
 		status = http.StatusPartialContent
+		outcome = "partial"
+	}
+	var profData obs.ProfileData
+	if prof != nil {
+		profData = s.record(prof, outcome)
 	}
 
 	if traceMode == "chrome" {
@@ -304,6 +378,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := QueryResponse{LatencyMS: float64(time.Since(begin).Microseconds()) / 1000}
 	if traceMode == "json" {
 		resp.Trace = tr.Tree()
+	}
+	if explain {
+		// Profiles are per-request provenance: mark the response uncacheable
+		// so an intermediary never serves one query's explain for another.
+		w.Header().Set("Cache-Control", "no-store")
+		resp.Profile = &profData
 	}
 	if cov := res.Coverage; cov.Requested > 0 {
 		resp.Coverage = &CoverageBlock{
@@ -354,16 +434,160 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // _sum, and _p50/_p95/_p99 entries), so one poll answers both "what has the
 // cluster done" and "how degraded is it right now" — retries, reroutes,
 // breaker trips, and fault firings all appear under their metric names.
+// HotKeys folds in the globally hottest requested cells (see /debug/hot for
+// the full per-node view).
 type StatsResponse struct {
 	Cluster stash.NodeStats    `json:"cluster"`
 	Metrics map[string]float64 `json:"metrics"`
+	HotKeys []HotKeyEntry      `json:"hotKeys,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, StatsResponse{
 		Cluster: s.sys.TotalStats(),
 		Metrics: obs.Default().FlatSnapshot(),
+		HotKeys: hotEntries(s.sys.HotKeys(10)),
 	})
+}
+
+// HealthResponse is the body of GET /healthz: readiness detail rather than a
+// bare 200, so orchestration and dashboards can see what this instance is
+// actually running.
+type HealthResponse struct {
+	Status         string `json:"status"`
+	Nodes          int    `json:"nodes"`
+	IngestVersion  int64  `json:"ingestVersion"`
+	FlightRecorder bool   `json:"flightRecorder"`
+	FlightRecCap   int    `json:"flightRecCap,omitempty"`
+	SlowLogMS      int64  `json:"slowLogMs,omitempty"`
+	Coalescer      bool   `json:"coalescer"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, HealthResponse{
+		Status:         "ok",
+		Nodes:          s.sys.Ring().Size(),
+		IngestVersion:  s.sys.IngestVersion(),
+		FlightRecorder: s.rec != nil,
+		FlightRecCap:   s.rec.Cap(),
+		SlowLogMS:      s.slow.Threshold().Milliseconds(),
+		Coalescer:      s.sys.CoalescerEnabled(),
+	})
+}
+
+// ProfilesResponse is the body of GET /debug/queries and GET /debug/slow:
+// retained query profiles, newest first.
+type ProfilesResponse struct {
+	Count    int               `json:"count"`
+	Profiles []obs.ProfileData `json:"profiles"`
+}
+
+// profileFilter parses the shared ?min_ms= / ?level= / ?n= query filters.
+func profileFilter(r *http.Request) (obs.ProfileFilter, error) {
+	var f obs.ProfileFilter
+	q := r.URL.Query()
+	if raw := q.Get("min_ms"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v < 0 {
+			return f, fmt.Errorf("bad min_ms %q", raw)
+		}
+		f.MinMS = v
+	}
+	if raw := q.Get("level"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			return f, fmt.Errorf("bad level %q", raw)
+		}
+		f.Level = v
+	}
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			return f, fmt.Errorf("bad n %q", raw)
+		}
+		f.N = v
+	}
+	return f, nil
+}
+
+func (s *server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		http.Error(w, "flight recorder disabled (start with -flightrec N)", http.StatusConflict)
+		return
+	}
+	f, err := profileFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ps := s.rec.Snapshot(f)
+	writeJSON(w, ProfilesResponse{Count: len(ps), Profiles: ps})
+}
+
+func (s *server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	if s.slow == nil {
+		http.Error(w, "slow-query log disabled (start with -slowms N)", http.StatusConflict)
+		return
+	}
+	f, err := profileFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ps := s.slow.Snapshot(f)
+	writeJSON(w, ProfilesResponse{Count: len(ps), Profiles: ps})
+}
+
+// HotKeyEntry is one ranked cell key in the hot-key telemetry. Count
+// overestimates the true request frequency by at most Err (space-saving
+// sketch guarantee).
+type HotKeyEntry struct {
+	Geohash string `json:"geohash"`
+	Time    string `json:"time"`
+	Count   uint64 `json:"count"`
+	Err     uint64 `json:"err,omitempty"`
+}
+
+// HotResponse is the body of GET /debug/hot: the most-requested cell keys
+// globally and per node, epoch-decayed so the ranking tracks the current
+// workload.
+type HotResponse struct {
+	Total  uint64                   `json:"total"`
+	Global []HotKeyEntry            `json:"global"`
+	Nodes  map[string][]HotKeyEntry `json:"nodes,omitempty"`
+}
+
+func (s *server) handleDebugHot(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n "+raw, http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	resp := HotResponse{Total: s.sys.HotKeyTotal(), Global: hotEntries(s.sys.HotKeys(n))}
+	for _, node := range s.sys.Nodes() {
+		if es := hotEntries(node.HotKeys(n)); len(es) > 0 {
+			if resp.Nodes == nil {
+				resp.Nodes = map[string][]HotKeyEntry{}
+			}
+			resp.Nodes[node.ID().String()] = es
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func hotEntries(entries []obs.TopEntry[cell.Key]) []HotKeyEntry {
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]HotKeyEntry, len(entries))
+	for i, e := range entries {
+		out[i] = HotKeyEntry{Geohash: e.Key.Geohash, Time: e.Key.Time.Text, Count: e.Count, Err: e.Err}
+	}
+	return out
 }
 
 // handleMetrics serves the Prometheus text exposition of the process-global

@@ -1,0 +1,361 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stash"
+	"stash/internal/obs"
+)
+
+// obsServer is testServer plus the introspection layer: a flight recorder, and
+// a slow-query log whose 1ns threshold catches every query so /debug/slow has
+// content to assert on. The log's sink is returned for line-format checks.
+func obsServer(t *testing.T) (*server, *bytes.Buffer) {
+	t.Helper()
+	srv := testServer(t)
+	var sink bytes.Buffer
+	srv.rec = obs.NewFlightRecorder(32)
+	srv.slow = obs.NewSlowLog(time.Nanosecond, 8, &sink)
+	return srv, &sink
+}
+
+func postQuery(t *testing.T, srv *server, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.handleQuery(rec, httptest.NewRequest(http.MethodPost, target, strings.NewReader(validBody())))
+	return rec
+}
+
+func TestHandleQueryExplain(t *testing.T) {
+	srv, _ := obsServer(t)
+	blocksBefore := obs.Default().Counter("stash_disk_blocks_read_total").Value()
+
+	rec := postQuery(t, srv, "/query?explain=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("explain response Cache-Control %q, want no-store", cc)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	p := resp.Profile
+	if p == nil {
+		t.Fatal("?explain=1 response carries no profile")
+	}
+	if p.Status != "ok" {
+		t.Errorf("profile status %q, want ok", p.Status)
+	}
+	if p.Query == "" || p.FootprintKeys <= 0 || p.Level <= 0 {
+		t.Errorf("footprint not populated: query=%q keys=%d level=%d", p.Query, p.FootprintKeys, p.Level)
+	}
+	if p.TotalMS <= 0 {
+		t.Errorf("total %v, want > 0", p.TotalMS)
+	}
+	stages := map[string]float64{}
+	for _, s := range p.Stages {
+		stages[s.Stage] = s.MS
+	}
+	for _, want := range []string{"footprint", "fanout", "merge", "graph.get"} {
+		if _, ok := stages[want]; !ok {
+			t.Errorf("stages %v missing %q", stages, want)
+		}
+	}
+	if len(p.Tiers) == 0 || p.Tiers[0].Hits+p.Tiers[0].Misses == 0 {
+		t.Errorf("no tier probe outcomes: %+v", p.Tiers)
+	}
+	if len(p.Nodes) == 0 {
+		t.Error("no nodes contacted in profile")
+	}
+	var nodeKeys int64
+	for _, n := range p.Nodes {
+		nodeKeys += n.Keys
+	}
+	if nodeKeys < int64(p.FootprintKeys) {
+		t.Errorf("nodes carry %d keys, footprint is %d", nodeKeys, p.FootprintKeys)
+	}
+	// A cold first query materializes from disk; its blocks must appear both
+	// in the profile and in the global metric the profile claims to explain.
+	if p.BlocksRead <= 0 {
+		t.Errorf("cold query profile shows %d blocks read, want > 0", p.BlocksRead)
+	}
+	delta := obs.Default().Counter("stash_disk_blocks_read_total").Value() - blocksBefore
+	if delta < p.BlocksRead {
+		t.Errorf("profile claims %d blocks read but the metric advanced by %d", p.BlocksRead, delta)
+	}
+
+	// A warm repeat of the same query is served from cache with no disk
+	// blocks. Cache population runs on background workers, so poll until it
+	// lands rather than asserting on the first repeat.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec = postQuery(t, srv, "/query?explain=1")
+		var warm QueryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &warm); err != nil {
+			t.Fatal(err)
+		}
+		if warm.Profile == nil {
+			t.Fatal("warm explain carries no profile")
+		}
+		if warm.Profile.BlocksRead == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("warm query still reads %d blocks after cache population", warm.Profile.BlocksRead)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHandleQueryExplainOff(t *testing.T) {
+	srv, _ := obsServer(t)
+	rec := postQuery(t, srv, "/query")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if strings.Contains(rec.Body.String(), `"profile"`) {
+		t.Error("unrequested response carries a profile field")
+	}
+	if rec := postQuery(t, srv, "/query?explain=verbose"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown explain mode: status %d, want 400", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := obsServer(t)
+	rec := httptest.NewRecorder()
+	srv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Nodes != 2 {
+		t.Errorf("health %+v, want status ok on 2 nodes", h)
+	}
+	if h.IngestVersion != 0 {
+		t.Errorf("ingest version %d on a fresh cluster, want 0", h.IngestVersion)
+	}
+	if !h.FlightRecorder || h.FlightRecCap != 32 {
+		t.Errorf("recorder flags %+v, want enabled at cap 32", h)
+	}
+	if h.SlowLogMS != 0 {
+		t.Errorf("slowLogMs %d for a 1ns threshold, want 0 (rounds down)", h.SlowLogMS)
+	}
+
+	// An ingest update bumps the reported dataset version.
+	label, err := stash.ParseTimeLabel("2015-02-02", stash.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.sys.UpdateBlock("9v6", label)
+	rec = httptest.NewRecorder()
+	srv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var bumped HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &bumped); err != nil {
+		t.Fatal(err)
+	}
+	if bumped.IngestVersion != 1 {
+		t.Errorf("ingest version %d after one UpdateBlock, want 1", bumped.IngestVersion)
+	}
+
+	// The introspection-disabled shape reports its flags off.
+	bare := testServer(t)
+	rec = httptest.NewRecorder()
+	bare.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var h2 HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h2); err != nil {
+		t.Fatal(err)
+	}
+	if h2.FlightRecorder || h2.FlightRecCap != 0 || h2.SlowLogMS != 0 {
+		t.Errorf("bare server health claims introspection on: %+v", h2)
+	}
+}
+
+func TestDebugQueriesEndpoint(t *testing.T) {
+	srv, _ := obsServer(t)
+	for i := 0; i < 3; i++ {
+		if rec := postQuery(t, srv, "/query"); rec.Code != http.StatusOK {
+			t.Fatalf("warm-up query %d: status %d", i, rec.Code)
+		}
+	}
+
+	get := func(target string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		srv.handleDebugQueries(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		return rec
+	}
+
+	rec := get("/debug/queries")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var pr ProfilesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Count != 3 || len(pr.Profiles) != 3 {
+		t.Fatalf("recorder holds %d profiles, want 3", pr.Count)
+	}
+	for i := 1; i < len(pr.Profiles); i++ {
+		if pr.Profiles[i].Start.After(pr.Profiles[i-1].Start) {
+			t.Errorf("profiles not newest-first at %d", i)
+		}
+	}
+
+	if rec := get("/debug/queries?n=1"); rec.Code != http.StatusOK {
+		t.Errorf("?n=1 status %d", rec.Code)
+	} else {
+		var one ProfilesResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+			t.Fatal(err)
+		}
+		if one.Count != 1 {
+			t.Errorf("?n=1 returned %d profiles", one.Count)
+		}
+	}
+	// The test queries are level-4 footprints; filtering on another level
+	// returns nothing, on the right level everything.
+	if rec := get("/debug/queries?level=9"); !strings.Contains(rec.Body.String(), `"count":0`) {
+		t.Errorf("?level=9 matched something: %s", rec.Body.String())
+	}
+	if rec := get("/debug/queries?min_ms=1000000"); !strings.Contains(rec.Body.String(), `"count":0`) {
+		t.Errorf("huge ?min_ms matched something: %s", rec.Body.String())
+	}
+	for _, bad := range []string{"?min_ms=fast", "?min_ms=-1", "?level=x", "?n=-2"} {
+		if rec := get("/debug/queries" + bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+func TestDebugSlowEndpoint(t *testing.T) {
+	srv, sink := obsServer(t)
+	if rec := postQuery(t, srv, "/query"); rec.Code != http.StatusOK {
+		t.Fatalf("warm-up query: status %d", rec.Code)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.handleDebugSlow(rec, httptest.NewRequest(http.MethodGet, "/debug/slow", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var pr ProfilesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Count != 1 {
+		t.Fatalf("slow ring holds %d profiles, want 1 (1ns threshold)", pr.Count)
+	}
+	if pr.Profiles[0].TotalMS <= 0 {
+		t.Errorf("slow profile has no latency: %+v", pr.Profiles[0])
+	}
+
+	// The sink got the same profile as one JSON line.
+	line := bytes.TrimSpace(sink.Bytes())
+	if len(line) == 0 || bytes.ContainsRune(line, '\n') {
+		t.Fatalf("slow log wrote %q, want exactly one line", sink.String())
+	}
+	var logged obs.ProfileData
+	if err := json.Unmarshal(line, &logged); err != nil {
+		t.Fatalf("slow-log line is not JSON: %v", err)
+	}
+	if logged.Query != pr.Profiles[0].Query {
+		t.Errorf("logged query %q != retained %q", logged.Query, pr.Profiles[0].Query)
+	}
+}
+
+func TestDebugHotEndpoint(t *testing.T) {
+	srv, _ := obsServer(t)
+	if rec := postQuery(t, srv, "/query"); rec.Code != http.StatusOK {
+		t.Fatalf("warm-up query: status %d", rec.Code)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.handleDebugHot(rec, httptest.NewRequest(http.MethodGet, "/debug/hot", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var hot HotResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hot); err != nil {
+		t.Fatal(err)
+	}
+	if hot.Total == 0 || len(hot.Global) == 0 {
+		t.Fatalf("hot-key telemetry empty after a query: %+v", hot)
+	}
+	for _, e := range hot.Global {
+		if e.Geohash == "" || e.Time == "" || e.Count == 0 {
+			t.Errorf("malformed hot entry %+v", e)
+		}
+	}
+	if len(hot.Nodes) == 0 {
+		t.Error("no per-node hot keys")
+	}
+
+	rec = httptest.NewRecorder()
+	srv.handleDebugHot(rec, httptest.NewRequest(http.MethodGet, "/debug/hot?n=1", nil))
+	var one HotResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Global) != 1 {
+		t.Errorf("?n=1 returned %d global entries", len(one.Global))
+	}
+	rec = httptest.NewRecorder()
+	srv.handleDebugHot(rec, httptest.NewRequest(http.MethodGet, "/debug/hot?n=lots", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", rec.Code)
+	}
+
+	// The globally hottest keys also fold into /stats.
+	rec = httptest.NewRecorder()
+	srv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.HotKeys) == 0 {
+		t.Error("/stats carries no hotKeys block")
+	}
+}
+
+// TestDebugIntrospectionGating: the endpoints exist only behind -debug, and
+// answer 409 when their backing feature is disabled.
+func TestDebugIntrospectionGating(t *testing.T) {
+	srv := testServer(t) // rec and slow nil
+
+	plain := newMux(srv, false)
+	for _, path := range []string{"/debug/queries", "/debug/slow", "/debug/hot"} {
+		rec := httptest.NewRecorder()
+		plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("GET %s without -debug: status %d, want 404", path, rec.Code)
+		}
+	}
+
+	dbg := newMux(srv, true)
+	for _, path := range []string{"/debug/queries", "/debug/slow"} {
+		rec := httptest.NewRecorder()
+		dbg.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusConflict {
+			t.Errorf("GET %s with feature disabled: status %d, want 409", path, rec.Code)
+		}
+	}
+	// Hot-key telemetry is cluster-level and on by default, so it serves even
+	// on a server without a recorder.
+	rec := httptest.NewRecorder()
+	dbg.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hot", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("GET /debug/hot: status %d, want 200", rec.Code)
+	}
+}

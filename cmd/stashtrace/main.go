@@ -11,6 +11,7 @@
 //	stashtrace -replay session.jsonl -paced            # honor think-time
 //	stashtrace -replay session.jsonl -metrics metrics.prom
 //	stashtrace -replay session.jsonl -chrometrace replay.json  # Perfetto
+//	stashtrace -replay session.jsonl -explain                  # slowest-query profiles
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"sort"
+	"sync"
 	"time"
 
 	"stash/internal/cluster"
@@ -43,6 +46,7 @@ func main() {
 		paced   = flag.Bool("paced", false, "honor recorded think-time during replay (capped at 2s)")
 		metrics = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file when done (\"-\" for stdout)")
 		chrome  = flag.String("chrometrace", "", "replay only: write the session's spans as Chrome trace-event JSON (Perfetto-loadable)")
+		explain = flag.Bool("explain", false, "replay only: profile every query and print the slowest EXPLAIN summaries")
 	)
 	flag.Parse()
 
@@ -54,7 +58,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *replay != "":
-		if err := doReplay(*replay, *nodes, *seed, *points, *paced, *chrome); err != nil {
+		if err := doReplay(*replay, *nodes, *seed, *points, *paced, *chrome, *explain); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -164,7 +168,49 @@ func (r ctxRunner) Query(q query.Query) (query.Result, error) {
 	return r.cl.QueryContext(r.ctx, q)
 }
 
-func doReplay(path string, nodes int, seed int64, points int, paced bool, chromePath string) error {
+// explainRunner profiles every replayed query, retaining the snapshots so the
+// replay can report its slowest offenders. base is the session context — the
+// trace context when -chrometrace is also set, so a profiled replay still
+// yields a complete span forest.
+type explainRunner struct {
+	base context.Context
+	cl   *cluster.Client
+
+	mu       sync.Mutex
+	profiles []obs.ProfileData
+}
+
+func (r *explainRunner) Query(q query.Query) (query.Result, error) {
+	ctx, p := obs.WithProfile(r.base)
+	res, err := r.cl.QueryContext(ctx, q)
+	switch {
+	case err != nil:
+		p.Finish("error")
+	case !res.Coverage.Complete():
+		p.Finish("partial")
+	default:
+		p.Finish("ok")
+	}
+	r.mu.Lock()
+	r.profiles = append(r.profiles, p.Data())
+	r.mu.Unlock()
+	return res, err
+}
+
+// slowest returns the n highest-latency profiles, descending.
+func (r *explainRunner) slowest(n int) []obs.ProfileData {
+	r.mu.Lock()
+	out := make([]obs.ProfileData, len(r.profiles))
+	copy(out, r.profiles)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalMS > out[j].TotalMS })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func doReplay(path string, nodes int, seed int64, points int, paced bool, chromePath string, explain bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -183,10 +229,17 @@ func doReplay(path string, nodes int, seed int64, points int, paced bool, chrome
 
 	var run trace.Runner = c.Client()
 	var tr *obs.Trace
+	sessionCtx := context.Background()
 	if chromePath != "" {
-		ctx, t := obs.NewTrace(context.Background())
+		ctx, t := obs.NewTrace(sessionCtx)
 		tr = t
+		sessionCtx = ctx
 		run = ctxRunner{ctx: ctx, cl: c.Client()}
+	}
+	var er *explainRunner
+	if explain {
+		er = &explainRunner{base: sessionCtx, cl: c.Client()}
+		run = er
 	}
 
 	stats, err := trace.Replay(events, run, paced, 2*time.Second)
@@ -200,6 +253,16 @@ func doReplay(path string, nodes int, seed int64, points int, paced bool, chrome
 		stats.Percentile(95).Round(time.Microsecond),
 		stats.Percentile(99).Round(time.Microsecond),
 		stats.Max.Round(time.Microsecond))
+
+	if er != nil {
+		slow := er.slowest(5)
+		if len(slow) > 0 {
+			fmt.Printf("slowest %d queries:\n", len(slow))
+			for _, d := range slow {
+				fmt.Printf("  %s\n", d.String())
+			}
+		}
+	}
 
 	if chromePath != "" {
 		cf, err := os.Create(chromePath)

@@ -64,9 +64,18 @@ func (cl *Client) QueryContext(ctx context.Context, q query.Query) (query.Result
 	keys, err := q.Footprint()
 	fps.SetAttr("keys", fmt.Sprint(len(keys)))
 	fps.End()
-	mStageFootprint.ObserveDuration(time.Since(fpStart))
+	fpDur := time.Since(fpStart)
+	mStageFootprint.ObserveDuration(fpDur)
 	if err != nil {
 		return query.Result{}, err
+	}
+	if p := obs.ProfileFromContext(ctx); p != nil { // guarded: String() allocates
+		p.SetQuery(q.String())
+		p.AddStage("footprint", fpDur)
+		if len(keys) > 0 {
+			k := keys[0]
+			p.SetFootprint(len(keys), k.SpatialRes(), k.TemporalRes().String(), k.Level())
+		}
 	}
 	return cl.FetchContext(ctx, keys)
 }
@@ -175,7 +184,9 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 	}
 	wg.Wait()
 	fanSpan.End()
-	mStageFanout.ObserveDuration(time.Since(fanStart))
+	fanDur := time.Since(fanStart)
+	mStageFanout.ObserveDuration(fanDur)
+	obs.ProfileFromContext(ctx).AddStage("fanout", fanDur)
 
 	if firstErr != nil {
 		return query.Result{}, firstErr
@@ -187,7 +198,9 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 		merged.Merge(p.res)
 	}
 	mergeSpan.End()
-	mStageMerge.ObserveDuration(time.Since(mergeStart))
+	mergeDur := time.Since(mergeStart)
+	mStageMerge.ObserveDuration(mergeDur)
+	obs.ProfileFromContext(ctx).AddStage("merge", mergeDur)
 	return merged, nil
 }
 
@@ -232,13 +245,17 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 	}
 	wg.Wait()
 	fanSpan.End()
-	mStageFanout.ObserveDuration(time.Since(fanStart))
+	fanDur := time.Since(fanStart)
+	mStageFanout.ObserveDuration(fanDur)
+	obs.ProfileFromContext(ctx).AddStage("fanout", fanDur)
 
 	mergeStart := time.Now()
 	_, mergeSpan := obs.StartSpan(ctx, "merge")
 	defer func() {
 		mergeSpan.End()
-		mStageMerge.ObserveDuration(time.Since(mergeStart))
+		mergeDur := time.Since(mergeStart)
+		mStageMerge.ObserveDuration(mergeDur)
+		obs.ProfileFromContext(ctx).AddStage("merge", mergeDur)
 	}()
 
 	// Deterministic assembly: sort shares by node id so merged-float order,
@@ -324,6 +341,7 @@ func (cl *Client) fetchShare(ctx context.Context, o *shareOutcome, rc Resilience
 	for attempt := 0; attempt <= rc.Retries; attempt++ {
 		if attempt > 0 {
 			mRetries.Inc()
+			obs.ProfileFromContext(ctx).AddRetry()
 			if backoff > 0 {
 				if err := sleepCtx(ctx, backoff); err != nil {
 					o.err = lastErr
@@ -350,6 +368,7 @@ func (cl *Client) fetchShare(ctx context.Context, o *shareOutcome, rc Resilience
 	if rc.HelperReroute {
 		if res, ok := cl.fetchFromHelpers(ctx, node, o.keys, rc); ok {
 			mHelperRerouteHit.Inc()
+			obs.ProfileFromContext(ctx).AddReroute()
 			mRecoveredShares.Add(int64(len(o.keys)))
 			o.res = res
 			for _, k := range o.keys {
@@ -456,6 +475,7 @@ func (cl *Client) fetchGuestOnce(ctx context.Context, n *Node, keys []cell.Key, 
 // couple of deadlines, not one per key.
 func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc ResilienceConfig) (query.Result, []cell.Key) {
 	mScatterFallbacks.Inc()
+	prof := obs.ProfileFromContext(ctx)
 	res := query.NewResult()
 	var served []cell.Key
 	fails := 0
@@ -474,6 +494,7 @@ func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc
 		}
 		if len(k.Geohash) >= plen {
 			mScatterRequests.Inc()
+			prof.AddScatter(1)
 			r, err := cl.submitOnce(ctx, n, []cell.Key{k}, rc)
 			if err != nil {
 				fails++
@@ -505,6 +526,7 @@ func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc
 			}
 			pk := cell.Key{Geohash: p, Time: k.Time}
 			mScatterRequests.Inc()
+			prof.AddScatter(1)
 			r, err := cl.submitOnce(ctx, n, []cell.Key{pk}, rc)
 			if err != nil {
 				fails++

@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"stash/internal/cell"
 	"stash/internal/dht"
 	"stash/internal/namgen"
 	"stash/internal/obs"
@@ -93,7 +95,25 @@ type Config struct {
 	// (groupcache-style) instead of issuing duplicate scans. Off by default;
 	// result semantics are identical either way.
 	ServeSingleflight bool
+	// HotKeyCapacity sizes the per-node hot-key top-K sketches tracking the
+	// most-requested cell keys (the global view is merged from them on
+	// demand). Zero selects DefaultHotKeyCapacity; negative disables hot-key
+	// telemetry.
+	HotKeyCapacity int
+	// HotKeyDecay is the epoch length after which sketch counts are halved so
+	// the hot set tracks the current workload rather than all history. Zero
+	// selects DefaultHotKeyDecay; negative disables decay.
+	HotKeyDecay time.Duration
 }
+
+// DefaultHotKeyCapacity is the per-sketch counter budget for hot-key
+// telemetry: enough to rank the hot districts of a few concurrent pan
+// sessions, small enough that the heap stays cache-resident.
+const DefaultHotKeyCapacity = 128
+
+// DefaultHotKeyDecay is the hot-key epoch length: counts halve every minute
+// so /debug/hot reflects "hot right now", not "hot since boot".
+const DefaultHotKeyDecay = time.Minute
 
 // DefaultCoalesceWindow is the admission window production deployments use
 // when coalescing is on: long enough for the concurrent shares of a
@@ -211,6 +231,16 @@ type Cluster struct {
 	// coalescer batches concurrent same-owner fetches inside the admission
 	// window; nil when CoalesceWindow is zero (coalescing disabled).
 	coalescer *coalescer
+	// hotEnabled records whether hot-key telemetry is on. The sketches
+	// themselves live per node — no shared global sketch, so the serve paths
+	// of different nodes never contend on one mutex; the cluster-wide view
+	// is merged from the node sketches on demand (cell keys are
+	// owner-partitioned, so the merge is near-exact).
+	hotEnabled bool
+
+	// ingestVersion counts UpdateBlock calls — a monotonically increasing
+	// dataset version for readiness reporting.
+	ingestVersion atomic.Int64
 
 	mu      sync.Mutex
 	started bool
@@ -247,8 +277,19 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	gen := &namgen.Generator{Seed: cfg.Seed, PointsPerBlock: cfg.PointsPerBlock}
 	c := &Cluster{cfg: cfg, ring: ring, gen: gen, nodes: make(map[dht.NodeID]*Node, cfg.Nodes)}
+	hotCap, hotDecay := cfg.HotKeyCapacity, cfg.HotKeyDecay
+	if hotCap == 0 {
+		hotCap = DefaultHotKeyCapacity
+	}
+	if hotDecay == 0 {
+		hotDecay = DefaultHotKeyDecay
+	}
+	c.hotEnabled = hotCap > 0
 	for _, id := range ring.Nodes() {
 		c.nodes[id] = newNode(id, c, gen)
+		if c.hotEnabled {
+			c.nodes[id].hot = obs.NewTopK[cell.Key](hotCap, hotDecay)
+		}
 	}
 	if cfg.CoalesceWindow > 0 {
 		c.coalescer = newCoalescer(cfg.CoalesceWindow)
@@ -345,8 +386,46 @@ func (c *Cluster) isStopped() bool {
 // deterministically) and every cached summary drawing on it is invalidated,
 // so the next access recomputes from the new data.
 func (c *Cluster) UpdateBlock(prefix string, day temporal.Label) {
+	c.ingestVersion.Add(1)
 	c.gen.Bump(prefix, day)
 	c.InvalidateBlock(prefix, day)
+}
+
+// IngestVersion returns the number of ingest updates (UpdateBlock calls)
+// applied since the cluster was assembled — the dataset version /healthz
+// reports.
+func (c *Cluster) IngestVersion() int64 { return c.ingestVersion.Load() }
+
+// CoalescerEnabled reports whether the client-side request coalescer is
+// active.
+func (c *Cluster) CoalescerEnabled() bool { return c.coalescer != nil }
+
+// HotKeys returns the cluster-wide top-n most-requested cell keys (nil when
+// hot-key telemetry is disabled). The global view is merged on demand from
+// the per-node sketches rather than maintained as a shared sketch, so the
+// serve path never contends on a cluster-wide lock; because the DHT
+// owner-partitions keys across nodes, the merge is near-exact.
+func (c *Cluster) HotKeys(n int) []obs.TopEntry[cell.Key] {
+	if !c.hotEnabled || n <= 0 {
+		return nil
+	}
+	groups := make([][]obs.TopEntry[cell.Key], 0, len(c.nodes))
+	for _, node := range c.nodes {
+		if top := node.hot.Top(n); len(top) > 0 {
+			groups = append(groups, top)
+		}
+	}
+	return obs.MergeTop(groups, n)
+}
+
+// HotKeyTotal returns the (decay-scaled) number of key requests observed
+// across all per-node sketches.
+func (c *Cluster) HotKeyTotal() uint64 {
+	var total uint64
+	for _, node := range c.nodes {
+		total += node.hot.Total()
+	}
+	return total
 }
 
 // InvalidateBlock broadcasts a storage-update invalidation: every node's

@@ -23,6 +23,7 @@ import (
 
 	"stash/internal/cell"
 	"stash/internal/dht"
+	"stash/internal/obs"
 	"stash/internal/query"
 	"stash/internal/temporal"
 	"stash/internal/wire"
@@ -80,6 +81,13 @@ type coalesceBatch struct {
 	done   chan struct{}      // closed when res/err are final
 	res    query.Result
 	err    error
+
+	// prof accumulates the batch's node-side work when at least one joining
+	// waiter is profiled (the batch ctx is detached, so the waiters' profiles
+	// cannot ride along directly). After done closes, each profiled waiter
+	// merges it — shared work is attributed to every query that rode the
+	// batch, mirroring how each would have paid for it alone.
+	prof *obs.QueryProfile
 }
 
 func newCoalescer(window time.Duration) *coalescer {
@@ -116,11 +124,21 @@ func (co *coalescer) fetch(ctx context.Context, n *Node, keys []cell.Key) (query
 	b.active++
 	b.rawKeys += len(keys)
 	b.rawBytes += wire.KeysSize(keys)
+	callerProf := obs.ProfileFromContext(ctx)
+	if callerProf != nil && b.prof == nil {
+		b.prof = obs.NewProfile()
+	}
 	co.mu.Unlock()
 
 	select {
 	case <-b.done:
 		co.release(b)
+		if callerProf != nil && b.err == nil {
+			// b's fields are final once done closes (the close is the
+			// happens-before edge).
+			callerProf.AddCoalesce(len(b.keys), b.rawKeys-len(b.keys))
+			callerProf.Merge(b.prof)
+		}
 		if b.err != nil {
 			return query.Result{}, b.err
 		}
@@ -166,6 +184,7 @@ func (co *coalescer) flush(bk batchKey, b *coalesceBatch) {
 	abandoned := b.active == 0
 	joined, rawKeys, rawBytes := b.joined, b.rawKeys, b.rawBytes
 	keys := b.keys
+	prof := b.prof
 	co.mu.Unlock()
 
 	if abandoned {
@@ -199,6 +218,10 @@ func (co *coalescer) flush(bk batchKey, b *coalesceBatch) {
 	}
 	wire.PutBuf(buf)
 
-	b.res, b.err = b.node.Submit(b.ctx, keys)
+	sctx := b.ctx
+	if prof != nil {
+		sctx = obs.ContextWithProfile(sctx, prof)
+	}
+	b.res, b.err = b.node.Submit(sctx, keys)
 	close(b.done)
 }

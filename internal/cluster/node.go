@@ -119,6 +119,11 @@ type Node struct {
 	guestMu      sync.Mutex
 	guestCliques map[cell.Key]*guestEntry
 
+	// hot ranks this node's most-requested cell keys (nil disables); the
+	// serve path offers each task's key batch under one sketch-lock
+	// acquisition.
+	hot *obs.TopK[cell.Key]
+
 	// sfInflight is the serve-side singleflight table (groupcache-style):
 	// one entry per cell key currently being derived or fetched from disk,
 	// so concurrent identical misses attach as waiters instead of issuing
@@ -191,6 +196,10 @@ func (n *Node) Routing() *replication.Table { return n.routing }
 
 // QueueLen returns the number of pending requests.
 func (n *Node) QueueLen() int { return len(n.requests) }
+
+// HotKeys returns this node's top-n most-requested cell keys (nil when
+// hot-key telemetry is disabled).
+func (n *Node) HotKeys(num int) []obs.TopEntry[cell.Key] { return n.hot.Top(num) }
 
 // Stats snapshots the node's counters.
 func (n *Node) Stats() NodeStats {
@@ -293,6 +302,7 @@ func (n *Node) Submit(ctx context.Context, keys []cell.Key) (query.Result, error
 		if helper, ok := n.routing.Lookup(keys); ok && n.flip(cfg.RerouteProbability) {
 			n.rerouted.Add(1)
 			mNodeRedirects.Inc()
+			obs.ProfileFromContext(ctx).AddReroute()
 			rep, err := n.cluster.nodes[helper].enqueue(ctx, keys, true)
 			switch {
 			case err != nil:
@@ -339,6 +349,11 @@ func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchR
 		sp.SetAttr("guest", "true")
 	}
 	defer sp.End()
+	prof := obs.ProfileFromContext(ctx)
+	if prof != nil { // guarded: id.String() allocates
+		prof.AddNode(n.id.String(), len(keys))
+		prof.AddWireBytes(len(keys) * approxKeyBytes)
+	}
 	if fp := c.cfg.Faults; fp != nil {
 		id := int(n.id)
 		if fp.Rejecting(id) {
@@ -406,6 +421,7 @@ func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchR
 		}
 		if rep.err == nil {
 			c.cfg.Sleeper.Apply(c.cfg.Model.NetCost(rep.result.Len() * approxCellBytes))
+			prof.AddWireBytes(rep.result.Len() * approxCellBytes)
 			// The reply transfer itself can outlive the caller's deadline:
 			// an oversized payload on a slow link is a timeout to the
 			// caller even though the node answered. (No-op without a
@@ -462,6 +478,7 @@ func (n *Node) flip(p float64) bool {
 // caller's context so the node-side work records into the caller's trace.
 func (n *Node) handle(t fetchTask) {
 	n.processed.Add(1)
+	n.hot.OfferBatch(t.keys)
 	ctx := t.ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -488,7 +505,11 @@ func (n *Node) handleGuest(ctx context.Context, keys []cell.Key) fetchReply {
 	found, missing := n.guest.Get(keys)
 	gs.SetAttr("hits", fmt.Sprint(found.Len()))
 	gs.End()
-	mStageGraphGet.ObserveDuration(time.Since(start))
+	getDur := time.Since(start)
+	mStageGraphGet.ObserveDuration(getDur)
+	prof := obs.ProfileFromContext(ctx)
+	prof.AddTier("guest", found.Len(), len(missing))
+	prof.AddStage("graph.get", getDur)
 	n.guestServed.Add(int64(found.Len()))
 	mGuestServed.Add(int64(found.Len()))
 	n.touchGuestCliques(keys)
@@ -505,10 +526,12 @@ func (n *Node) handleGuest(ctx context.Context, keys []cell.Key) fetchReply {
 // population pool (the paper's separate population thread, §VIII-C2) so the
 // response returns without waiting for cache maintenance.
 func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
+	prof := obs.ProfileFromContext(ctx)
 	if n.graph == nil {
 		res, err := n.diskScan(ctx, keys)
 		if err == nil {
 			n.diskCells.Add(int64(len(keys)))
+			prof.AddDiskCells(len(keys))
 		}
 		return fetchReply{result: res, err: err}
 	}
@@ -519,7 +542,10 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 	found, missing := n.graph.GetBatch(keys)
 	gs.SetAttr("hits", fmt.Sprint(len(keys)-len(missing)))
 	gs.End()
-	mStageGraphGet.ObserveDuration(time.Since(getStart))
+	getDur := time.Since(getStart)
+	mStageGraphGet.ObserveDuration(getDur)
+	prof.AddTier("local", len(keys)-len(missing), len(missing))
+	prof.AddStage("graph.get", getDur)
 	if len(missing) == 0 {
 		return fetchReply{result: found}
 	}
@@ -531,6 +557,7 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 			return fetchReply{result: found, err: err}
 		}
 		n.diskCells.Add(int64(len(keys)))
+		prof.AddDiskCells(len(keys))
 		n.populate(res, keys)
 		return fetchReply{result: res}
 	}
@@ -546,6 +573,7 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 	// what makes cross-request claim cycles (A owns k1 and waits on k2 while
 	// B owns k2 and waits on k1) deadlock-free.
 	owned, ownedEntries, waits := n.sfClaim(missing)
+	prof.AddSingleflight(len(owned), len(waits))
 	if len(owned) > 0 {
 		mSFLeader.Add(int64(len(owned)))
 		err := n.resolveMisses(ctx, owned, &found)
@@ -587,10 +615,14 @@ func (n *Node) resolveMisses(ctx context.Context, missing []cell.Key, dst *query
 	derived, unfetched := n.graph.DeriveBatch(missing)
 	drs.SetAttr("derived", fmt.Sprint(derived.Len()))
 	drs.End()
-	mStageDerive.ObserveDuration(time.Since(deriveStart))
+	deriveDur := time.Since(deriveStart)
+	mStageDerive.ObserveDuration(deriveDur)
+	prof := obs.ProfileFromContext(ctx)
+	prof.AddStage("graph.derive", deriveDur)
 	if derived.Len() > 0 {
 		n.derived.Add(int64(derived.Len()))
 		mDerived.Add(int64(derived.Len()))
+		prof.AddDerived(derived.Len())
 		dst.Merge(derived)
 	}
 	if len(unfetched) == 0 {
@@ -603,6 +635,7 @@ func (n *Node) resolveMisses(ctx context.Context, missing []cell.Key, dst *query
 		return err
 	}
 	n.diskCells.Add(int64(len(unfetched)))
+	prof.AddDiskCells(len(unfetched))
 	dst.Merge(diskRes)
 
 	// Bounded background population.
@@ -700,11 +733,13 @@ func (n *Node) sfWait(ctx context.Context, waits map[cell.Key]*sfEntry, dst *que
 // the disk-stage latency histogram.
 func (n *Node) diskScan(ctx context.Context, keys []cell.Key) (query.Result, error) {
 	start := time.Now()
-	_, ds := obs.StartSpan(ctx, "disk.scan")
+	ctx, ds := obs.StartSpan(ctx, "disk.scan")
 	ds.SetAttr("cells", fmt.Sprint(len(keys)))
-	res, err := n.store.FetchCells(keys)
+	res, err := n.store.FetchCellsCtx(ctx, keys)
 	ds.End()
-	mStageDiskScan.ObserveDuration(time.Since(start))
+	scanDur := time.Since(start)
+	mStageDiskScan.ObserveDuration(scanDur)
+	obs.ProfileFromContext(ctx).AddStage("disk.scan", scanDur)
 	if err == nil {
 		mDiskCellFetches.Add(int64(len(keys)))
 	}

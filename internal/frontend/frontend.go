@@ -159,6 +159,13 @@ func (c *Client) QueryContext(ctx context.Context, q query.Query) (query.Result,
 	if err != nil {
 		return query.Result{}, err
 	}
+	if p := obs.ProfileFromContext(ctx); p != nil { // guarded: String() allocates
+		p.SetQuery(q.String())
+		if len(keys) > 0 {
+			k := keys[0]
+			p.SetFootprint(len(keys), k.SpatialRes(), k.TemporalRes().String(), k.Level())
+		}
+	}
 	res, err := c.fetchShared(ctx, q.String(), keys)
 	if err != nil {
 		return query.Result{}, err
@@ -228,6 +235,7 @@ func (c *Client) fetchShared(ctx context.Context, qkey string, keys []cell.Key) 
 		c.stats.Deduped++
 		c.mu.Unlock()
 		mDeduped.Inc()
+		obs.ProfileFromContext(ctx).AddSingleflight(0, 1)
 		out := query.NewResultCap(len(f.res.Cells))
 		for k, s := range f.res.Cells {
 			out.Add(k, s)
@@ -255,7 +263,11 @@ func (c *Client) fetch(ctx context.Context, keys []cell.Key) (query.Result, erro
 	found, missing := c.cache.Get(keys)
 	ps.SetAttr("hits", fmt.Sprint(len(keys)-len(missing)))
 	ps.End()
-	mStageCacheProbe.ObserveDuration(time.Since(probeStart))
+	probeDur := time.Since(probeStart)
+	mStageCacheProbe.ObserveDuration(probeDur)
+	prof := obs.ProfileFromContext(ctx)
+	prof.AddTier("frontend", len(keys)-len(missing), len(missing))
+	prof.AddStage("cache.probe", probeDur)
 
 	c.mu.Lock()
 	c.stats.CellsFromCache += int64(len(keys) - len(missing))

@@ -17,6 +17,7 @@
 package galileo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"stash/internal/dht"
 	"stash/internal/geohash"
 	"stash/internal/namgen"
+	"stash/internal/obs"
 	"stash/internal/query"
 	"stash/internal/simnet"
 	"stash/internal/temporal"
@@ -202,22 +204,41 @@ func dayLabels(l temporal.Label) ([]temporal.Label, error) {
 // The returned result contains an entry for every requested key whose bounds
 // hold at least one observation in this shard's partitions.
 func (s *Store) FetchCells(keys []cell.Key) (query.Result, error) {
+	res, _, err := s.fetchCells(keys)
+	return res, err
+}
+
+// FetchCellsCtx is FetchCells with per-query attribution: when ctx carries a
+// query profile (obs.ProfileFromContext), the blocks this fetch scanned on
+// this shard are recorded against it. The unprofiled path is identical to
+// FetchCells.
+func (s *Store) FetchCellsCtx(ctx context.Context, keys []cell.Key) (query.Result, error) {
+	res, blocks, err := s.fetchCells(keys)
+	if p := obs.ProfileFromContext(ctx); p != nil && blocks > 0 {
+		p.AddNodeBlocks(s.node.String(), blocks)
+	}
+	return res, err
+}
+
+// fetchCells implements FetchCells and additionally reports the number of
+// blocks scanned, for per-query attribution.
+func (s *Store) fetchCells(keys []cell.Key) (query.Result, int, error) {
 	res := query.NewResult()
 	if len(keys) == 0 {
-		return res, nil
+		return res, 0, nil
 	}
 	defer func(start time.Time) { mScanDur.ObserveDuration(time.Since(start)) }(time.Now())
 	sres, tres := keys[0].SpatialRes(), keys[0].TemporalRes()
 	want := make(map[cell.Key]bool, len(keys))
 	for _, k := range keys {
 		if k.SpatialRes() != sres || k.TemporalRes() != tres {
-			return res, fmt.Errorf("%w: %v vs (%d,%v)", ErrMixedResolution, k, sres, tres)
+			return res, 0, fmt.Errorf("%w: %v vs (%d,%v)", ErrMixedResolution, k, sres, tres)
 		}
 		want[k] = true
 	}
 	blocks, err := s.BlocksForKeys(keys)
 	if err != nil {
-		return res, err
+		return res, 0, err
 	}
 
 	var acc map[cell.Key]cell.Summary
@@ -227,12 +248,12 @@ func (s *Store) FetchCells(keys []cell.Key) (query.Result, error) {
 		acc, err = s.scanBlocks(blocks, want, sres, tres)
 	}
 	if err != nil {
-		return res, err
+		return res, 0, err
 	}
 	for k, sum := range acc {
 		res.Add(k, sum)
 	}
-	return res, nil
+	return res, len(blocks), nil
 }
 
 // scanBlocks reads each block once, serially, accumulating matching

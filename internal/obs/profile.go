@@ -1,0 +1,555 @@
+package obs
+
+// Per-query introspection: an EXPLAIN ANALYZE for STASH. A QueryProfile is
+// installed in a context at the top of the serve path (stashd's handler, a
+// bench harness, a test) and accumulated by every layer underneath —
+// frontend cache probe, coordinator footprint/fanout/merge, per-node graph
+// probes, derivations, disk scans — so one finished profile answers "why was
+// this query slow" without attaching a debugger.
+//
+// The disabled path is free: when no profile is installed,
+// ProfileFromContext returns nil (one context-value lookup, no allocation)
+// and every method on the nil receiver is a no-op. Instrumentation sites
+// whose *arguments* would allocate (String() conversions, snapshots) must
+// guard with `if p != nil`; plain integer/const-string record calls may be
+// made unconditionally.
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+const profileCtxKey ctxKey = 100 // distinct from trace/span keys
+
+// QueryProfile accumulates the provenance of one query. It is safe for
+// concurrent use: the coordinator fans sub-requests out across goroutines
+// and each records into the same profile. All methods are no-ops on a nil
+// receiver.
+type QueryProfile struct {
+	start time.Time
+
+	mu          sync.Mutex
+	query       string
+	footprint   int
+	spatialRes  int
+	temporalRes string
+	level       int
+	status      string
+	total       time.Duration
+
+	stages map[string]time.Duration
+	tiers  map[string]*tierProbe
+	nodes  map[string]*nodeVisit
+
+	derived     int64
+	diskCells   int64
+	blocksRead  int64
+	retries     int64
+	reroutes    int64
+	scatterReqs int64
+
+	coalesceBatches int64
+	coalesceKeys    int64 // keys carried by joined batches
+	coalesceDeduped int64
+
+	sfLeader int64
+	sfWaiter int64
+
+	wireBytes int64
+}
+
+type tierProbe struct {
+	hits, misses int64
+}
+
+type nodeVisit struct {
+	keys       int64
+	blocksRead int64
+}
+
+// NewProfile returns an empty profile clocked from now. Use
+// ContextWithProfile to install it; most callers want WithProfile, which
+// does both.
+func NewProfile() *QueryProfile {
+	return &QueryProfile{start: time.Now()}
+}
+
+// ContextWithProfile installs p in the context so every layer underneath
+// records into it.
+func ContextWithProfile(ctx context.Context, p *QueryProfile) context.Context {
+	return context.WithValue(ctx, profileCtxKey, p)
+}
+
+// WithProfile installs a fresh profile in the context and returns both.
+func WithProfile(ctx context.Context) (context.Context, *QueryProfile) {
+	p := NewProfile()
+	return ContextWithProfile(ctx, p), p
+}
+
+// ProfileFromContext returns the context's profile, or nil when the query is
+// unprofiled. The nil path is the production default and costs one context
+// lookup — no allocation, no lock.
+func ProfileFromContext(ctx context.Context) *QueryProfile {
+	p, _ := ctx.Value(profileCtxKey).(*QueryProfile)
+	return p
+}
+
+// SetQuery records the query's canonical string.
+func (p *QueryProfile) SetQuery(q string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.query = q
+	p.mu.Unlock()
+}
+
+// SetFootprint records the planned footprint: key count, spatial resolution
+// (geohash precision), temporal resolution name, and hierarchy level.
+func (p *QueryProfile) SetFootprint(keys, spatialRes int, temporalRes string, level int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.footprint = keys
+	p.spatialRes = spatialRes
+	p.temporalRes = temporalRes
+	p.level = level
+	p.mu.Unlock()
+}
+
+// AddStage accumulates wall time into a named stage. Stages repeated across
+// fan-out shares (graph.get on several nodes) sum.
+func (p *QueryProfile) AddStage(stage string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.stages == nil {
+		p.stages = map[string]time.Duration{}
+	}
+	p.stages[stage] += d
+	p.mu.Unlock()
+}
+
+// AddTier accumulates a cache-tier probe outcome (tier = "frontend",
+// "local", "guest").
+func (p *QueryProfile) AddTier(tier string, hits, misses int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.tiers == nil {
+		p.tiers = map[string]*tierProbe{}
+	}
+	t := p.tiers[tier]
+	if t == nil {
+		t = &tierProbe{}
+		p.tiers[tier] = t
+	}
+	t.hits += int64(hits)
+	t.misses += int64(misses)
+	p.mu.Unlock()
+}
+
+// AddNode records a sub-request contacting a node with the given key count.
+func (p *QueryProfile) AddNode(node string, keys int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.nodeLocked(node).keys += int64(keys)
+	p.mu.Unlock()
+}
+
+// AddNodeBlocks attributes backing-store blocks read on a node to this query.
+func (p *QueryProfile) AddNodeBlocks(node string, blocks int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.nodeLocked(node).blocksRead += int64(blocks)
+	p.blocksRead += int64(blocks)
+	p.mu.Unlock()
+}
+
+func (p *QueryProfile) nodeLocked(node string) *nodeVisit {
+	if p.nodes == nil {
+		p.nodes = map[string]*nodeVisit{}
+	}
+	v := p.nodes[node]
+	if v == nil {
+		v = &nodeVisit{}
+		p.nodes[node] = v
+	}
+	return v
+}
+
+// The counter wrappers each guard nil themselves: the field address they pass
+// to add must not be computed off a nil receiver.
+
+// AddDerived counts cells computed from cached children instead of disk.
+func (p *QueryProfile) AddDerived(n int) {
+	if p == nil {
+		return
+	}
+	p.add(&p.derived, n)
+}
+
+// AddDiskCells counts cells materialized from the backing store.
+func (p *QueryProfile) AddDiskCells(n int) {
+	if p == nil {
+		return
+	}
+	p.add(&p.diskCells, n)
+}
+
+// AddRetry counts one coordinator retry attempt.
+func (p *QueryProfile) AddRetry() {
+	if p == nil {
+		return
+	}
+	p.add(&p.retries, 1)
+}
+
+// AddReroute counts one redirect to a replication helper (owner-side flip or
+// coordinator failover).
+func (p *QueryProfile) AddReroute() {
+	if p == nil {
+		return
+	}
+	p.add(&p.reroutes, 1)
+}
+
+// AddScatter counts mini-requests issued by the scatter fallback.
+func (p *QueryProfile) AddScatter(n int) {
+	if p == nil {
+		return
+	}
+	p.add(&p.scatterReqs, n)
+}
+
+// AddCoalesce records this query's shares joining a coalesced batch: the
+// batch's deduplicated key count and how many duplicate keys the batch
+// elided across all its waiters.
+func (p *QueryProfile) AddCoalesce(batchKeys, dedupedKeys int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.coalesceBatches++
+	p.coalesceKeys += int64(batchKeys)
+	p.coalesceDeduped += int64(dedupedKeys)
+	p.mu.Unlock()
+}
+
+// AddSingleflight records serve-side singleflight participation: keys this
+// request resolved as leader and keys it waited on another request for.
+func (p *QueryProfile) AddSingleflight(leader, waiter int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.sfLeader += int64(leader)
+	p.sfWaiter += int64(waiter)
+	p.mu.Unlock()
+}
+
+// AddWireBytes accumulates modeled wire payload bytes moved for this query.
+func (p *QueryProfile) AddWireBytes(n int) {
+	if p == nil {
+		return
+	}
+	p.add(&p.wireBytes, n)
+}
+
+func (p *QueryProfile) add(field *int64, n int) {
+	if n == 0 {
+		return
+	}
+	p.mu.Lock()
+	*field += int64(n)
+	p.mu.Unlock()
+}
+
+// Finish stamps the profile's outcome ("ok", "partial", "error") and total
+// latency. Idempotent on total: the first call wins.
+func (p *QueryProfile) Finish(status string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.status = status
+	if p.total == 0 {
+		p.total = time.Since(p.start)
+	}
+	p.mu.Unlock()
+}
+
+// Merge folds another profile's accumulated work into p — the coalescer uses
+// it to attribute a shared batch's node-side work to every waiter that rode
+// along. Query identity, footprint, status, and total are NOT merged; only
+// the work counters, stages, tiers, and node visits are. Merge directions
+// must not form a cycle (our callers only ever merge a settled batch profile
+// into waiter profiles).
+func (p *QueryProfile) Merge(other *QueryProfile) {
+	if p == nil || other == nil || p == other {
+		return
+	}
+	// Copy the source under its own lock, then apply under ours: never hold
+	// both locks at once.
+	other.mu.Lock()
+	stages := make(map[string]time.Duration, len(other.stages))
+	for s, d := range other.stages {
+		stages[s] = d
+	}
+	tiers := make(map[string]tierProbe, len(other.tiers))
+	for t, tp := range other.tiers {
+		tiers[t] = *tp
+	}
+	nodes := make(map[string]nodeVisit, len(other.nodes))
+	for n, v := range other.nodes {
+		nodes[n] = *v
+	}
+	derived, diskCells, blocksRead := other.derived, other.diskCells, other.blocksRead
+	retries, reroutes, scatterReqs := other.retries, other.reroutes, other.scatterReqs
+	sfLeader, sfWaiter, wireBytes := other.sfLeader, other.sfWaiter, other.wireBytes
+	other.mu.Unlock()
+
+	p.mu.Lock()
+	for s, d := range stages {
+		if p.stages == nil {
+			p.stages = map[string]time.Duration{}
+		}
+		p.stages[s] += d
+	}
+	for t, tp := range tiers {
+		if p.tiers == nil {
+			p.tiers = map[string]*tierProbe{}
+		}
+		dst := p.tiers[t]
+		if dst == nil {
+			dst = &tierProbe{}
+			p.tiers[t] = dst
+		}
+		dst.hits += tp.hits
+		dst.misses += tp.misses
+	}
+	for n, v := range nodes {
+		dst := p.nodeLocked(n)
+		dst.keys += v.keys
+		dst.blocksRead += v.blocksRead
+	}
+	p.derived += derived
+	p.diskCells += diskCells
+	p.blocksRead += blocksRead
+	p.retries += retries
+	p.reroutes += reroutes
+	p.scatterReqs += scatterReqs
+	p.sfLeader += sfLeader
+	p.sfWaiter += sfWaiter
+	p.wireBytes += wireBytes
+	p.mu.Unlock()
+}
+
+// --- exported snapshot shape (the ?explain=1 JSON) ---
+
+// StageMS is one stage's accumulated latency in the profile snapshot.
+type StageMS struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
+}
+
+// TierOutcome is one cache tier's probe outcome in the profile snapshot.
+type TierOutcome struct {
+	Tier   string `json:"tier"`
+	Hits   int64  `json:"hits"`
+	Misses int64  `json:"misses"`
+}
+
+// NodeContact is one contacted node in the profile snapshot.
+type NodeContact struct {
+	Node       string `json:"node"`
+	Keys       int64  `json:"keys"`
+	BlocksRead int64  `json:"blocksRead"`
+}
+
+// ProfileData is the immutable snapshot of a finished QueryProfile — the
+// JSON returned inline by ?explain=1 and the record stored in the flight
+// recorder and slow-query log. Field order is the wire order (golden-file
+// pinned); slices are sorted so repeated snapshots are byte-identical.
+type ProfileData struct {
+	Query              string        `json:"query,omitempty"`
+	Start              time.Time     `json:"start"`
+	TotalMS            float64       `json:"totalMs"`
+	Status             string        `json:"status,omitempty"`
+	FootprintKeys      int           `json:"footprintKeys"`
+	SpatialRes         int           `json:"spatialRes,omitempty"`
+	TemporalRes        string        `json:"temporalRes,omitempty"`
+	Level              int           `json:"level,omitempty"`
+	Stages             []StageMS     `json:"stages,omitempty"`
+	Tiers              []TierOutcome `json:"tiers,omitempty"`
+	Nodes              []NodeContact `json:"nodes,omitempty"`
+	Derived            int64         `json:"derived,omitempty"`
+	DiskCells          int64         `json:"diskCells,omitempty"`
+	BlocksRead         int64         `json:"blocksRead,omitempty"`
+	Retries            int64         `json:"retries,omitempty"`
+	Reroutes           int64         `json:"reroutes,omitempty"`
+	ScatterRequests    int64         `json:"scatterRequests,omitempty"`
+	CoalesceBatches    int64         `json:"coalesceBatches,omitempty"`
+	CoalesceBatchKeys  int64         `json:"coalesceBatchKeys,omitempty"`
+	CoalesceDedupKeys  int64         `json:"coalesceDedupKeys,omitempty"`
+	SingleflightLeader int64         `json:"singleflightLeader,omitempty"`
+	SingleflightWaiter int64         `json:"singleflightWaiter,omitempty"`
+	WireBytes          int64         `json:"wireBytes,omitempty"`
+}
+
+// Data snapshots the profile. Safe to call concurrently with accumulation;
+// for a settled view call it after Finish.
+func (p *QueryProfile) Data() ProfileData {
+	if p == nil {
+		return ProfileData{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapshotLocked()
+}
+
+func (p *QueryProfile) snapshotLocked() ProfileData {
+	d := ProfileData{
+		Query:              p.query,
+		Start:              p.start,
+		TotalMS:            float64(p.total.Microseconds()) / 1000,
+		Status:             p.status,
+		FootprintKeys:      p.footprint,
+		SpatialRes:         p.spatialRes,
+		TemporalRes:        p.temporalRes,
+		Level:              p.level,
+		Derived:            p.derived,
+		DiskCells:          p.diskCells,
+		BlocksRead:         p.blocksRead,
+		Retries:            p.retries,
+		Reroutes:           p.reroutes,
+		ScatterRequests:    p.scatterReqs,
+		CoalesceBatches:    p.coalesceBatches,
+		CoalesceBatchKeys:  p.coalesceKeys,
+		CoalesceDedupKeys:  p.coalesceDeduped,
+		SingleflightLeader: p.sfLeader,
+		SingleflightWaiter: p.sfWaiter,
+		WireBytes:          p.wireBytes,
+	}
+	for s, dur := range p.stages {
+		d.Stages = append(d.Stages, StageMS{Stage: s, MS: float64(dur.Microseconds()) / 1000})
+	}
+	sort.Slice(d.Stages, func(i, j int) bool { return d.Stages[i].Stage < d.Stages[j].Stage })
+	for t, tp := range p.tiers {
+		d.Tiers = append(d.Tiers, TierOutcome{Tier: t, Hits: tp.hits, Misses: tp.misses})
+	}
+	sort.Slice(d.Tiers, func(i, j int) bool { return tierRank(d.Tiers[i].Tier) < tierRank(d.Tiers[j].Tier) })
+	for n, v := range p.nodes {
+		d.Nodes = append(d.Nodes, NodeContact{Node: n, Keys: v.keys, BlocksRead: v.blocksRead})
+	}
+	sort.Slice(d.Nodes, func(i, j int) bool { return d.Nodes[i].Node < d.Nodes[j].Node })
+	return d
+}
+
+// tierRank orders tiers outermost-first, the order a request actually probes
+// them; unknown tiers sort after the known ones, alphabetically via name.
+func tierRank(tier string) string {
+	switch tier {
+	case "frontend":
+		return "0"
+	case "local":
+		return "1"
+	case "guest":
+		return "2"
+	}
+	return "9" + tier
+}
+
+// JSON renders the snapshot as compact one-line JSON (the slow-log line
+// format).
+func (d ProfileData) JSON() []byte {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
+}
+
+// String renders a one-line human-readable summary for CLI output.
+func (d ProfileData) String() string {
+	var b []byte
+	b = append(b, "query "...)
+	if d.Query != "" {
+		b = append(b, d.Query...)
+	} else {
+		b = append(b, '?')
+	}
+	b = appendKV(b, " total=", d.TotalMS, "ms")
+	b = append(b, " keys="...)
+	b = appendInt(b, int64(d.FootprintKeys))
+	for _, t := range d.Tiers {
+		b = append(b, ' ')
+		b = append(b, t.Tier...)
+		b = append(b, '=')
+		b = appendInt(b, t.Hits)
+		b = append(b, '/')
+		b = appendInt(b, t.Hits+t.Misses)
+	}
+	b = append(b, " nodes="...)
+	b = appendInt(b, int64(len(d.Nodes)))
+	b = append(b, " derived="...)
+	b = appendInt(b, d.Derived)
+	b = append(b, " disk="...)
+	b = appendInt(b, d.DiskCells)
+	b = append(b, " blocks="...)
+	b = appendInt(b, d.BlocksRead)
+	for _, s := range d.Stages {
+		b = append(b, ' ')
+		b = append(b, s.Stage...)
+		b = appendKV(b, "=", s.MS, "ms")
+	}
+	if d.Status != "" {
+		b = append(b, " status="...)
+		b = append(b, d.Status...)
+	}
+	return string(b)
+}
+
+func appendKV(b []byte, k string, v float64, unit string) []byte {
+	b = append(b, k...)
+	// two decimal places, no fmt dependency on the hot path (String is not
+	// hot, but keeping the package allocation-disciplined is cheap here)
+	i := int64(v * 100)
+	b = appendInt(b, i/100)
+	b = append(b, '.')
+	frac := i % 100
+	if frac < 0 {
+		frac = -frac
+	}
+	b = append(b, byte('0'+frac/10), byte('0'+frac%10))
+	b = append(b, unit...)
+	return b
+}
+
+func appendInt(b []byte, n int64) []byte {
+	if n < 0 {
+		b = append(b, '-')
+		n = -n
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenProfile builds a profile through the public mutators — the same calls
+// the serve path makes — then pins the non-deterministic fields (start time,
+// measured total) so the snapshot is byte-stable.
+func goldenProfile() ProfileData {
+	p := NewProfile()
+	p.SetQuery("box[35.00,-98.00 35.60,-96.80] 2015-02-02/2015-02-03 s4/Day")
+	p.SetFootprint(24, 4, "Day", 3)
+	p.AddStage("footprint", 150*time.Microsecond)
+	p.AddStage("fanout", 2100*time.Microsecond)
+	p.AddStage("graph.get", 400*time.Microsecond)
+	p.AddStage("disk.scan", 1800*time.Microsecond)
+	p.AddStage("merge", 90*time.Microsecond)
+	// Tiers offered out of probe order: the snapshot must sort
+	// frontend -> local -> guest regardless of arrival.
+	p.AddTier("guest", 2, 1)
+	p.AddTier("local", 15, 9)
+	p.AddTier("frontend", 0, 24)
+	p.AddNode("node-3", 10)
+	p.AddNode("node-1", 14)
+	p.AddNodeBlocks("node-1", 6)
+	p.AddDerived(5)
+	p.AddDiskCells(9)
+	p.AddRetry()
+	p.AddReroute()
+	p.AddScatter(2)
+	p.AddCoalesce(18, 4)
+	p.AddSingleflight(12, 3)
+	p.AddWireBytes(4096)
+	p.Finish("partial")
+
+	d := p.Data()
+	d.Start = time.Date(2015, 2, 2, 12, 0, 0, 0, time.UTC)
+	d.TotalMS = 4.54
+	return d
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n(if the change is intentional, re-run with -update)",
+			name, got, want)
+	}
+}
+
+// TestProfileJSONGolden pins the exact ?explain=1 wire shape — field names,
+// order, omitempty behavior, slice sorting — against a checked-in golden
+// file, so profile-format drift is a conscious, reviewed change.
+func TestProfileJSONGolden(t *testing.T) {
+	got := append(goldenProfile().JSON(), '\n')
+	checkGolden(t, "golden.profile.json", got)
+}
+
+// TestProfileStringGolden pins the one-line human summary the CLI tools print.
+func TestProfileStringGolden(t *testing.T) {
+	got := []byte(goldenProfile().String() + "\n")
+	checkGolden(t, "golden.profile.txt", got)
+}
+
+// TestProfileDeterministic guards the property the golden files rely on:
+// repeated snapshots of the same profile are byte-identical (the maps inside
+// QueryProfile must not leak iteration order).
+func TestProfileDeterministic(t *testing.T) {
+	a, b := goldenProfile(), goldenProfile()
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Error("profile JSON not deterministic across identical builds")
+	}
+}
+
+// TestProfileNilSafe drives every mutator and accessor through a nil receiver
+// — the production disabled path — and through a context with no profile.
+func TestProfileNilSafe(t *testing.T) {
+	var p *QueryProfile
+	p.SetQuery("q")
+	p.SetFootprint(1, 2, "Day", 3)
+	p.AddStage("s", time.Millisecond)
+	p.AddTier("local", 1, 2)
+	p.AddNode("n", 1)
+	p.AddNodeBlocks("n", 1)
+	p.AddDerived(1)
+	p.AddDiskCells(1)
+	p.AddRetry()
+	p.AddReroute()
+	p.AddScatter(1)
+	p.AddCoalesce(1, 1)
+	p.AddSingleflight(1, 1)
+	p.AddWireBytes(1)
+	p.Finish("ok")
+	p.Merge(NewProfile())
+	if d := p.Data(); d.FootprintKeys != 0 || d.Status != "" {
+		t.Errorf("nil profile snapshot not zero: %+v", d)
+	}
+	if got := ProfileFromContext(context.Background()); got != nil {
+		t.Errorf("ProfileFromContext on bare context = %v, want nil", got)
+	}
+}
+
+// TestProfileRoundTrip checks an installed profile is retrievable and that
+// accumulated values land in the snapshot.
+func TestProfileRoundTrip(t *testing.T) {
+	ctx, p := WithProfile(context.Background())
+	if got := ProfileFromContext(ctx); got != p {
+		t.Fatal("installed profile not returned from context")
+	}
+	p.AddTier("local", 7, 3)
+	p.AddNodeBlocks("node-0", 4)
+	p.Finish("ok")
+	d := p.Data()
+	if len(d.Tiers) != 1 || d.Tiers[0].Hits != 7 || d.Tiers[0].Misses != 3 {
+		t.Errorf("tier outcome %+v", d.Tiers)
+	}
+	if d.BlocksRead != 4 || len(d.Nodes) != 1 || d.Nodes[0].BlocksRead != 4 {
+		t.Errorf("blocks read: total %d nodes %+v", d.BlocksRead, d.Nodes)
+	}
+	if d.Status != "ok" || d.TotalMS < 0 {
+		t.Errorf("finish: status %q total %v", d.Status, d.TotalMS)
+	}
+}
+
+// TestProfileFinishFirstWins: retried Finish calls must not stretch the total.
+func TestProfileFinishFirstWins(t *testing.T) {
+	p := NewProfile()
+	p.Finish("ok")
+	first := p.Data().TotalMS
+	time.Sleep(2 * time.Millisecond)
+	p.Finish("error")
+	d := p.Data()
+	if d.TotalMS != first {
+		t.Errorf("second Finish changed total: %v -> %v", first, d.TotalMS)
+	}
+	if d.Status != "error" {
+		t.Errorf("status %q, want error (status does update)", d.Status)
+	}
+}
+
+// TestProfileMerge checks the coalescer's batch-attribution path: work
+// recorded into a detached batch profile folds into each waiter.
+func TestProfileMerge(t *testing.T) {
+	batch := NewProfile()
+	batch.AddStage("graph.get", time.Millisecond)
+	batch.AddTier("local", 5, 5)
+	batch.AddNodeBlocks("node-2", 3)
+	batch.AddDerived(2)
+
+	waiter := NewProfile()
+	waiter.AddStage("graph.get", time.Millisecond)
+	waiter.AddTier("local", 1, 0)
+	waiter.Merge(batch)
+	waiter.Merge(nil)    // no-op
+	waiter.Merge(waiter) // self-merge is a guarded no-op
+	d := waiter.Data()
+
+	if len(d.Stages) != 1 || d.Stages[0].MS != 2 {
+		t.Errorf("merged stages %+v, want graph.get at 2ms", d.Stages)
+	}
+	if len(d.Tiers) != 1 || d.Tiers[0].Hits != 6 || d.Tiers[0].Misses != 5 {
+		t.Errorf("merged tiers %+v", d.Tiers)
+	}
+	if d.BlocksRead != 3 || d.Derived != 2 {
+		t.Errorf("merged counters: blocks %d derived %d", d.BlocksRead, d.Derived)
+	}
+	// The source must be unchanged.
+	if bd := batch.Data(); bd.Derived != 2 || len(bd.Stages) != 1 {
+		t.Errorf("merge mutated the source: %+v", bd)
+	}
+}
+
+// TestDisabledPathZeroAlloc is the contract the whole serve path relies on:
+// with no profile installed, the lookup plus every record call allocates
+// nothing. BenchmarkQueryProfileOff asserts the same in allocs/op form for
+// the CI grep.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		p := ProfileFromContext(ctx)
+		p.AddStage("graph.get", time.Microsecond)
+		p.AddTier("local", 10, 2)
+		p.AddNode("node-1", 12)
+		p.AddNodeBlocks("node-1", 3)
+		p.AddDerived(3)
+		p.AddDiskCells(2)
+		p.AddWireBytes(128)
+		p.AddCoalesce(4, 1)
+		p.AddSingleflight(1, 0)
+		p.Finish("ok")
+	})
+	if allocs != 0 {
+		t.Errorf("disabled profile path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestProfileStringHasFields sanity-checks the human format beyond the golden
+// byte pin (so a deliberate golden refresh still can't drop whole fields).
+func TestProfileStringHasFields(t *testing.T) {
+	s := goldenProfile().String()
+	for _, want := range []string{
+		"total=4.54ms", "keys=24", "frontend=0/24", "local=15/24", "guest=2/3",
+		"nodes=2", "derived=5", "disk=9", "blocks=6", "status=partial",
+		"footprint=0.15ms", "disk.scan=1.80ms",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+// BenchmarkQueryProfileOff measures the production default: no profile in the
+// context. CI asserts this reports 0 allocs/op.
+func BenchmarkQueryProfileOff(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := ProfileFromContext(ctx)
+		p.AddStage("graph.get", time.Microsecond)
+		p.AddTier("local", 10, 2)
+		p.AddNode("node-1", 12)
+		p.AddNodeBlocks("node-1", 3)
+		p.AddDerived(3)
+		p.AddDiskCells(2)
+		p.AddWireBytes(128)
+		p.Finish("ok")
+	}
+}
+
+// BenchmarkQueryProfileOn prices the enabled path (explain / flight recorder
+// on): one profile allocation plus locked map updates per query.
+func BenchmarkQueryProfileOn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx, prof := WithProfile(context.Background())
+		p := ProfileFromContext(ctx)
+		p.AddStage("graph.get", time.Microsecond)
+		p.AddTier("local", 10, 2)
+		p.AddNode("node-1", 12)
+		p.AddNodeBlocks("node-1", 3)
+		p.AddDerived(3)
+		p.AddDiskCells(2)
+		p.AddWireBytes(128)
+		prof.Finish("ok")
+	}
+}

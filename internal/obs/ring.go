@@ -1,0 +1,217 @@
+package obs
+
+// The always-on flight recorder: a fixed-size, lock-striped ring buffer of
+// the last N completed query profiles, plus a slow-query log that keeps
+// profiles over a latency threshold in a smaller ring and emits them as
+// structured one-line JSON. Memory is bounded by construction — N
+// ProfileData slots, allocated once — and recording is one stripe-lock
+// acquisition plus a slot copy, off the query's critical path (the handler
+// records after the response is computed).
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder-layer metric handles (registered once; the recorder itself is the
+// instrument, so its own overhead/loss must be observable too).
+var (
+	mFlightRecDropped = recCounter("stash_flightrec_dropped_total",
+		"Completed query profiles evicted from the flight recorder ring by newer entries.")
+	mSlowLogTotal = recCounter("stash_slowlog_total",
+		"Query profiles that exceeded the slow-query threshold.")
+	mTopKEpochResets = recCounter("stash_topk_epoch_resets_total",
+		"Epoch decays applied to hot-key top-K sketches.")
+)
+
+func recCounter(name, help string) *Counter {
+	r := Default()
+	r.Help(name, help)
+	return r.Counter(name)
+}
+
+// flightStripes is the fixed stripe count of a FlightRecorder; recording
+// round-robins across stripes so concurrent recorders contend 1/8th as often
+// as a single-lock ring.
+const flightStripes = 8
+
+// FlightRecorder is a bounded ring of the most recent completed profiles.
+// A nil *FlightRecorder is a valid disabled recorder: Record and Snapshot
+// are no-ops.
+type FlightRecorder struct {
+	cursor  atomic.Uint64
+	stripes [flightStripes]flightStripe
+	cap     int
+}
+
+type flightStripe struct {
+	mu   sync.Mutex
+	buf  []ProfileData
+	next int
+	n    int // occupied slots
+}
+
+// NewFlightRecorder returns a recorder keeping the last n profiles
+// (rounded up to a multiple of the stripe count). n <= 0 returns nil — the
+// disabled recorder.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		return nil
+	}
+	per := (n + flightStripes - 1) / flightStripes
+	r := &FlightRecorder{cap: per * flightStripes}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]ProfileData, per)
+	}
+	return r
+}
+
+// Cap returns the recorder's slot capacity (0 when disabled).
+func (r *FlightRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}
+
+// Len returns the number of profiles currently held.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	total := 0
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		total += s.n
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Record stores one completed profile, evicting the stripe's oldest entry
+// when full (counted as a drop).
+func (r *FlightRecorder) Record(d ProfileData) {
+	if r == nil {
+		return
+	}
+	s := &r.stripes[r.cursor.Add(1)%flightStripes]
+	s.mu.Lock()
+	if s.n == len(s.buf) {
+		mFlightRecDropped.Inc()
+	} else {
+		s.n++
+	}
+	s.buf[s.next] = d
+	s.next = (s.next + 1) % len(s.buf)
+	s.mu.Unlock()
+}
+
+// ProfileFilter selects profiles out of a recorder snapshot. The zero value
+// matches everything.
+type ProfileFilter struct {
+	// MinMS keeps only profiles whose total latency is at least this many
+	// milliseconds.
+	MinMS float64
+	// Level keeps only profiles at this hierarchy level (0 = any).
+	Level int
+	// N truncates the result to the newest N profiles (0 = all).
+	N int
+}
+
+// Snapshot returns the retained profiles matching f, newest first.
+func (r *FlightRecorder) Snapshot(f ProfileFilter) []ProfileData {
+	if r == nil {
+		return nil
+	}
+	var out []ProfileData
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for j := 0; j < s.n; j++ {
+			// Walk backwards from the write cursor: newest first per stripe.
+			idx := (s.next - 1 - j + 2*len(s.buf)) % len(s.buf)
+			d := s.buf[idx]
+			if f.MinMS > 0 && d.TotalMS < f.MinMS {
+				continue
+			}
+			if f.Level != 0 && d.Level != f.Level {
+				continue
+			}
+			out = append(out, d)
+		}
+		s.mu.Unlock()
+	}
+	// Stripes interleave by arrival; order globally by start time, newest
+	// first (ties keep the per-stripe order, which is already newest-first).
+	sortProfilesNewestFirst(out)
+	if f.N > 0 && len(out) > f.N {
+		out = out[:f.N]
+	}
+	return out
+}
+
+func sortProfilesNewestFirst(ps []ProfileData) {
+	// Insertion sort: snapshots are small (bounded by the ring) and mostly
+	// ordered already.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Start.After(ps[j-1].Start); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// SlowLog keeps profiles whose total latency crossed a threshold: each one
+// is counted, written as a single JSON line to the sink (stderr in stashd),
+// and retained in its own smaller ring for GET /debug/slow.
+type SlowLog struct {
+	threshold time.Duration
+	ring      *FlightRecorder
+
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSlowLog returns a slow-query log keeping the last capacity offenders.
+// threshold <= 0 or capacity <= 0 returns nil — the disabled log (Observe is
+// a no-op on nil). w may be nil to retain without emitting.
+func NewSlowLog(threshold time.Duration, capacity int, w io.Writer) *SlowLog {
+	if threshold <= 0 || capacity <= 0 {
+		return nil
+	}
+	return &SlowLog{threshold: threshold, ring: NewFlightRecorder(capacity), w: w}
+}
+
+// Threshold returns the slow-query latency threshold (0 when disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Observe records d if it is slow enough; returns true when it was.
+func (l *SlowLog) Observe(d ProfileData) bool {
+	if l == nil || d.TotalMS < float64(l.threshold.Microseconds())/1000 {
+		return false
+	}
+	mSlowLogTotal.Inc()
+	l.ring.Record(d)
+	if l.w != nil {
+		line := append(d.JSON(), '\n')
+		l.mu.Lock()
+		_, _ = l.w.Write(line)
+		l.mu.Unlock()
+	}
+	return true
+}
+
+// Snapshot returns the retained slow profiles matching f, newest first.
+func (l *SlowLog) Snapshot(f ProfileFilter) []ProfileData {
+	if l == nil {
+		return nil
+	}
+	return l.ring.Snapshot(f)
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// prof builds a minimal distinguishable ProfileData; i orders Start so
+// newest-first assertions are deterministic.
+func prof(i int, totalMS float64, level int) ProfileData {
+	return ProfileData{
+		Query:   fmt.Sprintf("q%d", i),
+		Start:   time.Date(2015, 2, 2, 0, 0, 0, i, time.UTC),
+		TotalMS: totalMS,
+		Level:   level,
+	}
+}
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	if r := NewFlightRecorder(0); r != nil {
+		t.Fatal("capacity 0 should return the nil disabled recorder")
+	}
+	var r *FlightRecorder
+	r.Record(prof(1, 1, 1)) // must not panic
+	if r.Cap() != 0 || r.Len() != 0 || r.Snapshot(ProfileFilter{}) != nil {
+		t.Error("nil recorder is not inert")
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := NewFlightRecorder(16)
+	if r.Cap() != 16 {
+		t.Fatalf("cap %d, want 16", r.Cap())
+	}
+	dropped := mFlightRecDropped.Value()
+	for i := 0; i < 48; i++ {
+		r.Record(prof(i, float64(i), 1))
+	}
+	// Memory is bounded by construction: wrapping three times over never
+	// grows past capacity.
+	if r.Len() != 16 {
+		t.Fatalf("len %d after 48 records, want capacity 16", r.Len())
+	}
+	if got := mFlightRecDropped.Value() - dropped; got != 32 {
+		t.Errorf("dropped counter advanced by %d, want 32", got)
+	}
+	ps := r.Snapshot(ProfileFilter{})
+	if len(ps) != 16 {
+		t.Fatalf("snapshot %d profiles, want 16", len(ps))
+	}
+	// Only the newest 16 survive, and the snapshot is newest-first. Recording
+	// round-robins stripes in arrival order, so the retained set is exactly
+	// the last 16 arrivals.
+	for i, p := range ps {
+		if want := fmt.Sprintf("q%d", 47-i); p.Query != want {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, p.Query, want)
+		}
+	}
+}
+
+func TestFlightRecorderFilters(t *testing.T) {
+	r := NewFlightRecorder(32)
+	for i := 0; i < 20; i++ {
+		r.Record(prof(i, float64(i), 1+i%3))
+	}
+	if got := r.Snapshot(ProfileFilter{MinMS: 15}); len(got) != 5 {
+		t.Errorf("MinMS=15 matched %d, want 5 (totals 15..19)", len(got))
+	}
+	byLevel := r.Snapshot(ProfileFilter{Level: 2})
+	for _, p := range byLevel {
+		if p.Level != 2 {
+			t.Errorf("Level=2 filter returned level %d", p.Level)
+		}
+	}
+	if len(byLevel) != 7 {
+		t.Errorf("Level=2 matched %d, want 7", len(byLevel))
+	}
+	top := r.Snapshot(ProfileFilter{N: 3})
+	if len(top) != 3 || top[0].Query != "q19" || top[2].Query != "q17" {
+		t.Errorf("N=3 returned %+v, want q19,q18,q17", top)
+	}
+	if got := r.Snapshot(ProfileFilter{MinMS: 10, Level: 1, N: 2}); len(got) > 2 {
+		t.Errorf("combined filter returned %d, want <= 2", len(got))
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Record/Snapshot/Len from many
+// goroutines; run under -race this is the striping's correctness check, and
+// the Len bound is the memory guarantee under contention.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64)
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(prof(w*1000+i, float64(i%50), 1+i%4))
+				if i%100 == 0 {
+					_ = r.Snapshot(ProfileFilter{MinMS: 10, N: 8})
+					if n := r.Len(); n > r.Cap() {
+						t.Errorf("len %d exceeds cap %d mid-flight", n, r.Cap())
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != r.Cap() {
+		t.Errorf("len %d after %d records, want full cap %d", r.Len(), writers*500, r.Cap())
+	}
+	if got := r.Snapshot(ProfileFilter{}); len(got) != r.Cap() {
+		t.Errorf("snapshot %d, want %d", len(got), r.Cap())
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	if l := NewSlowLog(0, 8, nil); l != nil {
+		t.Error("zero threshold should disable the slow log")
+	}
+	if l := NewSlowLog(time.Millisecond, 0, nil); l != nil {
+		t.Error("zero capacity should disable the slow log")
+	}
+	var l *SlowLog
+	if l.Observe(prof(1, 100, 1)) {
+		t.Error("nil slow log observed a profile")
+	}
+	if l.Threshold() != 0 || l.Snapshot(ProfileFilter{}) != nil {
+		t.Error("nil slow log is not inert")
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(10*time.Millisecond, 8, &buf)
+	if l.Threshold() != 10*time.Millisecond {
+		t.Fatalf("threshold %v", l.Threshold())
+	}
+	total := mSlowLogTotal.Value()
+
+	if l.Observe(prof(1, 9.99, 1)) {
+		t.Error("profile under threshold logged as slow")
+	}
+	if !l.Observe(prof(2, 10, 1)) {
+		t.Error("profile at threshold not logged")
+	}
+	if !l.Observe(prof(3, 250, 2)) {
+		t.Error("profile over threshold not logged")
+	}
+	if got := mSlowLogTotal.Value() - total; got != 2 {
+		t.Errorf("slowlog counter advanced by %d, want 2", got)
+	}
+
+	ps := l.Snapshot(ProfileFilter{})
+	if len(ps) != 2 || ps[0].Query != "q3" || ps[1].Query != "q2" {
+		t.Fatalf("slow ring %+v, want q3,q2 newest first", ps)
+	}
+
+	// The sink receives one parseable JSON object per line, in order.
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("sink got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	for i, want := range []string{"q2", "q3"} {
+		var d ProfileData
+		if err := json.Unmarshal(lines[i], &d); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if d.Query != want {
+			t.Errorf("line %d query %s, want %s", i, d.Query, want)
+		}
+	}
+}
+
+// TestSlowLogNilWriter: retention works without a sink (the /debug/slow-only
+// configuration).
+func TestSlowLogNilWriter(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 4, nil)
+	if !l.Observe(prof(1, 5, 1)) {
+		t.Fatal("slow profile not observed")
+	}
+	if len(l.Snapshot(ProfileFilter{})) != 1 {
+		t.Error("slow profile not retained")
+	}
+}

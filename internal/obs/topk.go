@@ -1,0 +1,282 @@
+package obs
+
+// Hot-key telemetry: a space-saving top-K sketch (Metwally et al.'s
+// stream-summary, simplified) over requested cell keys, so operators can see
+// the hot districts that coalescing and replication decisions depend on.
+//
+// The sketch keeps at most `capacity` counters. An offered key that is
+// already tracked increments its counter; a new key arriving at a full
+// sketch replaces the current minimum, inheriting its count as the new
+// entry's error bound — the classic space-saving guarantee: any key whose
+// true frequency exceeds N/capacity is present, and count-err is a lower
+// bound on its true frequency.
+//
+// The sketch sits on the node serve path, so offers must be cheap under
+// saturation: entries live in a min-heap keyed by count with a position
+// index, making the min-replacement O(log capacity) instead of a linear
+// min scan.
+//
+// Hot sets drift as users pan: an epoch decay (halve every counter, drop
+// zeros) ages out yesterday's districts. Decay runs lazily from Offer when a
+// decay interval is configured, or explicitly via Decay for deterministic
+// tests.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TopK is a concurrent space-saving sketch over keys of any comparable type.
+// A nil *TopK is a valid disabled sketch: offers and snapshots are no-ops.
+type TopK[K comparable] struct {
+	mu       sync.Mutex
+	capacity int
+	heap     []tkEntry[K] // min-heap by count
+	idx      map[K]int    // key -> heap position
+	total    uint64       // offers observed this epoch
+
+	decayEvery time.Duration
+	lastDecay  time.Time
+}
+
+type tkEntry[K comparable] struct {
+	key   K
+	count uint64
+	err   uint64 // overestimation bound inherited at replacement
+}
+
+// TopEntry is one ranked key in a sketch snapshot. Count overestimates the
+// true frequency by at most Err.
+type TopEntry[K comparable] struct {
+	Key   K
+	Count uint64
+	Err   uint64
+}
+
+// NewTopK returns a sketch tracking up to capacity keys, decaying every
+// decayEvery (0 disables automatic decay; call Decay explicitly).
+// capacity <= 0 returns nil — the disabled sketch.
+func NewTopK[K comparable](capacity int, decayEvery time.Duration) *TopK[K] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &TopK[K]{
+		capacity:   capacity,
+		heap:       make([]tkEntry[K], 0, capacity),
+		idx:        make(map[K]int, capacity),
+		decayEvery: decayEvery,
+		lastDecay:  time.Now(),
+	}
+}
+
+// Offer records one occurrence of k.
+func (t *TopK[K]) Offer(k K) { t.OfferN(k, 1) }
+
+// OfferN records n occurrences of k.
+func (t *TopK[K]) OfferN(k K, n uint64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.offerLocked(k, n)
+	t.maybeDecayLocked()
+	t.mu.Unlock()
+}
+
+// OfferBatch records one occurrence of every key under a single lock
+// acquisition — the form the node serve path uses, so hot-path contention is
+// one lock op per request rather than per key.
+func (t *TopK[K]) OfferBatch(keys []K) {
+	if t == nil || len(keys) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, k := range keys {
+		t.offerLocked(k, 1)
+	}
+	t.maybeDecayLocked()
+	t.mu.Unlock()
+}
+
+func (t *TopK[K]) offerLocked(k K, n uint64) {
+	t.total += n
+	if pos, ok := t.idx[k]; ok {
+		t.heap[pos].count += n
+		t.siftDown(pos)
+		return
+	}
+	if len(t.heap) < t.capacity {
+		t.heap = append(t.heap, tkEntry[K]{key: k, count: n})
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	// Replace the minimum-count entry — the heap root — inheriting its count
+	// as the newcomer's error bound (space-saving).
+	min := t.heap[0]
+	delete(t.idx, min.key)
+	t.heap[0] = tkEntry[K]{key: k, count: min.count + n, err: min.count}
+	t.idx[k] = 0
+	t.siftDown(0)
+}
+
+// siftUp restores the heap invariant after an insert at pos, keeping idx in
+// step with every move.
+func (t *TopK[K]) siftUp(pos int) {
+	e := t.heap[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if t.heap[parent].count <= e.count {
+			break
+		}
+		t.heap[pos] = t.heap[parent]
+		t.idx[t.heap[pos].key] = pos
+		pos = parent
+	}
+	t.heap[pos] = e
+	t.idx[e.key] = pos
+}
+
+// siftDown restores the heap invariant after the entry at pos grew (or was
+// replaced), keeping idx in step with every move.
+func (t *TopK[K]) siftDown(pos int) {
+	e := t.heap[pos]
+	n := len(t.heap)
+	for {
+		child := 2*pos + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && t.heap[r].count < t.heap[child].count {
+			child = r
+		}
+		if t.heap[child].count >= e.count {
+			break
+		}
+		t.heap[pos] = t.heap[child]
+		t.idx[t.heap[pos].key] = pos
+		pos = child
+	}
+	t.heap[pos] = e
+	t.idx[e.key] = pos
+}
+
+func (t *TopK[K]) maybeDecayLocked() {
+	if t.decayEvery <= 0 {
+		return
+	}
+	if now := time.Now(); now.Sub(t.lastDecay) >= t.decayEvery {
+		t.lastDecay = now
+		t.decayLocked()
+	}
+}
+
+// Decay halves every counter (and error bound), dropping entries that reach
+// zero — one epoch of aging. Exposed for deterministic tests and for
+// operators forcing a reset.
+func (t *TopK[K]) Decay() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.decayLocked()
+	t.mu.Unlock()
+}
+
+func (t *TopK[K]) decayLocked() {
+	// Halving preserves relative order, so the array stays a valid heap;
+	// dropped zeros are compacted in one pass and the index rebuilt.
+	kept := t.heap[:0]
+	for _, e := range t.heap {
+		e.count /= 2
+		e.err /= 2
+		if e.count == 0 {
+			delete(t.idx, e.key)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.heap = kept
+	for i, e := range t.heap {
+		t.idx[e.key] = i
+	}
+	t.total /= 2
+	mTopKEpochResets.Inc()
+}
+
+// Total returns the (decay-scaled) number of offers observed.
+func (t *TopK[K]) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Len returns the number of tracked keys.
+func (t *TopK[K]) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.heap)
+}
+
+// Top returns the n highest-count entries, descending by count (ties by
+// ascending error bound, so the more certain entry ranks first).
+func (t *TopK[K]) Top(n int) []TopEntry[K] {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TopEntry[K], 0, len(t.heap))
+	for _, e := range t.heap {
+		out = append(out, TopEntry[K]{Key: e.key, Count: e.count, Err: e.err})
+	}
+	t.mu.Unlock()
+	sortTopEntries(out)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// MergeTop aggregates snapshots from several sketches — the per-node hot-key
+// sketches — into one global ranking. Counts and error bounds add per key;
+// when key spaces are (near-)partitioned across the sketches, as DHT-owned
+// cell keys are, the merge is (near-)exact.
+func MergeTop[K comparable](groups [][]TopEntry[K], n int) []TopEntry[K] {
+	if n <= 0 {
+		return nil
+	}
+	agg := map[K]TopEntry[K]{}
+	for _, g := range groups {
+		for _, e := range g {
+			a := agg[e.Key]
+			a.Key = e.Key
+			a.Count += e.Count
+			a.Err += e.Err
+			agg[e.Key] = a
+		}
+	}
+	out := make([]TopEntry[K], 0, len(agg))
+	for _, e := range agg {
+		out = append(out, e)
+	}
+	sortTopEntries(out)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func sortTopEntries[K comparable](out []TopEntry[K]) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Err < out[j].Err
+	})
+}

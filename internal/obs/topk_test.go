@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestTopKDisabled(t *testing.T) {
+	if s := NewTopK[string](0, 0); s != nil {
+		t.Fatal("capacity 0 should return the nil disabled sketch")
+	}
+	var s *TopK[string]
+	s.Offer("a")
+	s.OfferN("a", 5)
+	s.OfferBatch([]string{"a", "b"})
+	s.Decay()
+	if s.Total() != 0 || s.Len() != 0 || s.Top(5) != nil {
+		t.Error("nil sketch is not inert")
+	}
+}
+
+func TestTopKExactUnderCapacity(t *testing.T) {
+	s := NewTopK[string](8, 0)
+	s.OfferN("a", 5)
+	s.OfferN("b", 3)
+	s.Offer("c")
+	s.OfferBatch([]string{"a", "a", "b"})
+	if s.Total() != 12 {
+		t.Errorf("total %d, want 12", s.Total())
+	}
+	top := s.Top(10)
+	if len(top) != 3 {
+		t.Fatalf("tracked %d keys, want 3", len(top))
+	}
+	// Below capacity the sketch is an exact counter: zero error bounds.
+	want := []TopEntry[string]{{"a", 7, 0}, {"b", 4, 0}, {"c", 1, 0}}
+	for i, w := range want {
+		if top[i] != w {
+			t.Errorf("top[%d] = %+v, want %+v", i, top[i], w)
+		}
+	}
+	if got := s.Top(2); len(got) != 2 || got[0].Key != "a" || got[1].Key != "b" {
+		t.Errorf("Top(2) = %+v", got)
+	}
+}
+
+// TestTopKZipfRecovery feeds a seeded zipf stream through a sketch far
+// smaller than the key domain and checks the space-saving guarantees hold:
+// every true heavy hitter is tracked, and each tracked count brackets the
+// true frequency (true <= count <= true + err).
+func TestTopKZipfRecovery(t *testing.T) {
+	const (
+		capacity = 64
+		domain   = 10_000
+		samples  = 50_000
+	)
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.4, 1, domain-1)
+
+	s := NewTopK[uint64](capacity, 0)
+	truth := map[uint64]uint64{}
+	batch := make([]uint64, 0, 100)
+	for i := 0; i < samples; i++ {
+		k := zipf.Uint64()
+		truth[k]++
+		batch = append(batch, k)
+		if len(batch) == cap(batch) {
+			s.OfferBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	s.OfferBatch(batch)
+
+	if s.Total() != samples {
+		t.Fatalf("total %d, want %d", s.Total(), samples)
+	}
+	if s.Len() > capacity {
+		t.Fatalf("tracking %d keys, capacity %d", s.Len(), capacity)
+	}
+
+	tracked := map[uint64]TopEntry[uint64]{}
+	for _, e := range s.Top(capacity) {
+		tracked[e.Key] = e
+	}
+	// Guarantee 1: any key with true frequency above samples/capacity is
+	// present.
+	threshold := uint64(samples / capacity)
+	for k, n := range truth {
+		if n > threshold {
+			if _, ok := tracked[k]; !ok {
+				t.Errorf("heavy hitter %d (true count %d > %d) evicted", k, n, threshold)
+			}
+		}
+	}
+	// Guarantee 2: counts overestimate by at most the recorded error bound.
+	for k, e := range tracked {
+		n := truth[k]
+		if e.Count < n {
+			t.Errorf("key %d count %d underestimates true %d", k, e.Count, n)
+		}
+		if e.Count-e.Err > n {
+			t.Errorf("key %d count-err %d exceeds true %d (bound violated)", k, e.Count-e.Err, n)
+		}
+	}
+	// Sanity: the zipf head is recovered at the very top.
+	top := s.Top(3)
+	if top[0].Key != 0 {
+		t.Errorf("hottest key %d, want 0 (zipf head)", top[0].Key)
+	}
+}
+
+func TestTopKDecay(t *testing.T) {
+	s := NewTopK[string](8, 0)
+	s.OfferN("a", 9)
+	s.OfferN("b", 2)
+	s.Offer("c") // count 1: one decay zeroes and drops it
+	resets := mTopKEpochResets.Value()
+
+	s.Decay()
+	if got := mTopKEpochResets.Value() - resets; got != 1 {
+		t.Errorf("epoch reset counter advanced by %d, want 1", got)
+	}
+	if s.Total() != 6 {
+		t.Errorf("total %d after decay, want 6 (12/2)", s.Total())
+	}
+	top := s.Top(8)
+	if len(top) != 2 {
+		t.Fatalf("tracking %d keys after decay, want 2 (c dropped)", len(top))
+	}
+	if top[0] != (TopEntry[string]{"a", 4, 0}) || top[1] != (TopEntry[string]{"b", 1, 0}) {
+		t.Errorf("post-decay entries %+v, want a=4 b=1", top)
+	}
+
+	// Error bounds decay with their counts so the bracket stays honest.
+	full := NewTopK[int](2, 0)
+	full.OfferN(1, 8)
+	full.OfferN(2, 4)
+	full.Offer(3) // replaces the min (count 4): count 5, err 4
+	before := full.Top(2)
+	if before[1] != (TopEntry[int]{3, 5, 4}) {
+		t.Fatalf("replacement entry %+v, want {3 5 4}", before[1])
+	}
+	full.Decay()
+	after := full.Top(2)
+	if after[1] != (TopEntry[int]{3, 2, 2}) {
+		t.Errorf("decayed replacement %+v, want {3 2 2}", after[1])
+	}
+}
+
+func TestTopKReplacementInheritsMinCount(t *testing.T) {
+	s := NewTopK[string](2, 0)
+	s.OfferN("a", 10)
+	s.OfferN("b", 3)
+	s.Offer("new")
+	top := s.Top(2)
+	if top[0] != (TopEntry[string]{"a", 10, 0}) {
+		t.Errorf("survivor %+v, want a=10", top[0])
+	}
+	// "new" inherits the evicted minimum's count as its error bound.
+	if top[1] != (TopEntry[string]{"new", 4, 3}) {
+		t.Errorf("replacement %+v, want {new 4 3}", top[1])
+	}
+	if s.Len() != 2 {
+		t.Errorf("len %d, want capacity 2", s.Len())
+	}
+}
+
+// TestTopKConcurrent exercises the sketch from parallel offerers and readers;
+// under -race this is the locking's correctness check.
+func TestTopKConcurrent(t *testing.T) {
+	s := NewTopK[int](32, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([]int, 16)
+			for i := 0; i < 200; i++ {
+				for j := range keys {
+					keys[j] = (w + j) % 24
+				}
+				s.OfferBatch(keys)
+				if i%50 == 0 {
+					_ = s.Top(10)
+					_ = s.Total()
+				}
+				if i%97 == 0 {
+					s.Decay()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() > 32 {
+		t.Errorf("len %d exceeds capacity", s.Len())
+	}
+}
