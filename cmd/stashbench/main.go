@@ -8,12 +8,14 @@
 //	stashbench -exp fig6a,fig7c      # several
 //	stashbench -exp all              # everything
 //	stashbench -exp all -full        # paper-scale request counts (slow)
+//	stashbench -exp all -json BENCH.json  # machine-readable reports for trajectory tracking
 //	stashbench -exp diff             # differential oracle cross-check (exits 1 on divergence)
 //	stashbench -list                 # list experiment IDs
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -41,6 +43,7 @@ func main() {
 		coalesce = flag.Bool("coalesce", false, "enable request coalescing + serve-side singleflight on experiment clusters")
 		window   = flag.Duration("window", 0, "coalescer admission window (0 with -coalesce = cluster default)")
 		metrics  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after the experiments (\"-\" for stderr)")
+		jsonOut  = flag.String("json", "", "write the experiment reports as one machine-readable JSON document to this file (\"-\" for stdout)")
 		explain  = flag.Bool("explain", false, "profile a sample query (cold, then warm) on a default cluster and print its EXPLAIN summaries")
 	)
 	flag.Parse()
@@ -84,27 +87,78 @@ func main() {
 	}
 
 	start := time.Now()
-	failed := 0
+	doc := benchDocument{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Options: benchRunConfig{
+			Nodes: *nodes, Seed: *seed, PointsPerBlock: *points, Full: *full,
+		},
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		if id == "" {
 			continue
 		}
-		if _, err := bench.Run(id, opts); err != nil {
+		rep, err := bench.Run(id, opts)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "stashbench: %s: %v\n", id, err)
-			failed++
+			doc.Failed = append(doc.Failed, id)
+			continue
+		}
+		doc.Reports = append(doc.Reports, rep)
+	}
+	doc.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	if *jsonOut != "" {
+		if err := writeReportsJSON(*jsonOut, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "stashbench: json output: %v\n", err)
+			doc.Failed = append(doc.Failed, "-json")
 		}
 	}
-	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
 	if *metrics != "" {
 		if err := writeMetricsSnapshot(*metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "stashbench: metrics snapshot: %v\n", err)
-			failed++
+			doc.Failed = append(doc.Failed, "-metrics")
 		}
 	}
-	if failed > 0 {
+	if len(doc.Failed) > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchDocument is the `-json` output: one run's reports plus the knobs that
+// produced them, so BENCH_*.json files are comparable across PRs.
+type benchDocument struct {
+	Generated string         `json:"generated"`
+	Options   benchRunConfig `json:"options"`
+	Reports   []bench.Report `json:"reports"`
+	Failed    []string       `json:"failed,omitempty"`
+	ElapsedMS float64        `json:"elapsedMs"`
+}
+
+// benchRunConfig records the run's sizing knobs inside the JSON document.
+type benchRunConfig struct {
+	Nodes          int   `json:"nodes"`
+	Seed           int64 `json:"seed"`
+	PointsPerBlock int   `json:"pointsPerBlock"`
+	Full           bool  `json:"full"`
+}
+
+// writeReportsJSON serializes the run document ("-" routes to stdout).
+func writeReportsJSON(path string, doc benchDocument) error {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("reports written to %s\n", path)
+	return nil
 }
 
 // runExplain drives one state-level query against a default cluster twice —

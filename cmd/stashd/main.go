@@ -22,6 +22,14 @@
 //	POST /faults   inject or heal a node fault (requires -faults; see FaultRequest)
 //	GET  /faults   list currently faulted nodes
 //
+// Elastic membership (online scale-out/scale-in with warm cell handoff):
+//
+//	POST /admin/join       add a node; its partitions arrive warm via handoff
+//	POST /admin/leave      retire a node ({"node": N}); its cells are handed
+//	                       off to the surviving owners before it stops
+//	GET  /admin/rebalance  membership epoch, member list, and cumulative
+//	                       handoff counters
+//
 // With -debug the standard net/http/pprof profiles are additionally served
 // under /debug/pprof/, alongside the introspection endpoints:
 //
@@ -136,6 +144,9 @@ func newMux(srv *server, debug bool) *http.ServeMux {
 	mux.HandleFunc("POST /faults", srv.handleFaultsPost)
 	mux.HandleFunc("GET /faults", srv.handleFaultsGet)
 	mux.HandleFunc("GET /healthz", srv.handleHealthz)
+	mux.HandleFunc("POST /admin/join", srv.handleAdminJoin)
+	mux.HandleFunc("POST /admin/leave", srv.handleAdminLeave)
+	mux.HandleFunc("GET /admin/rebalance", srv.handleAdminRebalance)
 	if debug {
 		// The pprof handlers register themselves on DefaultServeMux at
 		// import; route them explicitly so they exist only behind -debug.
@@ -456,6 +467,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 type HealthResponse struct {
 	Status         string `json:"status"`
 	Nodes          int    `json:"nodes"`
+	Epoch          uint64 `json:"epoch"`
 	IngestVersion  int64  `json:"ingestVersion"`
 	FlightRecorder bool   `json:"flightRecorder"`
 	FlightRecCap   int    `json:"flightRecCap,omitempty"`
@@ -467,12 +479,66 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, HealthResponse{
 		Status:         "ok",
 		Nodes:          s.sys.Ring().Size(),
+		Epoch:          s.sys.Epoch(),
 		IngestVersion:  s.sys.IngestVersion(),
 		FlightRecorder: s.rec != nil,
 		FlightRecCap:   s.rec.Cap(),
 		SlowLogMS:      s.slow.Threshold().Milliseconds(),
 		Coalescer:      s.sys.CoalescerEnabled(),
 	})
+}
+
+// JoinResponse is the body of POST /admin/join: the id the new node was
+// assigned plus the post-handoff membership snapshot.
+type JoinResponse struct {
+	Node      string                `json:"node"`
+	Rebalance stash.RebalanceStatus `json:"rebalance"`
+}
+
+func (s *server) handleAdminJoin(w http.ResponseWriter, _ *http.Request) {
+	id, err := s.sys.Join()
+	if err != nil {
+		http.Error(w, "join: "+err.Error(), http.StatusConflict)
+		return
+	}
+	st := s.sys.RebalanceStatus()
+	log.Printf("stashd: node %v joined, epoch %d (%d cells / %d bytes migrated in %.1fms)",
+		id, st.Epoch, st.CellsMigrated, st.BytesMigrated, st.LastDurationMS)
+	writeJSON(w, JoinResponse{Node: id.String(), Rebalance: st})
+}
+
+// LeaveRequest is the body of POST /admin/leave: the numeric id of the node
+// to retire (as listed in /admin/rebalance members, without the "node-"
+// prefix).
+type LeaveRequest struct {
+	Node int `json:"node"`
+}
+
+// LeaveResponse is the body of POST /admin/leave.
+type LeaveResponse struct {
+	Node      string                `json:"node"`
+	Rebalance stash.RebalanceStatus `json:"rebalance"`
+}
+
+func (s *server) handleAdminLeave(w http.ResponseWriter, r *http.Request) {
+	var req LeaveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := stash.NodeID(req.Node)
+	if err := s.sys.Leave(id); err != nil {
+		http.Error(w, "leave: "+err.Error(), http.StatusConflict)
+		return
+	}
+	st := s.sys.RebalanceStatus()
+	log.Printf("stashd: node %v left, epoch %d (%d cells / %d bytes migrated in %.1fms)",
+		id, st.Epoch, st.CellsMigrated, st.BytesMigrated, st.LastDurationMS)
+	writeJSON(w, LeaveResponse{Node: id.String(), Rebalance: st})
+}
+
+func (s *server) handleAdminRebalance(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.sys.RebalanceStatus())
 }
 
 // ProfilesResponse is the body of GET /debug/queries and GET /debug/slow:

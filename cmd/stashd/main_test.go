@@ -584,3 +584,80 @@ func TestFaultsEndpointsDisabledWithoutPlan(t *testing.T) {
 		t.Errorf("GET /faults without plan: status %d, want 409", rec.Code)
 	}
 }
+
+func TestAdminJoinLeaveRebalance(t *testing.T) {
+	srv := testServer(t)
+	mux := newMux(srv, false)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+	post := func(path, body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)))
+		return rec
+	}
+
+	var h0 HealthResponse
+	if err := json.Unmarshal(get("/healthz").Body.Bytes(), &h0); err != nil {
+		t.Fatal(err)
+	}
+	if h0.Epoch == 0 {
+		t.Fatal("healthz reports epoch 0")
+	}
+
+	rec := post("/admin/join", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("join: %d %s", rec.Code, rec.Body)
+	}
+	var jr JoinResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Node == "" || jr.Rebalance.Epoch != h0.Epoch+1 {
+		t.Fatalf("join response: %+v", jr)
+	}
+
+	var h1 HealthResponse
+	if err := json.Unmarshal(get("/healthz").Body.Bytes(), &h1); err != nil {
+		t.Fatal(err)
+	}
+	if h1.Epoch != h0.Epoch+1 || h1.Nodes != h0.Nodes+1 {
+		t.Fatalf("healthz after join: %+v (was %+v)", h1, h0)
+	}
+
+	rec = post("/admin/leave", `{"node": 1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("leave: %d %s", rec.Code, rec.Body)
+	}
+	var lr LeaveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Rebalance.Epoch != h0.Epoch+2 {
+		t.Fatalf("leave response: %+v", lr)
+	}
+
+	var st stash.RebalanceStatus
+	if err := json.Unmarshal(get("/admin/rebalance").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != h0.Epoch+2 || st.Changes != 2 || len(st.Members) != h0.Nodes {
+		t.Fatalf("rebalance status: %+v", st)
+	}
+
+	if rec := post("/admin/leave", `{"node": 1}`); rec.Code != http.StatusConflict {
+		t.Fatalf("double leave: %d, want 409", rec.Code)
+	}
+	if rec := post("/admin/leave", "{nope"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad leave body: %d, want 400", rec.Code)
+	}
+
+	// The cluster still answers queries after the churn.
+	qrec := post("/query", validBody())
+	if qrec.Code != http.StatusOK {
+		t.Fatalf("query after churn: %d %s", qrec.Code, qrec.Body)
+	}
+}

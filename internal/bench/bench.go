@@ -86,15 +86,17 @@ func (o Options) pick(quick, full int) int {
 	return full
 }
 
-// Report is one regenerated table or series.
+// Report is one regenerated table or series. The JSON tags are the
+// `stashbench -json` wire shape (BENCH_*.json), tracked across PRs; renaming
+// them breaks downstream trajectory tooling.
 type Report struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 	// Notes carries shape assertions ("warm beats basic by 6.2x") that
 	// EXPERIMENTS.md quotes.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.

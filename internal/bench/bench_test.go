@@ -33,6 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-frontend",
 		"ext-faults",
 		"ext-coalesce",
+		"ext-elastic",
 		"diff",
 	}
 	have := map[string]bool{}
@@ -240,6 +241,44 @@ func TestRunExtCoalesceSmoke(t *testing.T) {
 	}
 	rep.Print(&buf)
 	if !strings.Contains(buf.String(), "ext-coalesce") {
+		t.Error("report not printed")
+	}
+}
+
+// TestRunExtElasticSmoke runs the elastic-membership experiment and asserts
+// the acceptance shape: the join rehashes part of the warmed footprint, the
+// warm handoff actually ships cells, and the first post-join pass reads
+// fewer disk blocks warm than cold. Cold-arm recovery (dip -> recovered)
+// shows the dip is cache loss, not a permanent regression.
+func TestRunExtElasticSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Nodes = 8
+	opts.Out = &buf
+	rep, out, err := runExtElastic(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 10 {
+		t.Fatalf("rows = %d, want 5 phases x 2 modes", len(rep.Rows))
+	}
+	if out.movedKeys == 0 {
+		t.Fatal("join moved no footprint keys; reseed the workload so the experiment exercises the handoff")
+	}
+	if out.cellsMigrated <= 0 || out.bytesMigrated <= 0 {
+		t.Errorf("warm handoff shipped nothing: cells=%d bytes=%d", out.cellsMigrated, out.bytesMigrated)
+	}
+	if out.dipCold <= out.steadyCold {
+		t.Errorf("cold join shows no hit-rate dip: steady=%d dip=%d blocks", out.steadyCold, out.dipCold)
+	}
+	if out.dipWarm >= out.dipCold {
+		t.Errorf("warm handoff did not beat cold join: warm dip=%d cold dip=%d blocks", out.dipWarm, out.dipCold)
+	}
+	if out.recoveredCold >= out.dipCold {
+		t.Errorf("cold arm did not recover: dip=%d recovered=%d blocks", out.dipCold, out.recoveredCold)
+	}
+	rep.Print(&buf)
+	if !strings.Contains(buf.String(), "ext-elastic") {
 		t.Error("report not printed")
 	}
 }

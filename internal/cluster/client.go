@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -27,6 +28,13 @@ const maxHelperCandidates = 3
 // many consecutive mini-request failures against one node the scatter aborts,
 // so a truly dead node costs a couple of deadlines rather than one per key.
 const scatterBreakerLimit = 2
+
+// maxEpochRetries bounds how many times one fetch re-plans after a
+// not-owner bounce (the view it routed with was superseded mid-flight).
+// Each retry re-reads the view, so consecutive membership changes are the
+// only way to consume more than one; past the bound the fetch returns
+// whatever honest partial coverage the last attempt produced.
+const maxEpochRetries = 3
 
 // Client is the coordinator the front-end talks to: it splits a query's
 // footprint across the owning nodes (the zero-hop DHT lookup, §IV-D), fans
@@ -101,16 +109,36 @@ func (cl *Client) FetchContext(ctx context.Context, keys []cell.Key) (query.Resu
 	mInflight.Add(1)
 	defer mInflight.Add(-1)
 
-	byNode := cl.groupByOwner(keys)
-	mFanoutNodes.Observe(float64(len(byNode)))
 	rc := cl.cluster.cfg.Resilience
-
 	var res query.Result
 	var err error
-	if !rc.Enabled() {
-		res, err = cl.fetchFailFast(ctx, byNode)
-	} else {
-		res, err = cl.fetchResilient(ctx, byNode, rc)
+	// Plan against one membership snapshot per attempt: the epoch rides on
+	// the request context so nodes can bounce stale-routed shares with
+	// ErrNotOwner, and a bounce discards the whole attempt (nothing merges
+	// twice) and re-plans on a fresh view.
+	for attempt := 0; ; attempt++ {
+		view := cl.cluster.View()
+		byNode := cl.groupByOwner(view.Ring(), keys)
+		if attempt == 0 {
+			mFanoutNodes.Observe(float64(len(byNode)))
+		}
+		ectx := withEpoch(ctx, view.Epoch())
+		var stale bool
+		if !rc.Enabled() {
+			res, err = cl.fetchFailFast(ectx, byNode)
+			// ErrStopped from a node while the cluster itself is running
+			// means the node was retired by a Leave mid-request — a stale
+			// route, not a shutdown.
+			stale = isNotOwner(err) ||
+				(errors.Is(err, ErrStopped) && !cl.cluster.isStopped())
+		} else {
+			res, stale, err = cl.fetchResilient(ectx, byNode, rc)
+		}
+		if stale && attempt < maxEpochRetries && ctx.Err() == nil && !cl.cluster.isStopped() {
+			mEpochRetries.Inc()
+			continue
+		}
+		break
 	}
 
 	mQueryDur.ObserveDuration(time.Since(start))
@@ -169,7 +197,14 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 			shareCtx, ss := obs.StartSpan(fanCtx, "share")
 			ss.SetAttr("node", id.String())
 			ss.SetAttr("keys", fmt.Sprint(len(ks)))
-			res, err := cl.submit(shareCtx, cl.cluster.nodes[id], ks)
+			var res query.Result
+			var err error
+			if n := cl.cluster.node(id); n != nil {
+				res, err = cl.submit(shareCtx, n, ks)
+			} else {
+				// The owner this plan targeted has departed: stale view.
+				err = ErrNotOwner{Epoch: cl.cluster.Epoch()}
+			}
 			ss.End()
 			mu.Lock()
 			parts = append(parts, part{res: res, err: err})
@@ -217,7 +252,10 @@ type shareOutcome struct {
 
 // fetchResilient runs every owner share through the retry/failover ladder
 // concurrently, then assembles the merged result and its coverage report.
-func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]cell.Key, rc ResilienceConfig) (query.Result, error) {
+// The second return reports whether any share bounced with ErrNotOwner —
+// the caller's cue to re-plan on a fresh view; when the retry budget is
+// exhausted the unserved shares stay visible as honest partial coverage.
+func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]cell.Key, rc ResilienceConfig) (query.Result, bool, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -268,6 +306,7 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 	needed := map[cell.Key]int{}
 	got := map[cell.Key]int{}
 	var firstErr error
+	stale := false
 	for _, o := range outs {
 		merged.Merge(o.res)
 		cov.Recovered += o.recovered
@@ -280,6 +319,9 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 			}
 		}
 		if o.err != nil {
+			if isNotOwner(o.err) {
+				stale = true
+			}
 			cov.NodeErrors[o.id.String()] = o.err.Error()
 			if firstErr == nil {
 				firstErr = o.err
@@ -302,16 +344,16 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 
 	switch {
 	case cov.Complete():
-		return merged, nil
+		return merged, stale, nil
 	case !rc.AllowPartial:
-		return query.Result{}, firstErr
+		return query.Result{}, stale, firstErr
 	case cov.SharesServed == 0:
-		return merged, fmt.Errorf("%w: %v", ErrNoCoverage, firstErr)
+		return merged, stale, fmt.Errorf("%w: %v", ErrNoCoverage, firstErr)
 	default:
 		// Graceful degradation: partial result, nil error; the Coverage
 		// report is the caller's signal that cells are missing or
 		// under-counted.
-		return merged, nil
+		return merged, stale, nil
 	}
 }
 
@@ -334,7 +376,13 @@ func (cl *Client) fetchShare(ctx context.Context, o *shareOutcome, rc Resilience
 	ss.SetAttr("keys", fmt.Sprint(len(o.keys)))
 	defer ss.End()
 	o.served = make(map[cell.Key]bool, len(o.keys))
-	node := cl.cluster.nodes[o.id]
+	node := cl.cluster.node(o.id)
+	if node == nil {
+		// The planned owner has departed: a stale-view bounce, not a node
+		// failure — no ladder rung can serve a share addressed to nobody.
+		o.err = ErrNotOwner{Epoch: cl.cluster.Epoch()}
+		return
+	}
 
 	var lastErr error
 	backoff := rc.RetryBackoff
@@ -359,6 +407,19 @@ func (cl *Client) fetchShare(ctx context.Context, o *shareOutcome, rc Resilience
 			return
 		}
 		lastErr = err
+		if errors.Is(err, ErrStopped) && !cl.cluster.isStopped() {
+			// The node was retired by a Leave while this share was in its
+			// queue: reclassify as a stale-route bounce so the coordinator
+			// re-plans instead of failing the query with ErrStopped.
+			err = ErrNotOwner{Epoch: cl.cluster.Epoch()}
+		}
+		if isNotOwner(err) {
+			// Retrying, helper reroute, or scattering against this node
+			// cannot fix a wrong owner assignment; surface the bounce so
+			// the coordinator re-plans on a fresh view.
+			o.err = err
+			return
+		}
 		if !Retryable(err) || ctx.Err() != nil {
 			o.err = err
 			return
@@ -429,7 +490,7 @@ func (cl *Client) fetchFromHelpers(ctx context.Context, failed *Node, keys []cel
 		}
 	}
 	rng := rand.New(rand.NewSource(seedFromGeohash(keys[0].Geohash)))
-	for _, h := range replication.CandidateHelpers(keys[0].Geohash, cl.cluster.ring, failed.id, repl, rng) {
+	for _, h := range replication.CandidateHelpers(keys[0].Geohash, cl.cluster.Ring(), failed.id, repl, rng) {
 		if !seen[h] {
 			seen[h] = true
 			cands = append(cands, h)
@@ -439,7 +500,7 @@ func (cl *Client) fetchFromHelpers(ctx context.Context, failed *Node, keys []cel
 		cands = cands[:maxHelperCandidates]
 	}
 	for _, id := range cands {
-		helper := cl.cluster.nodes[id]
+		helper := cl.cluster.node(id)
 		if helper == nil {
 			continue
 		}
@@ -480,7 +541,7 @@ func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc
 	var served []cell.Key
 	fails := 0
 	tripped := false
-	plen := cl.cluster.ring.PrefixLen()
+	plen := cl.cluster.Ring().PrefixLen()
 	for _, k := range keys {
 		if fails >= scatterBreakerLimit {
 			if !tripped {
@@ -549,7 +610,7 @@ func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc
 // partitionPrefixes enumerates the partition-prefix geohashes extending a
 // coarse geohash that the given node owns.
 func (cl *Client) partitionPrefixes(gh string, id dht.NodeID) []string {
-	ring := cl.cluster.ring
+	ring := cl.cluster.Ring()
 	plen := ring.PrefixLen()
 	prefixes := []string{gh}
 	for len(prefixes) > 0 && len(prefixes[0]) < plen {
@@ -592,7 +653,7 @@ func seedFromGeohash(gh string) int64 {
 // to the node(s) owning its backing partitions. Harnesses use it to check
 // per-node cache completeness.
 func (cl *Client) GroupByOwner(keys []cell.Key) map[dht.NodeID][]cell.Key {
-	return cl.groupByOwner(keys)
+	return cl.groupByOwner(cl.cluster.Ring(), keys)
 }
 
 // groupByOwner assigns every key to the node(s) owning its backing
@@ -603,8 +664,7 @@ func (cl *Client) GroupByOwner(keys []cell.Key) map[dht.NodeID][]cell.Key {
 // Repeated keys in the footprint (overlapping viewport tiles, duplicated
 // drill-down cells) are elided before fan-out: a duplicate would only make
 // the owner serve — and the wire carry — the same summary twice.
-func (cl *Client) groupByOwner(keys []cell.Key) map[dht.NodeID][]cell.Key {
-	ring := cl.cluster.ring
+func (cl *Client) groupByOwner(ring *dht.Ring, keys []cell.Key) map[dht.NodeID][]cell.Key {
 	plen := ring.PrefixLen()
 	out := map[dht.NodeID][]cell.Key{}
 	seenKey := make(map[cell.Key]struct{}, len(keys))

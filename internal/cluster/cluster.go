@@ -159,10 +159,33 @@ var ErrFaulted = errors.New("cluster: node storage fault")
 // served: every owner share failed and no failover path recovered anything.
 var ErrNoCoverage = errors.New("cluster: no coverage (all owners failed)")
 
+// ErrNotOwner reports a request routed with a stale membership view: the
+// epoch it was planned against no longer matches the node's current epoch, so
+// its owner grouping may be wrong. Retryable — the coordinator refreshes its
+// view and re-plans; nodes return it rather than silently serving a share
+// they may no longer (or not yet) own.
+type ErrNotOwner struct {
+	// RequestEpoch is the epoch the request was routed against (zero when
+	// the route was simply to a node that has since departed).
+	RequestEpoch uint64
+	// Epoch is the answering node's current membership epoch.
+	Epoch uint64
+}
+
+func (e ErrNotOwner) Error() string {
+	return fmt.Sprintf("cluster: not owner (request epoch %d, current epoch %d)", e.RequestEpoch, e.Epoch)
+}
+
+// isNotOwner reports whether err carries an ErrNotOwner anywhere in its chain.
+func isNotOwner(err error) bool {
+	var no ErrNotOwner
+	return errors.As(err, &no)
+}
+
 // Retryable classifies an error from a node sub-request: true for transient
 // failures a retry or failover may fix (timeouts, rejections, unavailable
-// nodes), false for permanent ones (stopped cluster, storage faults,
-// cancellation by the caller).
+// nodes, stale-epoch routing), false for permanent ones (stopped cluster,
+// storage faults, cancellation by the caller).
 func Retryable(err error) bool {
 	switch {
 	case err == nil:
@@ -171,8 +194,29 @@ func Retryable(err error) bool {
 		return false
 	case errors.Is(err, ErrRejected), errors.Is(err, ErrUnavailable), errors.Is(err, context.DeadlineExceeded):
 		return true
+	case isNotOwner(err):
+		return true
 	}
 	return false
+}
+
+// epochKey carries the coordinator's routing epoch on the request context, so
+// nodes can validate that the plan behind a request matches current
+// membership.
+type epochKey struct{}
+
+// withEpoch stamps ctx with the membership epoch the request was routed
+// against.
+func withEpoch(ctx context.Context, epoch uint64) context.Context {
+	return context.WithValue(ctx, epochKey{}, epoch)
+}
+
+// epochFrom extracts the routing epoch from ctx. ok is false for requests
+// submitted without a view (direct node access, tests, legacy callers) —
+// those skip admission-time epoch validation.
+func epochFrom(ctx context.Context) (uint64, bool) {
+	e, ok := ctx.Value(epochKey{}).(uint64)
+	return e, ok
 }
 
 // ResilienceConfig tunes how the coordinator handles node failures. All
@@ -222,12 +266,18 @@ func (r ResilienceConfig) Enabled() bool {
 	return r.RequestTimeout > 0 || r.Retries > 0 || r.AllowPartial || r.HelperReroute || r.ScatterFallback
 }
 
-// Cluster is the running system: ring, nodes, and shared cost plumbing.
+// Cluster is the running system: membership view, nodes, and shared cost
+// plumbing.
 type Cluster struct {
-	cfg   Config
-	ring  *dht.Ring
-	gen   *namgen.Generator
-	nodes map[dht.NodeID]*Node
+	cfg Config
+	gen *namgen.Generator
+	// view is the current membership epoch: ring + epoch number. Swapped
+	// atomically by the membership controller (phase 3 of a handoff); every
+	// route computation snapshots it once.
+	view atomic.Pointer[dht.View]
+	// nodes is the copy-on-write member table. Readers load it lock-free on
+	// the serve path; Join/Leave (serialized by memberMu) install a fresh map.
+	nodes atomic.Pointer[map[dht.NodeID]*Node]
 	// coalescer batches concurrent same-owner fetches inside the admission
 	// window; nil when CoalesceWindow is zero (coalescing disabled).
 	coalescer *coalescer
@@ -241,6 +291,12 @@ type Cluster struct {
 	// ingestVersion counts UpdateBlock calls — a monotonically increasing
 	// dataset version for readiness reporting.
 	ingestVersion atomic.Int64
+
+	// memberMu serializes membership changes (Join/Leave); rb is the
+	// rebalance progress the admin surface reports, guarded by rbMu.
+	memberMu sync.Mutex
+	rbMu     sync.Mutex
+	rb       rebalanceState
 
 	mu      sync.Mutex
 	started bool
@@ -276,7 +332,10 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	gen := &namgen.Generator{Seed: cfg.Seed, PointsPerBlock: cfg.PointsPerBlock}
-	c := &Cluster{cfg: cfg, ring: ring, gen: gen, nodes: make(map[dht.NodeID]*Node, cfg.Nodes)}
+	c := &Cluster{cfg: cfg, gen: gen}
+	view := dht.NewView(ring)
+	c.view.Store(view)
+	mEpoch.Set(int64(view.Epoch()))
 	hotCap, hotDecay := cfg.HotKeyCapacity, cfg.HotKeyDecay
 	if hotCap == 0 {
 		hotCap = DefaultHotKeyCapacity
@@ -285,12 +344,14 @@ func New(cfg Config) (*Cluster, error) {
 		hotDecay = DefaultHotKeyDecay
 	}
 	c.hotEnabled = hotCap > 0
+	nodes := make(map[dht.NodeID]*Node, cfg.Nodes)
 	for _, id := range ring.Nodes() {
-		c.nodes[id] = newNode(id, c, gen)
+		nodes[id] = newNode(id, c, gen)
 		if c.hotEnabled {
-			c.nodes[id].hot = obs.NewTopK[cell.Key](hotCap, hotDecay)
+			nodes[id].hot = obs.NewTopK[cell.Key](hotCap, hotDecay)
 		}
 	}
+	c.nodes.Store(&nodes)
 	if cfg.CoalesceWindow > 0 {
 		c.coalescer = newCoalescer(cfg.CoalesceWindow)
 	}
@@ -302,7 +363,7 @@ func New(cfg Config) (*Cluster, error) {
 	r.Help("stash_node_queue_depth", "Pending fetch tasks across all node request queues.")
 	r.GaugeFunc("stash_node_queue_depth", func() float64 {
 		var depth int
-		for _, n := range c.nodes {
+		for _, n := range c.nodeMap() {
 			depth += len(n.requests)
 		}
 		return float64(depth)
@@ -310,8 +371,28 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Ring returns the cluster's partition map.
-func (c *Cluster) Ring() *dht.Ring { return c.ring }
+// Ring returns the current membership view's partition map. Snapshot it once
+// per routing decision: consecutive calls may observe different epochs while
+// a rebalance is flipping.
+func (c *Cluster) Ring() *dht.Ring { return c.view.Load().Ring() }
+
+// View returns the current membership view (ring + epoch).
+func (c *Cluster) View() *dht.View { return c.view.Load() }
+
+// Epoch returns the current membership epoch.
+func (c *Cluster) Epoch() uint64 { return c.view.Load().Epoch() }
+
+// nodeMap returns the current copy-on-write member table.
+func (c *Cluster) nodeMap() map[dht.NodeID]*Node {
+	return *c.nodes.Load()
+}
+
+// node returns the member with the given id, or nil when the id is not (or no
+// longer) a member — callers holding a stale view treat nil as a not-owner
+// signal and refresh.
+func (c *Cluster) node(id dht.NodeID) *Node {
+	return (*c.nodes.Load())[id]
+}
 
 // Generator returns the cluster's synthetic dataset generator. A reference
 // evaluator (internal/oracle) built over the same generator sees exactly the
@@ -328,14 +409,18 @@ func (c *Cluster) Faults() *simnet.FaultPlan { return c.cfg.Faults }
 // Resilience returns the coordinator failure-handling configuration.
 func (c *Cluster) Resilience() ResilienceConfig { return c.cfg.Resilience }
 
-// Node returns one cluster member.
-func (c *Cluster) Node(id dht.NodeID) *Node { return c.nodes[id] }
+// Node returns one cluster member (nil if id is not a member).
+func (c *Cluster) Node(id dht.NodeID) *Node { return c.node(id) }
 
 // Nodes returns all members in ring order.
 func (c *Cluster) Nodes() []*Node {
-	out := make([]*Node, 0, len(c.nodes))
-	for _, id := range c.ring.Nodes() {
-		out = append(out, c.nodes[id])
+	nodes := c.nodeMap()
+	ring := c.Ring()
+	out := make([]*Node, 0, len(nodes))
+	for _, id := range ring.Nodes() {
+		if n := nodes[id]; n != nil {
+			out = append(out, n)
+		}
 	}
 	return out
 }
@@ -354,7 +439,7 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		n.start(c.cfg.Workers)
 	}
 }
@@ -370,7 +455,7 @@ func (c *Cluster) Stop() {
 	}
 	c.stopped = true
 	c.mu.Unlock()
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		n.stop()
 	}
 }
@@ -409,8 +494,9 @@ func (c *Cluster) HotKeys(n int) []obs.TopEntry[cell.Key] {
 	if !c.hotEnabled || n <= 0 {
 		return nil
 	}
-	groups := make([][]obs.TopEntry[cell.Key], 0, len(c.nodes))
-	for _, node := range c.nodes {
+	nodes := c.nodeMap()
+	groups := make([][]obs.TopEntry[cell.Key], 0, len(nodes))
+	for _, node := range nodes {
 		if top := node.hot.Top(n); len(top) > 0 {
 			groups = append(groups, top)
 		}
@@ -422,7 +508,7 @@ func (c *Cluster) HotKeys(n int) []obs.TopEntry[cell.Key] {
 // across all per-node sketches.
 func (c *Cluster) HotKeyTotal() uint64 {
 	var total uint64
-	for _, node := range c.nodes {
+	for _, node := range c.nodeMap() {
 		total += node.hot.Total()
 	}
 	return total
@@ -435,7 +521,7 @@ func (c *Cluster) HotKeyTotal() uint64 {
 // are current by construction (epoch semantics in stash.PLM).
 func (c *Cluster) InvalidateBlock(prefix string, day temporal.Label) {
 	ref := stash.BlockRef{Prefix: prefix, Day: day}
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		if n.graph != nil {
 			n.graph.PLM().MarkStale(ref)
 		}
@@ -448,7 +534,7 @@ func (c *Cluster) InvalidateBlock(prefix string, day temporal.Label) {
 // TotalStats aggregates node metrics across the cluster.
 func (c *Cluster) TotalStats() NodeStats {
 	var total NodeStats
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		s := n.Stats()
 		total.Processed += s.Processed
 		total.CacheHits += s.CacheHits

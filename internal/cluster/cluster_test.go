@@ -126,7 +126,7 @@ func waitForPopulation(t *testing.T, c *Cluster) {
 			if n.Graph() == nil {
 				continue
 			}
-			owned := c.Client().groupByOwner(keys)[n.ID()]
+			owned := c.Client().groupByOwner(c.Ring(), keys)[n.ID()]
 			if n.Graph().PLM().Completeness(owned) < 1 {
 				complete = false
 				break
@@ -276,7 +276,7 @@ func TestDerivationServesRollUp(t *testing.T) {
 		keys, _ := fine.Footprint()
 		missing := 0
 		for _, n := range c.Nodes() {
-			owned := c.Client().groupByOwner(keys)[n.ID()]
+			owned := c.Client().groupByOwner(c.Ring(), keys)[n.ID()]
 			missing += len(n.Graph().PLM().Missing(owned))
 		}
 		if missing == 0 {

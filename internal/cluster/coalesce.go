@@ -45,15 +45,19 @@ type coalescer struct {
 }
 
 // batchKey identifies one admission window: one owner node at one hierarchy
-// level.
+// level, routed under one membership epoch. The epoch component keeps shares
+// planned against different views out of the same wire message — a mixed
+// batch would make the node's epoch validation bounce every rider, including
+// the correctly-routed ones.
 type batchKey struct {
-	id   dht.NodeID
-	sres int
-	tres temporal.Resolution
+	id    dht.NodeID
+	sres  int
+	tres  temporal.Resolution
+	epoch uint64
 }
 
-func batchKeyFor(id dht.NodeID, keys []cell.Key) batchKey {
-	bk := batchKey{id: id}
+func batchKeyFor(id dht.NodeID, epoch uint64, keys []cell.Key) batchKey {
+	bk := batchKey{id: id, epoch: epoch}
 	if len(keys) > 0 {
 		bk.sres = keys[0].SpatialRes()
 		bk.tres = keys[0].TemporalRes()
@@ -99,7 +103,8 @@ func newCoalescer(window time.Duration) *coalescer {
 // caller whose ctx expires first gets ctx.Err() while the batch runs on for
 // the other waiters.
 func (co *coalescer) fetch(ctx context.Context, n *Node, keys []cell.Key) (query.Result, error) {
-	bk := batchKeyFor(n.id, keys)
+	epoch, _ := epochFrom(ctx) // zero for epoch-less callers, a valid key component
+	bk := batchKeyFor(n.id, epoch, keys)
 	co.mu.Lock()
 	b := co.pending[bk]
 	if b == nil {
@@ -221,6 +226,11 @@ func (co *coalescer) flush(bk batchKey, b *coalesceBatch) {
 	sctx := b.ctx
 	if prof != nil {
 		sctx = obs.ContextWithProfile(sctx, prof)
+	}
+	if bk.epoch != 0 {
+		// The batch context is detached from the waiters, so the routing
+		// epoch they shared must be re-attached for node-side validation.
+		sctx = withEpoch(sctx, bk.epoch)
 	}
 	b.res, b.err = b.node.Submit(sctx, keys)
 	close(b.done)

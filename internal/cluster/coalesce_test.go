@@ -25,7 +25,7 @@ func ownerShare(t *testing.T, c *Cluster) (*Node, []cell.Key) {
 	var bestKeys []cell.Key
 	for id, ks := range c.Client().GroupByOwner(keys) {
 		if len(ks) > len(bestKeys) {
-			best, bestKeys = c.nodes[id], ks
+			best, bestKeys = c.node(id), ks
 		}
 	}
 	if best == nil {
@@ -222,7 +222,7 @@ func TestSingleflightStormSharesDiskScans(t *testing.T) {
 		t.Fatalf("cold claim: owned=%d waits=%d, want %d/0", len(owned), len(waits), len(keys))
 	}
 	leader := query.NewResult()
-	if err := n.resolveMisses(context.Background(), owned, &leader); err != nil {
+	if err := n.resolveMisses(context.Background(), owned, &leader, c.Epoch()); err != nil {
 		t.Fatal(err)
 	}
 	blocksOne := c.TotalStats().BlocksRead - base

@@ -70,6 +70,20 @@ var (
 
 	// groupByOwner intra-request key dedup (satellite of coalescing).
 	mCoordDedupKeys = counter("stash_coord_request_dedup_keys_total", "Duplicate footprint keys elided before owner fan-out.")
+
+	// Elastic membership: epoch-versioned shard map and warm handoff.
+	mEpoch             = gauge("stash_cluster_epoch", "Current membership epoch (bumps on every join/leave).")
+	mMembershipJoins   = membershipChange("join")
+	mMembershipLeaves  = membershipChange("leave")
+	mHandoffCells      = counter("stash_handoff_cells_total", "Cached cells migrated to their new owner during rebalances.")
+	mHandoffBytes      = counter("stash_handoff_bytes_total", "Wire-encoded bytes shipped by warm handoffs.")
+	mHandoffCoarse     = counter("stash_handoff_coarse_dropped_total", "Coarse partial summaries dropped because their ownership baseline changed.")
+	mHandoffRolledBack = counter("stash_handoff_rolled_back_total", "Migrated cells conservatively dropped because ingest raced the handoff.")
+	mHandoffDur        = histogram("stash_handoff_duration_seconds", "Wall-clock duration of one membership rebalance (freeze to unfreeze).")
+	mNotOwner          = counter("stash_node_not_owner_total", "Requests bounced because their routing epoch no longer matches membership.")
+	mEpochRetries      = counter("stash_coord_epoch_retries_total", "Coordinator re-plans after a not-owner bounce (view refreshed).")
+	mPopStaleDropped   = counter("stash_node_population_stale_dropped_total", "Population tasks discarded because their admission epoch was superseded.")
+	mRoutesPurged      = counter("stash_replication_routes_purged_total", "Helper routes purged because a membership change invalidated them.")
 )
 
 func counter(name, help string) *obs.Counter {
@@ -136,6 +150,12 @@ func batchHistogram(dim string) *obs.Histogram {
 	r := obs.Default()
 	r.Help("stash_coalesce_batch_size", "Coalesced batch sizes, by dimension (keys, waiters).")
 	return r.HistogramBuckets("stash_coalesce_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}, "dim", dim)
+}
+
+func membershipChange(kind string) *obs.Counter {
+	r := obs.Default()
+	r.Help("stash_cluster_membership_changes_total", "Completed membership changes, by kind (join, leave).")
+	return r.Counter("stash_cluster_membership_changes_total", "kind", kind)
 }
 
 func fanoutHistogram() *obs.Histogram {

@@ -47,6 +47,9 @@ type fetchTask struct {
 	ctx   context.Context // carries the caller's trace across the queue
 	keys  []cell.Key
 	guest bool
+	// epoch is the membership epoch at admission; serve-side population uses
+	// it to discard work planned against a superseded ownership baseline.
+	epoch uint64
 	reply chan fetchReply
 }
 
@@ -57,10 +60,12 @@ type fetchReply struct {
 }
 
 // popTask is one unit of background cache population: the cells fetched
-// from disk plus the keys that requested them (for negative caching).
+// from disk plus the keys that requested them (for negative caching), stamped
+// with the membership epoch the fetch was admitted under.
 type popTask struct {
 	res       query.Result
 	requested []cell.Key
+	epoch     uint64
 }
 
 type distressMsg struct {
@@ -116,6 +121,20 @@ type Node struct {
 	lastHandoff   atomic.Int64 // unix nanos
 	handoffActive atomic.Bool
 
+	// frozen, when non-nil, is the set of partitions mid-migration off this
+	// node: population tasks touching them are filtered so extracted cells
+	// cannot reappear behind the migrator's back. Written only by the
+	// membership controller; read lock-free on the population path.
+	frozen atomic.Pointer[map[string]bool]
+	// popGate lets the membership controller drain in-flight cache inserts:
+	// populateOne and the derivation insert hold the read side; the
+	// controller's barrier (write lock, immediately released) happens-after
+	// every insert that started before the epoch flipped.
+	popGate sync.RWMutex
+	// stopOnce makes stop idempotent: a node retired by Leave and a
+	// subsequent Cluster.Stop may both reach it.
+	stopOnce sync.Once
+
 	guestMu      sync.Mutex
 	guestCliques map[cell.Key]*guestEntry
 
@@ -146,7 +165,7 @@ func newNode(id dht.NodeID, c *Cluster, gen *namgen.Generator) *Node {
 	n := &Node{
 		id:           id,
 		cluster:      c,
-		store:        galileo.NewStore(c.ring, id, gen, c.cfg.Model, c.cfg.Sleeper),
+		store:        galileo.NewStore(c.Ring(), id, gen, c.cfg.Model, c.cfg.Sleeper),
 		routing:      replication.NewTable(),
 		requests:     make(chan fetchTask, c.cfg.QueueSize),
 		control:      make(chan any, 64),
@@ -271,18 +290,20 @@ func (n *Node) start(workers int) {
 }
 
 func (n *Node) stop() {
-	close(n.done)
-	// Workers first: only serve workers send on popCh, so the channel can
-	// be closed exactly when no worker can enqueue anymore; the population
-	// pool then drains the residue and exits. Closing in the reverse order
-	// would race a worker's send against close — the channel-shaped
-	// re-statement of the WaitGroup misuse the chaos suite used to exercise
-	// under -race.
-	n.wg.Wait()
-	if n.popCh != nil {
-		close(n.popCh)
-	}
-	n.popWG.Wait()
+	n.stopOnce.Do(func() {
+		close(n.done)
+		// Workers first: only serve workers send on popCh, so the channel can
+		// be closed exactly when no worker can enqueue anymore; the population
+		// pool then drains the residue and exits. Closing in the reverse order
+		// would race a worker's send against close — the channel-shaped
+		// re-statement of the WaitGroup misuse the chaos suite used to exercise
+		// under -race.
+		n.wg.Wait()
+		if n.popCh != nil {
+			close(n.popCh)
+		}
+		n.popWG.Wait()
+	})
 }
 
 // Submit evaluates a cell fetch on this node on behalf of a client, honoring
@@ -300,22 +321,26 @@ func (n *Node) Submit(ctx context.Context, keys []cell.Key) (query.Result, error
 	}
 	if !crashed && cfg.Enabled() && n.routing.Len() > 0 {
 		if helper, ok := n.routing.Lookup(keys); ok && n.flip(cfg.RerouteProbability) {
-			n.rerouted.Add(1)
-			mNodeRedirects.Inc()
-			obs.ProfileFromContext(ctx).AddReroute()
-			rep, err := n.cluster.nodes[helper].enqueue(ctx, keys, true)
-			switch {
-			case err != nil:
-				// Helper unreachable; serve locally below.
-			case len(rep.missing) == 0:
-				return rep.result, nil
-			default:
-				local, err := n.enqueue(ctx, rep.missing, false)
-				if err != nil {
-					return query.Result{}, err
+			// A helper that has since left the cluster is simply skipped —
+			// the janitor purges its routes at the next epoch change.
+			if hn := n.cluster.node(helper); hn != nil {
+				n.rerouted.Add(1)
+				mNodeRedirects.Inc()
+				obs.ProfileFromContext(ctx).AddReroute()
+				rep, err := hn.enqueue(ctx, keys, true)
+				switch {
+				case err != nil:
+					// Helper unreachable; serve locally below.
+				case len(rep.missing) == 0:
+					return rep.result, nil
+				default:
+					local, err := n.enqueue(ctx, rep.missing, false)
+					if err != nil {
+						return query.Result{}, err
+					}
+					rep.result.Merge(local.result)
+					return rep.result, nil
 				}
-				rep.result.Merge(local.result)
-				return rep.result, nil
 			}
 		}
 	}
@@ -350,9 +375,19 @@ func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchR
 	}
 	defer sp.End()
 	prof := obs.ProfileFromContext(ctx)
-	if prof != nil { // guarded: id.String() allocates
+	if prof != nil {
 		prof.AddNode(n.id.String(), len(keys))
 		prof.AddWireBytes(len(keys) * approxKeyBytes)
+	}
+	// Membership-epoch validation at admission: a request routed against a
+	// superseded view may have the wrong owner grouping, so it bounces with a
+	// retriable not-owner error and the coordinator re-plans on a fresh view.
+	// Requests without a stamped epoch (direct node access, guest reroutes,
+	// tests) skip the check.
+	eAdmit := c.Epoch()
+	if ec, ok := epochFrom(ctx); ok && ec != eAdmit {
+		mNotOwner.Inc()
+		return fetchReply{}, fmt.Errorf("%v: %w", n.id, ErrNotOwner{RequestEpoch: ec, Epoch: eAdmit})
 	}
 	if fp := c.cfg.Faults; fp != nil {
 		id := int(n.id)
@@ -385,7 +420,7 @@ func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchR
 	}
 	c.cfg.Sleeper.Apply(c.cfg.Model.NetCost(len(keys) * approxKeyBytes))
 
-	t := fetchTask{ctx: ctx, keys: keys, guest: guest, reply: make(chan fetchReply, 1)}
+	t := fetchTask{ctx: ctx, keys: keys, guest: guest, epoch: eAdmit, reply: make(chan fetchReply, 1)}
 	select {
 	case n.requests <- t:
 	case <-ctx.Done():
@@ -428,6 +463,14 @@ func (n *Node) enqueue(ctx context.Context, keys []cell.Key, guest bool) (fetchR
 			// deadline: background contexts never report Err.)
 			if ctx.Err() != nil {
 				return fetchReply{}, fmt.Errorf("%v: reply transfer exceeded deadline: %w: %v", n.id, ErrUnavailable, ctx.Err())
+			}
+			// A flip between admission and reply means the serve-side disk
+			// scan may have used the new ring while the caller's plan used the
+			// old one — moved keys would come back silently empty. Bounce so
+			// the coordinator re-plans; guest replies are ownership-free.
+			if cur := c.Epoch(); cur != eAdmit && !guest {
+				mNotOwner.Inc()
+				return fetchReply{}, fmt.Errorf("%v: %w", n.id, ErrNotOwner{RequestEpoch: eAdmit, Epoch: cur})
 			}
 		}
 		return rep, rep.err
@@ -490,7 +533,7 @@ func (n *Node) handle(t fetchTask) {
 		t.reply <- n.handleGuest(ctx, t.keys)
 		return
 	}
-	t.reply <- n.handleLocal(ctx, t.keys)
+	t.reply <- n.handleLocal(ctx, t.keys, t.epoch)
 }
 
 // handleGuest serves a rerouted request purely from the guest graph; cells
@@ -525,7 +568,7 @@ func (n *Node) handleGuest(ctx context.Context, keys []cell.Key) fetchReply {
 // exactly once, and (5) handoff of the fetched cells to the bounded
 // population pool (the paper's separate population thread, §VIII-C2) so the
 // response returns without waiting for cache maintenance.
-func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
+func (n *Node) handleLocal(ctx context.Context, keys []cell.Key, epoch uint64) fetchReply {
 	prof := obs.ProfileFromContext(ctx)
 	if n.graph == nil {
 		res, err := n.diskScan(ctx, keys)
@@ -558,12 +601,12 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 		}
 		n.diskCells.Add(int64(len(keys)))
 		prof.AddDiskCells(len(keys))
-		n.populate(res, keys)
+		n.populate(res, keys, epoch)
 		return fetchReply{result: res}
 	}
 
 	if !n.cluster.cfg.ServeSingleflight {
-		err := n.resolveMisses(ctx, missing, &found)
+		err := n.resolveMisses(ctx, missing, &found, epoch)
 		return fetchReply{result: found, err: err}
 	}
 
@@ -576,7 +619,7 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 	prof.AddSingleflight(len(owned), len(waits))
 	if len(owned) > 0 {
 		mSFLeader.Add(int64(len(owned)))
-		err := n.resolveMisses(ctx, owned, &found)
+		err := n.resolveMisses(ctx, owned, &found, epoch)
 		// Owned keys were graph misses, so their presence in found is
 		// exactly what resolveMisses produced — publish straight from it.
 		n.sfPublish(owned, ownedEntries, found, err)
@@ -592,7 +635,7 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 		if len(fallback) > 0 {
 			// The leader that owned these keys failed; fetch them ourselves
 			// rather than propagating its error to an unrelated request.
-			if err := n.resolveMisses(ctx, fallback, &found); err != nil {
+			if err := n.resolveMisses(ctx, fallback, &found, epoch); err != nil {
 				return fetchReply{result: found, err: err}
 			}
 		}
@@ -606,13 +649,18 @@ func (n *Node) handleLocal(ctx context.Context, keys []cell.Key) fetchReply {
 // directly into dst (no intermediate result, no second merge pass). After
 // it returns, dst holds every missing key that produced data; keys still
 // absent are genuinely empty.
-func (n *Node) resolveMisses(ctx context.Context, missing []cell.Key, dst *query.Result) error {
+func (n *Node) resolveMisses(ctx context.Context, missing []cell.Key, dst *query.Result, epoch uint64) error {
 	// Batched derivation from cached children — every miss is attempted in
 	// one pass, so the child lookups of the whole batch share stripe-lock
-	// acquisitions instead of re-locking per missing key.
+	// acquisitions instead of re-locking per missing key. The popGate read
+	// lock brackets the derivation's cache inserts so the membership
+	// controller's post-flip barrier can drain them before re-sweeping
+	// coarse partials.
 	deriveStart := time.Now()
 	_, drs := obs.StartSpan(ctx, "graph.derive")
+	n.popGate.RLock()
 	derived, unfetched := n.graph.DeriveBatch(missing)
+	n.popGate.RUnlock()
 	drs.SetAttr("derived", fmt.Sprint(derived.Len()))
 	drs.End()
 	deriveDur := time.Since(deriveStart)
@@ -639,7 +687,7 @@ func (n *Node) resolveMisses(ctx context.Context, missing []cell.Key, dst *query
 	dst.Merge(diskRes)
 
 	// Bounded background population.
-	n.populate(diskRes, unfetched)
+	n.populate(diskRes, unfetched, epoch)
 	return nil
 }
 
@@ -751,8 +799,8 @@ func (n *Node) diskScan(ctx context.Context, keys []cell.Key) (query.Result, err
 // a fixed worker count instead of a goroutine per miss). A full population
 // queue applies backpressure: the serving worker populates inline rather
 // than dropping the work or growing without bound.
-func (n *Node) populate(res query.Result, requested []cell.Key) {
-	t := popTask{res: res, requested: requested}
+func (n *Node) populate(res query.Result, requested []cell.Key, epoch uint64) {
+	t := popTask{res: res, requested: requested, epoch: epoch}
 	select {
 	case n.popCh <- t:
 		mPopQueued.Inc()
@@ -763,8 +811,21 @@ func (n *Node) populate(res query.Result, requested []cell.Key) {
 }
 
 // populateOne inserts one fetch result into the cache, negative-caching
-// requested keys that held no data.
+// requested keys that held no data. Tasks admitted under a superseded
+// membership epoch are discarded outright: their coarse cells were computed
+// against an ownership baseline that no longer holds, and their fine cells
+// may belong to partitions this node just handed off. Population is
+// best-effort cache warming, so dropping is always safe.
 func (n *Node) populateOne(t popTask) {
+	n.popGate.RLock()
+	defer n.popGate.RUnlock()
+	if t.epoch != n.cluster.Epoch() {
+		mPopStaleDropped.Inc()
+		return
+	}
+	if fz := n.frozen.Load(); fz != nil {
+		t = filterFrozen(t, *fz, n.cluster.Ring().PrefixLen())
+	}
 	start := time.Now()
 	n.graph.Put(t.res)
 	var empties []cell.Key
@@ -780,6 +841,55 @@ func (n *Node) populateOne(t popTask) {
 	mStagePopulate.ObserveDuration(d)
 	n.populationNs.Add(int64(d))
 	n.populatedCells.Add(int64(len(t.requested)))
+}
+
+// filterFrozen strips from a population task every cell and requested key
+// touching a frozen (mid-migration) partition, so extracted cells cannot
+// reappear behind the migrator's back. A coarse key's cached value is a
+// partial over every owned partition under its geohash, so freezing any of
+// those invalidates its baseline too.
+func filterFrozen(t popTask, frozen map[string]bool, plen int) popTask {
+	touches := func(gh string) bool {
+		if len(gh) >= plen {
+			return frozen[gh[:plen]]
+		}
+		for p := range frozen {
+			if len(p) >= len(gh) && p[:len(gh)] == gh {
+				return true
+			}
+		}
+		return false
+	}
+	out := popTask{res: query.NewResult(), epoch: t.epoch}
+	for k, s := range t.res.Cells {
+		if !touches(k.Geohash) {
+			out.res.Add(k, s)
+		}
+	}
+	for _, k := range t.requested {
+		if !touches(k.Geohash) {
+			out.requested = append(out.requested, k)
+		}
+	}
+	return out
+}
+
+// freeze marks partitions as mid-migration (nil or empty lifts the freeze).
+func (n *Node) freeze(parts map[string]bool) {
+	if len(parts) == 0 {
+		n.frozen.Store(nil)
+		return
+	}
+	n.frozen.Store(&parts)
+}
+
+// popBarrier waits until every cache insert that started before the call has
+// finished: taking the write side of popGate excludes all readers admitted
+// earlier, and inserts that start afterwards see the new epoch.
+func (n *Node) popBarrier() {
+	n.popGate.Lock()
+	//lint:ignore SA2001 write-acquire is the barrier; nothing to protect after it
+	n.popGate.Unlock()
 }
 
 // --- hotspot handling (paper §VII) ---
@@ -820,12 +930,13 @@ func (n *Node) runHandoff() int {
 	cfg := n.cluster.cfg.Replication
 	done := 0
 	cliques := n.graph.TopCliques(cfg.CliqueDepth, cfg.MaxReplicaCells)
+	ring := n.cluster.Ring()
 	for _, cl := range cliques {
 		n.rngMu.Lock()
-		cands := replication.CandidateHelpers(cl.Root.Geohash, n.cluster.ring, n.id, cfg, n.rng)
+		cands := replication.CandidateHelpers(cl.Root.Geohash, ring, n.id, cfg, n.rng)
 		n.rngMu.Unlock()
 		for _, cand := range cands {
-			helper := n.cluster.nodes[cand]
+			helper := n.cluster.node(cand)
 			if helper == nil || !helper.askDistress(cl.Root, cl.Size()) {
 				continue // negative ack: retry around the antipode
 			}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 
 	"stash/internal/geohash"
 )
@@ -29,7 +30,24 @@ var ErrNoNodes = errors.New("dht: ring has no nodes")
 // NodeID identifies a cluster member.
 type NodeID int
 
-func (n NodeID) String() string { return fmt.Sprintf("node-%d", int(n)) }
+// nodeLabels caches the formatted form of the low IDs, which are the only
+// ones that exist in practice (clusters are built 0..n-1 and joins extend
+// from there). String() sits on the metrics/profile attribution hot path, so
+// the common case must not format.
+var nodeLabels = func() [1024]string {
+	var a [1024]string
+	for i := range a {
+		a[i] = "node-" + strconv.Itoa(i)
+	}
+	return a
+}()
+
+func (n NodeID) String() string {
+	if n >= 0 && int(n) < len(nodeLabels) {
+		return nodeLabels[n]
+	}
+	return "node-" + strconv.Itoa(int(n))
+}
 
 // Ring is the shared partition map. It is immutable after construction, so
 // every node can hold the same value and route without coordination.
@@ -50,6 +68,24 @@ func NewRing(n, prefixLen int) (*Ring, error) {
 	if n <= 0 {
 		return nil, ErrNoNodes
 	}
+	nodes := make([]NodeID, n)
+	for i := range nodes {
+		nodes[i] = NodeID(i)
+	}
+	return NewRingFromNodes(nodes, prefixLen)
+}
+
+// NewRingFromNodes builds a ring over an arbitrary (non-empty, duplicate-free)
+// node set. Membership changes produce node sets that are neither contiguous
+// nor zero-based — a join appends a fresh ID, a leave punches a hole — so the
+// elastic layer constructs its rings through this entry point. The vnode
+// placement of a given NodeID depends only on that ID, never on the rest of
+// the set, which is what bounds key movement under churn to the departing or
+// arriving node's arc.
+func NewRingFromNodes(nodes []NodeID, prefixLen int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
 	if prefixLen <= 0 {
 		prefixLen = DefaultPrefixLen
 	}
@@ -57,18 +93,32 @@ func NewRing(n, prefixLen int) (*Ring, error) {
 		return nil, fmt.Errorf("dht: prefix length %d exceeds max geohash precision", prefixLen)
 	}
 	r := &Ring{prefixLen: prefixLen}
-	r.nodes = make([]NodeID, n)
-	for i := range r.nodes {
-		r.nodes[i] = NodeID(i)
+	r.nodes = make([]NodeID, len(nodes))
+	copy(r.nodes, nodes)
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i] < r.nodes[j] })
+	for i := 1; i < len(r.nodes); i++ {
+		if r.nodes[i] == r.nodes[i-1] {
+			return nil, fmt.Errorf("dht: duplicate node id %v", r.nodes[i])
+		}
 	}
 	type vn struct {
 		key   uint64
 		owner NodeID
 	}
-	vns := make([]vn, 0, n*vnodesPerNode)
+	vns := make([]vn, 0, len(r.nodes)*vnodesPerNode)
+	// One reusable buffer for every vnode key: "vnode-<id>-<v>" assembled
+	// with strconv.AppendInt instead of a fmt.Sprintf allocation per vnode
+	// (64 per node; see BenchmarkNewRing).
+	buf := make([]byte, 0, 32)
 	for _, id := range r.nodes {
+		buf = buf[:0]
+		buf = append(buf, "vnode-"...)
+		buf = strconv.AppendInt(buf, int64(id), 10)
+		buf = append(buf, '-')
+		prefix := len(buf)
 		for v := 0; v < vnodesPerNode; v++ {
-			vns = append(vns, vn{key: hash64(fmt.Sprintf("vnode-%d-%d", int(id), v)), owner: id})
+			buf = strconv.AppendInt(buf[:prefix], int64(v), 10)
+			vns = append(vns, vn{key: hash64Bytes(buf), owner: id})
 		}
 	}
 	sort.Slice(vns, func(i, j int) bool {
@@ -83,10 +133,9 @@ func NewRing(n, prefixLen int) (*Ring, error) {
 		r.vnodeKeys[i] = v.key
 		r.vnodeOwners[i] = v.owner
 	}
-	// Placement topology of the most recently built ring: clusters are
-	// rebuilt wholesale (never resized live), so last-writer-wins is the
-	// correct exposition.
-	mNodes.Set(int64(n))
+	// Placement topology of the most recently built ring: membership changes
+	// install a whole new ring, so last-writer-wins is the correct exposition.
+	mNodes.Set(int64(len(r.nodes)))
 	mPlacements.Add(int64(len(vns)))
 	return r, nil
 }
@@ -176,7 +225,26 @@ func allPrefixes(n int) []string {
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
-	x := h.Sum64()
+	return finalize64(h.Sum64())
+}
+
+// hash64Bytes is hash64 over a byte slice, with the FNV-1a loop inlined so
+// ring construction can hash a reusable buffer without the hash.Hash
+// allocation per key. Must stay bit-identical to hash64 on the same bytes.
+func hash64Bytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	x := uint64(offset64)
+	for _, c := range b {
+		x ^= uint64(c)
+		x *= prime64
+	}
+	return finalize64(x)
+}
+
+func finalize64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27

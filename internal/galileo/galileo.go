@@ -55,7 +55,7 @@ const DefaultBlockPrefixLen = 3
 
 // Store is one node's shard of the Galileo storage system.
 type Store struct {
-	ring       *dht.Ring
+	ring       atomic.Pointer[dht.Ring] // swapped on membership epoch flips
 	node       dht.NodeID
 	gen        *namgen.Generator
 	model      simnet.Model
@@ -75,8 +75,17 @@ func NewStore(ring *dht.Ring, node dht.NodeID, gen *namgen.Generator, model simn
 	if ring.PrefixLen() > blockLen {
 		blockLen = ring.PrefixLen()
 	}
-	return &Store{ring: ring, node: node, gen: gen, model: model, sleeper: sleeper, blockLen: blockLen}
+	s := &Store{node: node, gen: gen, model: model, sleeper: sleeper, blockLen: blockLen}
+	s.ring.Store(ring)
+	return s
 }
+
+// UpdateRing swaps the partition map this shard filters ownership by. The
+// membership controller installs the new epoch's ring here when it flips, so
+// the shard immediately claims (or disclaims) the blocks of moved partitions.
+// In-flight fetches finish against whichever ring they loaded — a harmless
+// transient covered by the coordinator's not-owner retry.
+func (s *Store) UpdateRing(r *dht.Ring) { s.ring.Store(r) }
 
 // SetHistograms toggles per-attribute histogram maintenance during scans
 // (using namgen.HistogramSpecs), so result cells can drive histogram panels.
@@ -96,8 +105,8 @@ func (s *Store) SetParallelReads(n int) {
 // SetBlockPrefixLen overrides the block granularity (clamped to at least
 // the ring's partition prefix, at most geohash.MaxPrecision).
 func (s *Store) SetBlockPrefixLen(n int) {
-	if n < s.ring.PrefixLen() {
-		n = s.ring.PrefixLen()
+	if n < s.ring.Load().PrefixLen() {
+		n = s.ring.Load().PrefixLen()
 	}
 	if n > geohash.MaxPrecision {
 		n = geohash.MaxPrecision
@@ -122,7 +131,7 @@ func (s *Store) BlocksRead() int64 { return s.blocksRead.Load() }
 func (s *Store) PointsScanned() int64 { return s.pointsScanned.Load() }
 
 // Owns reports whether this shard owns the partition of the given geohash.
-func (s *Store) Owns(gh string) bool { return s.ring.Owner(gh) == s.node }
+func (s *Store) Owns(gh string) bool { return s.ring.Load().Owner(gh) == s.node }
 
 // blockPrefixes expands a cell geohash to the block prefixes storing its
 // data. Geohashes at or beyond the block prefix length map to a single
@@ -145,7 +154,8 @@ func (s *Store) blockPrefixes(gh string) []string {
 // ownerOf returns the node owning a block prefix: ownership follows the
 // ring's coarser partition prefix.
 func (s *Store) ownerOf(blockPrefix string) dht.NodeID {
-	return s.ring.OwnerOfPartition(s.ring.Partition(blockPrefix))
+	r := s.ring.Load()
+	return r.OwnerOfPartition(r.Partition(blockPrefix))
 }
 
 // BlocksForKeys returns the distinct blocks owned by this shard that hold

@@ -311,13 +311,26 @@ func (r *Registry) FlatSnapshot() map[string]float64 {
 	return out
 }
 
-// famView is a race-free copy of one family taken under the registry lock:
-// series pointers are stable once created, so only the maps need copying.
+// famView is a race-free copy of one family taken under the registry lock.
 type famView struct {
 	name   string
 	kind   Kind
 	help   string
-	series []*series // sorted by label key
+	series []seriesView // sorted by label key
+}
+
+// seriesView copies a series' instrument pointers under the registry lock.
+// The series struct itself is not safe to read outside it: getSeries creates
+// a bare series and the instrument fields (c/g/h/fn) are attached by a later
+// locked write, so a reader holding only the *series could race that write.
+// The instruments behind the pointers are atomics, safe to read lock-free.
+type seriesView struct {
+	labels []Label
+	key    string
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
 }
 
 // sortedFamilies snapshots families (and their series lists) in name order.
@@ -327,9 +340,11 @@ func (r *Registry) sortedFamilies() []famView {
 	out := make([]famView, 0, len(r.families))
 	for _, f := range r.families {
 		v := famView{name: f.name, kind: f.kind, help: f.help,
-			series: make([]*series, 0, len(f.series))}
+			series: make([]seriesView, 0, len(f.series))}
 		for _, s := range f.series {
-			v.series = append(v.series, s)
+			v.series = append(v.series, seriesView{
+				labels: s.labels, key: s.key, c: s.c, g: s.g, fn: s.fn, h: s.h,
+			})
 		}
 		sort.Slice(v.series, func(i, j int) bool { return v.series[i].key < v.series[j].key })
 		out = append(out, v)

@@ -35,7 +35,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, f famView, s *series) error {
+func writeSeries(w io.Writer, f famView, s seriesView) error {
 	switch {
 	case s.c != nil:
 		return writeSample(w, f.name, s.key, "", float64(s.c.Value()))

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"stash/internal/cluster"
+	"stash/internal/dht"
 	"stash/internal/galileo"
 	"stash/internal/geohash"
 	"stash/internal/oracle"
@@ -43,6 +44,12 @@ type Config struct {
 	// Updates interleaves simulated ingest (UpdateBlock: generator bump +
 	// cluster-wide invalidation) between query steps. Forces Sequential.
 	Updates bool
+	// Churn drives online membership changes (node joins and leaves, each a
+	// full epoch flip with warm handoff) while the sessions run. Queries that
+	// exhaust their epoch retries are tolerated like fault errors; every
+	// returned result is still held to the oracle contract, and the failing
+	// session is not shrunk (flip timing is wall-clock dependent).
+	Churn bool
 	// Sequential runs a single session instead of concurrent ones.
 	Sequential bool
 }
@@ -79,6 +86,7 @@ func Matrix() []Config {
 			cfg.ServeSingleflight = true
 		}},
 		{Name: "replication", Tune: hotRepl},
+		{Name: "membership-churn", Churn: true},
 		{Name: "updates", Updates: true, Sequential: true},
 		{Name: "faults-partial", Faults: true, Tune: func(cfg *cluster.Config) {
 			cfg.Resilience = fastResilience(true)
@@ -183,6 +191,7 @@ type Stats struct {
 	Updates  int   // ingest bumps applied
 	Repeats  int   // metamorphic repeat-identity checks performed
 	PanPairs int   // pan footprint-continuity checks performed
+	Flips    int   // membership epoch flips driven (churn configs only)
 }
 
 func (s *Stats) add(o Stats) {
@@ -194,6 +203,7 @@ func (s *Stats) add(o Stats) {
 	s.Updates += o.Updates
 	s.Repeats += o.Repeats
 	s.PanPairs += o.PanPairs
+	s.Flips += o.Flips
 }
 
 // Failure is one detected divergence, with everything needed to reproduce
@@ -250,6 +260,38 @@ func Run(cfg Config, opts Options) (Stats, *Failure) {
 	defer c.Stop()
 	o := oracle.ForCluster(c)
 
+	// Churn configs run a driver alongside the sessions: alternate joins and
+	// leaves, each a full three-phase warm handoff plus epoch flip, so the
+	// workload crosses many ownership changes mid-query.
+	stopChurn := make(chan struct{})
+	var churnDone chan int
+	if cfg.Churn {
+		churnDone = make(chan int, 1)
+		go func() {
+			flips := 0
+			var joined []dht.NodeID
+			for i := 0; ; i++ {
+				select {
+				case <-stopChurn:
+					churnDone <- flips
+					return
+				case <-time.After(25 * time.Millisecond):
+				}
+				if i%2 == 0 {
+					if id, err := c.Join(); err == nil {
+						joined = append(joined, id)
+						flips++
+					}
+				} else if len(joined) > 0 {
+					if err := c.Leave(joined[0]); err == nil {
+						joined = joined[1:]
+						flips++
+					}
+				}
+			}
+		}()
+	}
+
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
@@ -270,8 +312,12 @@ func Run(cfg Config, opts Options) (Stats, *Failure) {
 		}(i)
 	}
 	wg.Wait()
+	if cfg.Churn {
+		close(stopChurn)
+		stats.Flips = <-churnDone
+	}
 
-	if first != nil && !cfg.Faults && !opts.NoShrink {
+	if first != nil && !cfg.Faults && !cfg.Churn && !opts.NoShrink {
 		first.Repro = Shrink(cfg, opts, all[first.Session], first.Step)
 	}
 	return stats, first
@@ -474,7 +520,7 @@ func runSession(c *cluster.Cluster, o *oracle.Oracle, cfg Config, opts Options, 
 		stats.Queries++
 		got, err := cl.Query(step.Q)
 		if err != nil {
-			if cfg.Faults {
+			if cfg.Faults || cfg.Churn {
 				stats.Errors++
 				prev = nil
 				continue

@@ -247,6 +247,25 @@ func (t *Table) Purge(now time.Time, ttl time.Duration) int {
 	return n
 }
 
+// PurgeWhere drops every route the predicate matches (with its helper-cell
+// accounting), returning how many were removed. The membership controller
+// uses it on epoch changes: a route whose root partition moved points redirect
+// traffic at a helper chosen for an owner that no longer serves the clique,
+// and a route whose helper departed points at nobody.
+func (t *Table) PurgeWhere(pred func(Route) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for root, r := range t.routes {
+		if pred(r) {
+			t.dropFromHelperLocked(r)
+			delete(t.routes, root)
+			n++
+		}
+	}
+	return n
+}
+
 // Roots lists the roots of all live routes.
 func (t *Table) Roots() []cell.Key {
 	t.mu.Lock()

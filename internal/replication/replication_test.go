@@ -256,3 +256,32 @@ func TestTableHelpers(t *testing.T) {
 		t.Fatalf("helpers survive purge: %v", hs)
 	}
 }
+
+func TestTablePurgeWhere(t *testing.T) {
+	tb := NewTable()
+	now := time.Now()
+	tb.Add(k("9q"), 1, []cell.Key{k("9q1")}, now)
+	tb.Add(k("u4"), 2, []cell.Key{k("u41")}, now)
+	tb.Add(k("dr"), 2, []cell.Key{k("dr1")}, now)
+
+	// Purge routes whose helper is node 2, as a membership change would
+	// after that helper departs.
+	if n := tb.PurgeWhere(func(r Route) bool { return r.Helper == 2 }); n != 2 {
+		t.Fatalf("purged %d, want 2", n)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len after purge = %d", tb.Len())
+	}
+	if _, ok := tb.Lookup([]cell.Key{k("u41")}); ok {
+		t.Error("purged helper still routed")
+	}
+	if _, ok := tb.Lookup([]cell.Key{k("9q1")}); !ok {
+		t.Error("surviving route lost")
+	}
+	if helpers := tb.Helpers(); len(helpers) != 1 || helpers[0] != 1 {
+		t.Errorf("Helpers after purge = %v", helpers)
+	}
+	if n := tb.PurgeWhere(func(Route) bool { return false }); n != 0 {
+		t.Errorf("no-op purge removed %d", n)
+	}
+}

@@ -672,6 +672,80 @@ func (g *Graph) Snapshot(keys []cell.Key) query.Result {
 	return res
 }
 
+// ExtractPartitions removes and returns every resident cell that belongs to
+// one of the moved partitions, for warm handoff during a membership change.
+// A cell belongs to partition gh[:prefixLen]; only cells at least as fine as
+// the partitioning prefix are extracted — such a cell's extent lies entirely
+// inside one partition, so its summary is valid verbatim on the new owner.
+// Coarser cells are a different story (see DropCoarsePartials) and are left
+// untouched here. Negative-cache entries (empty summaries) are extracted too:
+// on the new owner they keep sparse regions from re-scanning disk.
+//
+// Removal goes through the PLM (MarkAbsent), so the old owner honestly
+// misses on these keys after the freeze lifts.
+func (g *Graph) ExtractPartitions(prefixLen int, moved map[string]bool) query.Result {
+	res := query.NewResult()
+	if len(moved) == 0 {
+		return res
+	}
+	for _, s := range g.stripes {
+		g.lockStripe(s)
+		for lvl := range s.levels {
+			for k, c := range s.levels[lvl] {
+				if len(k.Geohash) < prefixLen || !moved[k.Geohash[:prefixLen]] {
+					continue
+				}
+				// A stale cell (invalidated by ingest, not yet lazily
+				// evicted) is removed but never shipped: the new owner's PLM
+				// would mark it fresh on insert, laundering stale data.
+				if !g.plm.IsStale(k) {
+					res.Add(k, c.Summary)
+				}
+				g.removeLocked(s, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return res
+}
+
+// DropCoarsePartials removes cached cells coarser than the partitioning
+// prefix whose region extends into any of the given partitions. A coarse
+// cell's summary is a per-node partial: it aggregates exactly the extending
+// partitions this node owned when the cell was cached. After a membership
+// change that set is different — the partial over-counts on a node that lost
+// partitions and under-counts on one that gained them — so migrating it (or
+// keeping it) would serve wrong answers. It must be dropped and rebuilt from
+// the new ownership. Returns the number of cells dropped.
+func (g *Graph) DropCoarsePartials(prefixLen int, changed map[string]bool) int {
+	if len(changed) == 0 {
+		return 0
+	}
+	extendsChanged := func(gh string) bool {
+		for p := range changed {
+			if len(p) >= len(gh) && p[:len(gh)] == gh {
+				return true
+			}
+		}
+		return false
+	}
+	dropped := 0
+	for _, s := range g.stripes {
+		g.lockStripe(s)
+		for lvl := range s.levels {
+			for k := range s.levels[lvl] {
+				if len(k.Geohash) >= prefixLen || !extendsChanged(k.Geohash) {
+					continue
+				}
+				g.removeLocked(s, k)
+				dropped++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return dropped
+}
+
 // DeriveFromChildren attempts to compute a missing cell's summary from
 // cached finer-resolution cells instead of touching disk (paper §V-B: disk
 // access is required only if the missing values "are not available by

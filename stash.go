@@ -184,6 +184,15 @@ type NodeID = dht.NodeID
 // NodeStats snapshots one node's counters.
 type NodeStats = cluster.NodeStats
 
+// RebalanceStatus snapshots the membership epoch, the member list, and the
+// cumulative warm-handoff counters of a cluster's elastic membership layer.
+type RebalanceStatus = cluster.RebalanceStatus
+
+// ErrNotOwner is the retriable bounce a node returns when a request was
+// routed under a superseded membership epoch; coordinators refresh their
+// view and re-plan on it.
+type ErrNotOwner = cluster.ErrNotOwner
+
 // DefaultConfig returns a 16-node STASH-enabled cluster with metered
 // (non-sleeping) simulated costs — a good starting point for examples and
 // tests. For timing experiments swap in a sleeping cost applier:
