@@ -100,6 +100,10 @@ func BenchmarkAblationAntipode(b *testing.B) { runExperiment(b, "abl-antipode") 
 // sessions with request coalescing + serve-side singleflight off vs on.
 func BenchmarkExtCoalesce(b *testing.B) { runExperiment(b, "ext-coalesce") }
 
+// BenchmarkExtMerge regenerates ext-merge: the coordinator's serial reply
+// fold vs the parallel tournament fan-in at 8-64 shares.
+func BenchmarkExtMerge(b *testing.B) { runExperiment(b, "ext-merge") }
+
 // BenchmarkGraphParallel measures the STASH graph under concurrent workers at
 // different lock-striping factors. stripes=1 is the original single-lock
 // graph; with -cpu=4 (or more) *hardware* threads the striped variants win by

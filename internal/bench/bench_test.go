@@ -34,6 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-faults",
 		"ext-coalesce",
 		"ext-elastic",
+		"ext-merge",
 		"diff",
 	}
 	have := map[string]bool{}
@@ -241,6 +242,39 @@ func TestRunExtCoalesceSmoke(t *testing.T) {
 	}
 	rep.Print(&buf)
 	if !strings.Contains(buf.String(), "ext-coalesce") {
+		t.Error("report not printed")
+	}
+}
+
+// TestRunExtMergeSmoke runs the fan-in experiment at reduced width and
+// asserts the acceptance shape: the tournament beats the serial fold at 16
+// shares and beyond (the 8-share row is allowed to tie — goroutine overhead
+// can eat the win at narrow fan-out).
+func TestRunExtMergeSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Out = &buf
+	rep, out, err := runExtMerge(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(out.widths) {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(out.widths))
+	}
+	// The shape assertion only holds without the race detector: -race
+	// serializes through its happens-before machinery on every semaphore and
+	// mutex hop, which taxes the tournament's synchronization far more than
+	// the serial fold's single goroutine.
+	if !raceEnabled {
+		for i, width := range out.widths {
+			if width >= 16 && out.tournament[i] >= out.serial[i] {
+				t.Errorf("tournament lost at %d shares: %v vs serial %v",
+					width, out.tournament[i], out.serial[i])
+			}
+		}
+	}
+	rep.Print(&buf)
+	if !strings.Contains(buf.String(), "ext-merge") {
 		t.Error("report not printed")
 	}
 }

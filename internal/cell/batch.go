@@ -1,0 +1,229 @@
+package cell
+
+// SummaryBatch is the columnar counterpart of Summary: a batch of cells laid
+// out structure-of-arrays, one row per cell and one lane per attribute, with
+// each lane's aggregates (count/sum/min/max) in their own contiguous slices.
+//
+//	lane "temperature":  counts [c0 c1 c2 ...]   sums [s0 s1 s2 ...]
+//	                     mins   [m0 m1 m2 ...]   maxs [M0 M1 M2 ...]
+//	lane "humidity":     counts [...]            ...
+//
+// Merging two batches touches four flat float/int arrays per lane instead of
+// N small maps of Stat structs, so the inner loop is sequential loads and
+// stores with the bounds checks hoisted — the cache-conscious layout the
+// aggregation core's steady state runs on. The scalar Summary stays the
+// compatibility wrapper (the wire format, the cache, and the oracle all speak
+// it); RowSummary and MergeSummaryAt convert at the edges.
+//
+// Histograms are NOT carried in batches: a summary with Hists set must stay
+// on the scalar path (see query.ColumnarResult's spill map). A lane slot with
+// Count == 0 means "attribute absent for this row" — real aggregates always
+// have Count >= 1, and materialization skips empty slots so round-tripping
+// never invents zero-count attribute entries the oracle would flag.
+//
+// The zero value is an empty batch ready for use. A SummaryBatch is not safe
+// for concurrent use.
+type SummaryBatch struct {
+	attrs []string       // lane order, first-seen
+	lane  map[string]int // attr -> lane index
+	rows  int
+
+	counts [][]int64 // [lane][row]
+	sums   [][]float64
+	mins   [][]float64
+	maxs   [][]float64
+}
+
+// Rows returns the number of cell rows in the batch.
+func (b *SummaryBatch) Rows() int { return b.rows }
+
+// Attrs returns the attribute lanes in lane order. The slice is shared with
+// the batch; callers must not mutate it.
+func (b *SummaryBatch) Attrs() []string { return b.attrs }
+
+// Reset empties the batch for reuse, keeping lanes and slice capacity so a
+// pooled batch's steady state allocates nothing.
+func (b *SummaryBatch) Reset() {
+	b.rows = 0
+	for l := range b.counts {
+		b.counts[l] = b.counts[l][:0]
+		b.sums[l] = b.sums[l][:0]
+		b.mins[l] = b.mins[l][:0]
+		b.maxs[l] = b.maxs[l][:0]
+	}
+}
+
+// EnsureLane returns the lane index of attr, creating the lane (backfilled
+// with empty slots for existing rows) on first sight.
+func (b *SummaryBatch) EnsureLane(attr string) int {
+	if l, ok := b.lane[attr]; ok {
+		return l
+	}
+	if b.lane == nil {
+		b.lane = make(map[string]int, 4)
+	}
+	l := len(b.attrs)
+	b.attrs = append(b.attrs, attr)
+	b.lane[attr] = l
+	b.counts = append(b.counts, make([]int64, b.rows))
+	b.sums = append(b.sums, make([]float64, b.rows))
+	b.mins = append(b.mins, make([]float64, b.rows))
+	b.maxs = append(b.maxs, make([]float64, b.rows))
+	return l
+}
+
+// AppendRow adds one empty row (every lane slot at Count 0) and returns its
+// index.
+func (b *SummaryBatch) AppendRow() int {
+	r := b.rows
+	b.rows++
+	for l := range b.counts {
+		b.counts[l] = append(b.counts[l], 0)
+		b.sums[l] = append(b.sums[l], 0)
+		b.mins[l] = append(b.mins[l], 0)
+		b.maxs[l] = append(b.maxs[l], 0)
+	}
+	return r
+}
+
+// ObserveAt folds one raw value into (row, lane) — the columnar Stat.Observe.
+func (b *SummaryBatch) ObserveAt(lane, row int, v float64) {
+	c := b.counts[lane]
+	if c[row] == 0 {
+		b.mins[lane][row] = v
+		b.maxs[lane][row] = v
+	} else {
+		if v < b.mins[lane][row] {
+			b.mins[lane][row] = v
+		}
+		if v > b.maxs[lane][row] {
+			b.maxs[lane][row] = v
+		}
+	}
+	c[row]++
+	b.sums[lane][row] += v
+}
+
+// MergeStatAt folds one scalar aggregate into (row, lane) — the columnar
+// Stat.Merge.
+func (b *SummaryBatch) MergeStatAt(lane, row int, st Stat) {
+	if st.Count == 0 {
+		return
+	}
+	c := b.counts[lane]
+	if c[row] == 0 {
+		c[row] = st.Count
+		b.sums[lane][row] = st.Sum
+		b.mins[lane][row] = st.Min
+		b.maxs[lane][row] = st.Max
+		return
+	}
+	c[row] += st.Count
+	b.sums[lane][row] += st.Sum
+	if st.Min < b.mins[lane][row] {
+		b.mins[lane][row] = st.Min
+	}
+	if st.Max > b.maxs[lane][row] {
+		b.maxs[lane][row] = st.Max
+	}
+}
+
+// MergeSummaryAt folds a scalar summary's stats into an existing row.
+// Histograms are ignored; callers route histogram-bearing summaries to the
+// scalar path instead.
+func (b *SummaryBatch) MergeSummaryAt(row int, s Summary) {
+	for attr, st := range s.Stats {
+		if st.Count == 0 {
+			continue
+		}
+		b.MergeStatAt(b.EnsureLane(attr), row, st)
+	}
+}
+
+// AppendSummary adds a new row holding the scalar summary's stats and returns
+// its index.
+func (b *SummaryBatch) AppendSummary(s Summary) int {
+	r := b.AppendRow()
+	b.MergeSummaryAt(r, s)
+	return r
+}
+
+// StatAt returns the scalar aggregate at (row, lane); a zero Stat means the
+// attribute is absent for that row.
+func (b *SummaryBatch) StatAt(lane, row int) Stat {
+	if b.counts[lane][row] == 0 {
+		return Stat{}
+	}
+	return Stat{
+		Count: b.counts[lane][row],
+		Sum:   b.sums[lane][row],
+		Min:   b.mins[lane][row],
+		Max:   b.maxs[lane][row],
+	}
+}
+
+// RowSummary materializes one row as a scalar Summary with a freshly
+// allocated stats map (never aliasing batch storage, so the batch can be
+// reset and reused without reaching previously returned summaries).
+func (b *SummaryBatch) RowSummary(row int) Summary {
+	s := Summary{Stats: make(map[string]Stat, len(b.attrs))}
+	for l, attr := range b.attrs {
+		if b.counts[l][row] == 0 {
+			continue
+		}
+		s.Stats[attr] = Stat{
+			Count: b.counts[l][row],
+			Sum:   b.sums[l][row],
+			Min:   b.mins[l][row],
+			Max:   b.maxs[l][row],
+		}
+	}
+	return s
+}
+
+// MergeRows folds every row of o into this batch: o's row i merges into this
+// batch's row dstRows[i]. This is the columnar gather at the heart of the
+// tournament merge: per lane, four source arrays stream into four destination
+// arrays with the bounds checks hoisted out of the row loop.
+func (b *SummaryBatch) MergeRows(dstRows []int32, o *SummaryBatch) {
+	if len(dstRows) != o.rows {
+		panic("cell: MergeRows dstRows length mismatch")
+	}
+	if o.rows == 0 {
+		return
+	}
+	for ol, attr := range o.attrs {
+		dl := b.EnsureLane(attr)
+		// Hoist the per-lane slices; slicing to len(dstRows) lets the
+		// compiler drop the bounds checks in the inner loop.
+		oc := o.counts[ol][:len(dstRows)]
+		os := o.sums[ol][:len(dstRows)]
+		omin := o.mins[ol][:len(dstRows)]
+		omax := o.maxs[ol][:len(dstRows)]
+		dc := b.counts[dl]
+		ds := b.sums[dl]
+		dmin := b.mins[dl]
+		dmax := b.maxs[dl]
+		for i, dr := range dstRows {
+			c := oc[i]
+			if c == 0 {
+				continue
+			}
+			if dc[dr] == 0 {
+				dc[dr] = c
+				ds[dr] = os[i]
+				dmin[dr] = omin[i]
+				dmax[dr] = omax[i]
+				continue
+			}
+			dc[dr] += c
+			ds[dr] += os[i]
+			if omin[i] < dmin[dr] {
+				dmin[dr] = omin[i]
+			}
+			if omax[i] > dmax[dr] {
+				dmax[dr] = omax[i]
+			}
+		}
+	}
+}

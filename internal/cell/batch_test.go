@@ -1,0 +1,184 @@
+package cell
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randBatchSummary builds a scalar summary with a random subset of attrs and
+// a few observations each, deterministically from rng.
+func randBatchSummary(rng *rand.Rand) Summary {
+	attrs := []string{"temperature", "humidity", "precipitation", "snow"}
+	s := NewSummary()
+	for _, attr := range attrs {
+		if rng.Intn(3) == 0 {
+			continue // absent lane for this row
+		}
+		for n := rng.Intn(5); n >= 0; n-- {
+			s.Observe(attr, rng.NormFloat64()*50)
+		}
+	}
+	return s
+}
+
+func summariesEqual(t *testing.T, got, want Summary, eps float64) {
+	t.Helper()
+	if len(got.Stats) != len(want.Stats) {
+		t.Fatalf("attr sets differ: got %v want %v", got.Attrs(), want.Attrs())
+	}
+	for attr, ws := range want.Stats {
+		gs, ok := got.Stats[attr]
+		if !ok {
+			t.Fatalf("missing attr %q", attr)
+		}
+		if !gs.ApproxEqual(ws, eps) {
+			t.Fatalf("attr %q: got %+v want %+v", attr, gs, ws)
+		}
+	}
+}
+
+// TestSummaryBatchRoundTrip: append scalar summaries, read rows back —
+// bit-exact (a single summary lands in an empty row by copy, no reordering).
+func TestSummaryBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var b SummaryBatch
+	var want []Summary
+	for i := 0; i < 64; i++ {
+		s := randBatchSummary(rng)
+		want = append(want, s)
+		if got := b.AppendSummary(s); got != i {
+			t.Fatalf("row %d appended at %d", i, got)
+		}
+	}
+	if b.Rows() != len(want) {
+		t.Fatalf("rows = %d, want %d", b.Rows(), len(want))
+	}
+	for i, w := range want {
+		summariesEqual(t, b.RowSummary(i), w, 0)
+	}
+}
+
+// TestSummaryBatchMergeMatchesScalar: merging a summary into an occupied row
+// must agree with scalar Summary.Merge.
+func TestSummaryBatchMergeMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a, c := randBatchSummary(rng), randBatchSummary(rng)
+		var b SummaryBatch
+		row := b.AppendSummary(a)
+		b.MergeSummaryAt(row, c)
+
+		want := a.Clone()
+		want.Merge(c)
+		summariesEqual(t, b.RowSummary(row), want, 0)
+	}
+}
+
+// TestSummaryBatchMergeRows: the columnar gather must agree with row-by-row
+// scalar merging, including rows that fan into the same destination.
+func TestSummaryBatchMergeRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var dst, src SummaryBatch
+	nDst, nSrc := 8, 24
+	wants := make([]Summary, nDst)
+	for i := 0; i < nDst; i++ {
+		s := randBatchSummary(rng)
+		dst.AppendSummary(s)
+		wants[i] = s.Clone()
+	}
+	dstRows := make([]int32, nSrc)
+	for i := 0; i < nSrc; i++ {
+		s := randBatchSummary(rng)
+		src.AppendSummary(s)
+		d := int32(rng.Intn(nDst))
+		dstRows[i] = d
+		wants[d].Merge(s)
+	}
+	dst.MergeRows(dstRows, &src)
+	for i, w := range wants {
+		summariesEqual(t, dst.RowSummary(i), w, 1e-12)
+	}
+}
+
+// TestSummaryBatchLateLane: a lane first seen after rows exist must backfill
+// empty slots, and Reset must keep lanes while emptying rows.
+func TestSummaryBatchLateLane(t *testing.T) {
+	var b SummaryBatch
+	r0 := b.AppendRow()
+	b.ObserveAt(b.EnsureLane("temperature"), r0, 5)
+	r1 := b.AppendRow()
+	late := b.EnsureLane("wind") // backfills r0 and r1
+	b.ObserveAt(late, r1, 9)
+
+	s0 := b.RowSummary(r0)
+	if _, ok := s0.Stats["wind"]; ok {
+		t.Fatal("backfilled lane leaked a zero-count stat into row 0")
+	}
+	s1 := b.RowSummary(r1)
+	if st := s1.Stats["wind"]; st.Count != 1 || st.Sum != 9 {
+		t.Fatalf("late lane row 1 = %+v", st)
+	}
+
+	b.Reset()
+	if b.Rows() != 0 {
+		t.Fatalf("rows after reset = %d", b.Rows())
+	}
+	r := b.AppendRow()
+	if s := b.RowSummary(r); len(s.Stats) != 0 {
+		t.Fatalf("reused batch invented stats: %+v", s.Stats)
+	}
+}
+
+// FuzzSummaryBatchRoundTrip round-trips randomized scalar summaries through
+// the columnar representation and cross-checks a two-sided merge against the
+// scalar algebra: batch(a) merged with batch(b) must equal Summary a.Merge(b)
+// within float tolerance.
+func FuzzSummaryBatchRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(99), uint8(17))
+	f.Add(int64(-4), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int(n%32) + 1
+		var ba, bb SummaryBatch
+		as := make([]Summary, rows)
+		bs := make([]Summary, rows)
+		for i := 0; i < rows; i++ {
+			as[i] = randBatchSummary(rng)
+			bs[i] = randBatchSummary(rng)
+			ba.AppendSummary(as[i])
+			bb.AppendSummary(bs[i])
+		}
+		// Round trip: row i must read back as as[i] exactly.
+		for i := 0; i < rows; i++ {
+			got := ba.RowSummary(i)
+			if len(got.Stats) != len(as[i].Stats) {
+				t.Fatalf("row %d attr sets differ", i)
+			}
+			for attr, ws := range as[i].Stats {
+				if gs := got.Stats[attr]; !gs.ApproxEqual(ws, 0) {
+					t.Fatalf("row %d attr %q: got %+v want %+v", i, attr, gs, ws)
+				}
+			}
+		}
+		// Merge equivalence: identity gather of bb into ba == scalar merges.
+		dstRows := make([]int32, rows)
+		for i := range dstRows {
+			dstRows[i] = int32(i)
+		}
+		ba.MergeRows(dstRows, &bb)
+		for i := 0; i < rows; i++ {
+			want := as[i].Clone()
+			want.Merge(bs[i])
+			got := ba.RowSummary(i)
+			if len(got.Stats) != len(want.Stats) {
+				t.Fatalf("merged row %d attr sets differ: got %v want %v", i, got.Attrs(), want.Attrs())
+			}
+			for attr, ws := range want.Stats {
+				if gs := got.Stats[attr]; !gs.ApproxEqual(ws, 1e-12) {
+					t.Fatalf("merged row %d attr %q: got %+v want %+v", i, attr, gs, ws)
+				}
+			}
+		}
+	})
+}

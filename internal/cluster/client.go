@@ -182,11 +182,7 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 	fanCtx, fanSpan := obs.StartSpan(ctx, "fanout")
 	fanSpan.SetAttr("shares", fmt.Sprint(len(byNode)))
 
-	type part struct {
-		res query.Result
-		err error
-	}
-	parts := make([]part, 0, len(byNode))
+	fi := newFanIn(cl.cluster.cfg.FanInWorkers)
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
@@ -206,9 +202,15 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 				err = ErrNotOwner{Epoch: cl.cluster.Epoch()}
 			}
 			ss.End()
+			if err == nil {
+				// Replies merge pairwise as they land, on this reply
+				// goroutine; the fan-in owns the reply's cells map from
+				// here and recycles it into the Result pool.
+				fi.add(res, true)
+				return
+			}
 			mu.Lock()
-			parts = append(parts, part{res: res, err: err})
-			if err != nil && firstErr == nil {
+			if firstErr == nil {
 				firstErr = err
 				// Fail fast: release siblings still blocked on slow or
 				// dead nodes instead of waiting out their silence.
@@ -224,18 +226,21 @@ func (cl *Client) fetchFailFast(ctx context.Context, byNode map[dht.NodeID][]cel
 	obs.ProfileFromContext(ctx).AddStage("fanout", fanDur)
 
 	if firstErr != nil {
+		fi.discard()
 		return query.Result{}, firstErr
 	}
+	// Most of the merge work already ran on the reply goroutines; finish
+	// folds the surviving tournament partials and materializes the answer.
 	mergeStart := time.Now()
 	_, mergeSpan := obs.StartSpan(ctx, "merge")
-	merged := query.NewResult()
-	for _, p := range parts {
-		merged.Merge(p.res)
-	}
+	merged := fi.finish()
 	mergeSpan.End()
 	mergeDur := time.Since(mergeStart)
 	mStageMerge.ObserveDuration(mergeDur)
-	obs.ProfileFromContext(ctx).AddStage("merge", mergeDur)
+	if p := obs.ProfileFromContext(ctx); p != nil {
+		p.AddStage("merge", mergeDur)
+		p.AddMergeFanIn(fi.stats())
+	}
 	return merged, nil
 }
 
@@ -263,6 +268,7 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 	fanCtx, fanSpan := obs.StartSpan(ctx, "fanout")
 	fanSpan.SetAttr("shares", fmt.Sprint(len(byNode)))
 
+	fi := newFanIn(cl.cluster.cfg.FanInWorkers)
 	outs := make([]*shareOutcome, 0, len(byNode))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -273,6 +279,12 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 		go func(o *shareOutcome) {
 			defer wg.Done()
 			cl.fetchShare(fanCtx, o, rc)
+			// Fold this share's cells pairwise as they land (a failed share
+			// may still carry a scatter partial). The fan-in owns the map
+			// from here; the coverage accounting below reads only
+			// keys/served/err.
+			fi.add(o.res, true)
+			o.res = query.Result{}
 			if o.err != nil && !rc.AllowPartial {
 				// The whole query is doomed; release the other shares.
 				mu.Lock()
@@ -296,19 +308,21 @@ func (cl *Client) fetchResilient(ctx context.Context, byNode map[dht.NodeID][]ce
 		obs.ProfileFromContext(ctx).AddStage("merge", mergeDur)
 	}()
 
-	// Deterministic assembly: sort shares by node id so merged-float order,
-	// first-error choice, and NodeErrors content are reproducible for a
-	// given fault schedule.
+	// Deterministic assembly: sort shares by node id so first-error choice
+	// and NodeErrors content are reproducible for a given fault schedule.
+	// (Cell merge order is the tournament's and may vary run to run; only
+	// float summation order differs, which the oracle compares within
+	// SumEpsilon.)
 	sort.Slice(outs, func(i, j int) bool { return outs[i].id < outs[j].id })
 
-	merged := query.NewResult()
+	merged := fi.finish()
+	obs.ProfileFromContext(ctx).AddMergeFanIn(fi.stats())
 	cov := query.Coverage{NodeErrors: map[string]string{}}
 	needed := map[cell.Key]int{}
 	got := map[cell.Key]int{}
 	var firstErr error
 	stale := false
 	for _, o := range outs {
-		merged.Merge(o.res)
 		cov.Recovered += o.recovered
 		for _, k := range o.keys {
 			needed[k]++
@@ -537,7 +551,10 @@ func (cl *Client) fetchGuestOnce(ctx context.Context, n *Node, keys []cell.Key, 
 func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc ResilienceConfig) (query.Result, []cell.Key) {
 	mScatterFallbacks.Inc()
 	prof := obs.ProfileFromContext(ctx)
-	res := query.NewResult()
+	// The accumulator comes from the columnar pool, lazily: the pure-failure
+	// path (dead node, breaker trip before any key lands) allocates nothing
+	// and returns the zero Result.
+	var acc *query.ColumnarResult
 	var served []cell.Key
 	fails := 0
 	tripped := false
@@ -562,15 +579,21 @@ func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc
 				continue
 			}
 			fails = 0
-			res.Merge(r)
+			if r.Len() > 0 {
+				if acc == nil {
+					acc = query.GetColumnar()
+				}
+				acc.MergeResult(r)
+			}
+			query.PutResult(r)
 			served = append(served, k)
 			continue
 		}
 		// Coarse key: fetch the owner's partitions one at a time into a
-		// staging result; fold into the answer only if every partition
-		// arrived, so a half-served coarse key never masquerades as a
-		// complete partial.
-		part := query.NewResult()
+		// pooled staging result; fold into the answer only if every
+		// partition arrived, so a half-served coarse key never masquerades
+		// as a complete partial.
+		var part query.Result
 		ok := true
 		for _, p := range cl.partitionPrefixes(k.Geohash, n.id) {
 			if fails >= scatterBreakerLimit {
@@ -596,14 +619,29 @@ func (cl *Client) scatterFetch(ctx context.Context, n *Node, keys []cell.Key, rc
 			}
 			fails = 0
 			if sum, found := r.Cells[pk]; found {
+				if part.Cells == nil {
+					part = query.GetResult()
+				}
 				part.Add(k, sum)
 			}
+			query.PutResult(r)
 		}
 		if ok {
-			res.Merge(part)
+			if part.Len() > 0 {
+				if acc == nil {
+					acc = query.GetColumnar()
+				}
+				acc.MergeResult(part)
+			}
 			served = append(served, k)
 		}
+		query.PutResult(part)
 	}
+	if acc == nil {
+		return query.Result{}, served
+	}
+	res := acc.ToResult()
+	acc.Release()
 	return res, served
 }
 

@@ -104,6 +104,13 @@ type Config struct {
 	// the hot set tracks the current workload rather than all history. Zero
 	// selects DefaultHotKeyDecay; negative disables decay.
 	HotKeyDecay time.Duration
+	// FanInWorkers bounds the concurrent pairwise merges of the coordinator's
+	// tournament reply fan-in. Zero (the default) enables the tournament with
+	// its default bound; positive values set an explicit bound; negative
+	// values select the legacy serial reply merge (the benchmark baseline).
+	// Result semantics are identical either way — merging is commutative and
+	// associative — only float summation order differs.
+	FanInWorkers int
 }
 
 // DefaultHotKeyCapacity is the per-sketch counter budget for hot-key

@@ -147,11 +147,12 @@ func (co *coalescer) fetch(ctx context.Context, n *Node, keys []cell.Key) (query
 		if b.err != nil {
 			return query.Result{}, b.err
 		}
-		// Demux: project the caller's keys out of the batch result. The
-		// summaries are shared with the batch result and the other waiters —
-		// safe, because result summaries are immutable by convention and
-		// query.Result.Add clones before any merge.
-		out := query.NewResultCap(len(keys))
+		// Demux: project the caller's keys out of the batch result into a
+		// pooled Result (the coordinator's fan-in recycles it after the
+		// merge). The summaries are shared with the batch result and the
+		// other waiters — safe, because result summaries are immutable by
+		// convention and query.Result.Add clones before any merge.
+		out := query.GetResult()
 		for _, k := range keys {
 			if s, ok := b.res.Cells[k]; ok {
 				out.Add(k, s)

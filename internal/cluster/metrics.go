@@ -71,6 +71,9 @@ var (
 	// groupByOwner intra-request key dedup (satellite of coalescing).
 	mCoordDedupKeys = counter("stash_coord_request_dedup_keys_total", "Duplicate footprint keys elided before owner fan-out.")
 
+	// Parallel tournament fan-in (coordinator reply merge).
+	mFanInDepth = fanInDepthHistogram()
+
 	// Elastic membership: epoch-versioned shard map and warm handoff.
 	mEpoch             = gauge("stash_cluster_epoch", "Current membership epoch (bumps on every join/leave).")
 	mMembershipJoins   = membershipChange("join")
@@ -156,6 +159,12 @@ func membershipChange(kind string) *obs.Counter {
 	r := obs.Default()
 	r.Help("stash_cluster_membership_changes_total", "Completed membership changes, by kind (join, leave).")
 	return r.Counter("stash_cluster_membership_changes_total", "kind", kind)
+}
+
+func fanInDepthHistogram() *obs.Histogram {
+	r := obs.Default()
+	r.Help("stash_merge_fanin_depth", "Height of the tournament merge tree per query (serial merges observe the partial count).")
+	return r.HistogramBuckets("stash_merge_fanin_depth", []float64{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16})
 }
 
 func fanoutHistogram() *obs.Histogram {

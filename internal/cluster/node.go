@@ -671,7 +671,7 @@ func (n *Node) resolveMisses(ctx context.Context, missing []cell.Key, dst *query
 		n.derived.Add(int64(derived.Len()))
 		mDerived.Add(int64(derived.Len()))
 		prof.AddDerived(derived.Len())
-		dst.Merge(derived)
+		mergeResolved(dst, derived)
 	}
 	if len(unfetched) == 0 {
 		return nil
@@ -684,11 +684,27 @@ func (n *Node) resolveMisses(ctx context.Context, missing []cell.Key, dst *query
 	}
 	n.diskCells.Add(int64(len(unfetched)))
 	prof.AddDiskCells(len(unfetched))
-	dst.Merge(diskRes)
+	mergeResolved(dst, diskRes)
 
 	// Bounded background population.
 	n.populate(diskRes, unfetched, epoch)
 	return nil
+}
+
+// mergeResolved assembles one resolution tier's cells into the reply by
+// direct insert. The tiers are disjoint by construction — derived and
+// disk-scanned keys were graph misses (absent from the served cells), and
+// DeriveBatch hands the disk scan only the keys it could not derive — so the
+// clone-on-collision merge path can never fire and each cell costs exactly
+// one map insert. The inserted summaries stay shared (and immutable by
+// convention) with the population task and the cache.
+func mergeResolved(dst *query.Result, src query.Result) {
+	if dst.Cells == nil {
+		dst.Cells = make(map[cell.Key]cell.Summary, src.Len())
+	}
+	for k, s := range src.Cells {
+		dst.Cells[k] = s
+	}
 }
 
 // sfEntry is one in-flight miss in the serve-side singleflight table. The

@@ -251,19 +251,81 @@ func (s *Store) fetchCells(keys []cell.Key) (query.Result, int, error) {
 		return res, 0, err
 	}
 
-	var acc map[cell.Key]cell.Summary
+	if s.histograms {
+		// Histogram maintenance stays on the scalar accumulator: columnar
+		// batches carry stats only, and ObserveHist mutates a shared map.
+		var acc map[cell.Key]cell.Summary
+		if s.parallel > 1 && len(blocks) > 1 {
+			acc, err = s.scanBlocksParallel(blocks, want, sres, tres)
+		} else {
+			acc, err = s.scanBlocks(blocks, want, sres, tres)
+		}
+		if err != nil {
+			return res, 0, err
+		}
+		for k, sum := range acc {
+			res.Add(k, sum)
+		}
+		return res, len(blocks), nil
+	}
+
+	// Default path: accumulate columnar (one row per cell, one lane per
+	// attribute; the scan inner loop indexes flat arrays instead of doing
+	// per-point map inserts) and materialize each row once, straight into
+	// the reply — no intermediate map-to-map transpose.
+	var acc *colAcc
 	if s.parallel > 1 && len(blocks) > 1 {
-		acc, err = s.scanBlocksParallel(blocks, want, sres, tres)
+		acc, err = s.scanBlocksColumnarParallel(blocks, want, sres, tres)
 	} else {
-		acc, err = s.scanBlocks(blocks, want, sres, tres)
+		acc, err = s.scanBlocksColumnar(blocks, want, sres, tres)
 	}
 	if err != nil {
 		return res, 0, err
 	}
-	for k, sum := range acc {
-		res.Add(k, sum)
+	for k, row := range acc.rows {
+		res.Cells[k] = acc.batch.RowSummary(int(row))
 	}
 	return res, len(blocks), nil
+}
+
+// colAcc is the columnar scan accumulator: cell key -> arena row, with every
+// namgen attribute's lane pre-created so the per-observation inner loop is
+// one map lookup plus array indexing.
+type colAcc struct {
+	rows  map[cell.Key]int32
+	batch cell.SummaryBatch
+	lanes []int // lane index per namgen.Attributes position
+}
+
+func newColAcc() *colAcc {
+	a := &colAcc{rows: map[cell.Key]int32{}, lanes: make([]int, len(namgen.Attributes))}
+	for i, attr := range namgen.Attributes {
+		a.lanes[i] = a.batch.EnsureLane(attr)
+	}
+	return a
+}
+
+// rowFor returns the accumulator row of k, appending one on first sight.
+func (a *colAcc) rowFor(k cell.Key) int32 {
+	row, ok := a.rows[k]
+	if !ok {
+		row = int32(a.batch.AppendRow())
+		a.rows[k] = row
+	}
+	return row
+}
+
+// mergeFrom folds another accumulator in as a columnar gather (the same
+// MergeRows core the coordinator's tournament uses).
+func (a *colAcc) mergeFrom(p *colAcc) {
+	if p.batch.Rows() == 0 {
+		return
+	}
+	dst := make([]int32, p.batch.Rows())
+	for k, row := range p.rows {
+		dst[row] = a.rowFor(k)
+	}
+	a.batch.MergeRows(dst, &p.batch)
 }
 
 // scanBlocks reads each block once, serially, accumulating matching
@@ -335,6 +397,93 @@ func (s *Store) scanBlocksParallel(blocks []BlockID, want map[cell.Key]bool, sre
 		}
 	}
 	return acc, nil
+}
+
+// scanBlocksColumnar reads each block once, serially, into one columnar
+// accumulator.
+func (s *Store) scanBlocksColumnar(blocks []BlockID, want map[cell.Key]bool, sres int, tres temporal.Resolution) (*colAcc, error) {
+	acc := newColAcc()
+	for _, b := range blocks {
+		if err := s.scanBlockColumnar(b, want, sres, tres, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// scanBlocksColumnarParallel is scanBlocksColumnar over the bounded worker
+// pool: each worker owns a private accumulator (no locks on the scan inner
+// loop); the per-worker batches gather together once at the end.
+func (s *Store) scanBlocksColumnarParallel(blocks []BlockID, want map[cell.Key]bool, sres int, tres temporal.Resolution) (*colAcc, error) {
+	workers := s.parallel
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		firstEr error
+	)
+	partials := make([]*colAcc, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := newColAcc()
+			partials[w] = local
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(blocks) || failed.Load() {
+					return
+				}
+				if err := s.scanBlockColumnar(blocks[i], want, sres, tres, local); err != nil {
+					errMu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	acc := partials[0]
+	for _, part := range partials[1:] {
+		acc.mergeFrom(part)
+	}
+	return acc, nil
+}
+
+// scanBlockColumnar reads one block and accumulates its matching observations
+// into the columnar accumulator: one row lookup per point, then per-attribute
+// array updates through the pre-created lanes.
+func (s *Store) scanBlockColumnar(b BlockID, want map[cell.Key]bool, sres int, tres temporal.Resolution, a *colAcc) error {
+	obs, err := s.readBlock(b)
+	if err != nil {
+		return err
+	}
+	for _, o := range obs {
+		k := cell.Key{
+			Geohash: geohash.Encode(o.Lat, o.Lon, sres),
+			Time:    temporal.At(o.Time, tres),
+		}
+		if !want[k] {
+			continue
+		}
+		row := int(a.rowFor(k))
+		for i, attr := range namgen.Attributes {
+			v, _ := o.Value(attr)
+			a.batch.ObserveAt(a.lanes[i], row, v)
+		}
+	}
+	return nil
 }
 
 // scanBlockInto reads one block and accumulates its matching observations

@@ -59,6 +59,9 @@ type QueryProfile struct {
 	sfWaiter int64
 
 	wireBytes int64
+
+	mergeParts int64 // share partials folded by the reply fan-in
+	mergeDepth int64 // height of the tournament merge tree (max across fetches)
 }
 
 type tierProbe struct {
@@ -266,6 +269,21 @@ func (p *QueryProfile) AddWireBytes(n int) {
 	p.add(&p.wireBytes, n)
 }
 
+// AddMergeFanIn records one reply merge: how many share partials folded and
+// the height of the tournament tree that folded them (1 for a single share;
+// the serial baseline reports the partial count as its depth).
+func (p *QueryProfile) AddMergeFanIn(parts, depth int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.mergeParts += int64(parts)
+	if int64(depth) > p.mergeDepth {
+		p.mergeDepth = int64(depth)
+	}
+	p.mu.Unlock()
+}
+
 func (p *QueryProfile) add(field *int64, n int) {
 	if n == 0 {
 		return
@@ -317,6 +335,7 @@ func (p *QueryProfile) Merge(other *QueryProfile) {
 	derived, diskCells, blocksRead := other.derived, other.diskCells, other.blocksRead
 	retries, reroutes, scatterReqs := other.retries, other.reroutes, other.scatterReqs
 	sfLeader, sfWaiter, wireBytes := other.sfLeader, other.sfWaiter, other.wireBytes
+	mergeParts, mergeDepth := other.mergeParts, other.mergeDepth
 	other.mu.Unlock()
 
 	p.mu.Lock()
@@ -352,6 +371,10 @@ func (p *QueryProfile) Merge(other *QueryProfile) {
 	p.sfLeader += sfLeader
 	p.sfWaiter += sfWaiter
 	p.wireBytes += wireBytes
+	p.mergeParts += mergeParts
+	if mergeDepth > p.mergeDepth {
+		p.mergeDepth = mergeDepth
+	}
 	p.mu.Unlock()
 }
 
@@ -405,6 +428,8 @@ type ProfileData struct {
 	SingleflightLeader int64         `json:"singleflightLeader,omitempty"`
 	SingleflightWaiter int64         `json:"singleflightWaiter,omitempty"`
 	WireBytes          int64         `json:"wireBytes,omitempty"`
+	MergeParts         int64         `json:"mergeParts,omitempty"`
+	MergeFanInDepth    int64         `json:"mergeFanInDepth,omitempty"`
 }
 
 // Data snapshots the profile. Safe to call concurrently with accumulation;
@@ -440,6 +465,8 @@ func (p *QueryProfile) snapshotLocked() ProfileData {
 		SingleflightLeader: p.sfLeader,
 		SingleflightWaiter: p.sfWaiter,
 		WireBytes:          p.wireBytes,
+		MergeParts:         p.mergeParts,
+		MergeFanInDepth:    p.mergeDepth,
 	}
 	for s, dur := range p.stages {
 		d.Stages = append(d.Stages, StageMS{Stage: s, MS: float64(dur.Microseconds()) / 1000})

@@ -87,6 +87,19 @@ func Matrix() []Config {
 		}},
 		{Name: "replication", Tune: hotRepl},
 		{Name: "membership-churn", Churn: true},
+		{Name: "columnar+parallel-fanin", Tune: func(cfg *cluster.Config) {
+			// Wide tournament bound plus the batching features that feed it,
+			// so pooled-arena recycling and concurrent pairwise merges run hot
+			// under the oracle's eye.
+			cfg.FanInWorkers = 8
+			cfg.CoalesceWindow = cluster.DefaultCoalesceWindow
+			cfg.ServeSingleflight = true
+		}},
+		{Name: "serial-fanin", Tune: func(cfg *cluster.Config) {
+			// Legacy serial reply fold: pins the baseline the tournament is
+			// benchmarked against to the same oracle contract.
+			cfg.FanInWorkers = -1
+		}},
 		{Name: "updates", Updates: true, Sequential: true},
 		{Name: "faults-partial", Faults: true, Tune: func(cfg *cluster.Config) {
 			cfg.Resilience = fastResilience(true)

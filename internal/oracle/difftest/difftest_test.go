@@ -81,6 +81,12 @@ var mutations = []struct {
 	{"min-lower", func(q query.Query, r *query.Result) {
 		corruptOne(r, func(st *cell.Stat) { st.Min -= 1000 })
 	}},
+	{"lane-drop", func(q query.Query, r *query.Result) {
+		// Columnar-era bug class: one attribute lane lost in SummaryBatch
+		// materialization — the whole temperature column vanishes from a
+		// cell while the other attrs stay intact.
+		dropLane(r, "temperature")
+	}},
 	{"spurious-cell", func(q query.Query, r *query.Result) {
 		if len(r.Cells) == 0 {
 			return
@@ -100,6 +106,32 @@ var mutations = []struct {
 // corruptOne applies f to the temperature stat of the lexically-smallest
 // cell (deterministic victim), cloning first per the immutability contract.
 func corruptOne(r *query.Result, f func(*cell.Stat)) {
+	victim, found := smallestKey(r)
+	if !found {
+		return
+	}
+	cp := r.Cells[victim].Clone()
+	st := cp.Stats["temperature"]
+	f(&st)
+	cp.Stats["temperature"] = st
+	r.Cells[victim] = cp
+}
+
+// dropLane deletes one attribute from the deterministic victim cell, cloning
+// first per the immutability contract.
+func dropLane(r *query.Result, attr string) {
+	victim, found := smallestKey(r)
+	if !found {
+		return
+	}
+	cp := r.Cells[victim].Clone()
+	delete(cp.Stats, attr)
+	r.Cells[victim] = cp
+}
+
+// smallestKey picks the lexically-smallest cell key — a deterministic victim
+// for the corruption hooks.
+func smallestKey(r *query.Result) (cell.Key, bool) {
 	var victim cell.Key
 	found := false
 	for k := range r.Cells {
@@ -109,14 +141,7 @@ func corruptOne(r *query.Result, f func(*cell.Stat)) {
 			found = true
 		}
 	}
-	if !found {
-		return
-	}
-	cp := r.Cells[victim].Clone()
-	st := cp.Stats["temperature"]
-	f(&st)
-	cp.Stats["temperature"] = st
-	r.Cells[victim] = cp
+	return victim, found
 }
 
 // TestMutationSmoke proves the harness detects deliberately injected

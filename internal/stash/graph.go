@@ -345,7 +345,10 @@ func (g *Graph) Get(keys []cell.Key) (query.Result, []cell.Key) {
 // GetBatch is Get under its pipeline name: one stripe-lock acquisition per
 // touched stripe for the whole key batch.
 func (g *Graph) GetBatch(keys []cell.Key) (query.Result, []cell.Key) {
-	res := query.NewResult()
+	// Pre-size for the all-hit steady state: this map becomes the node's
+	// reply (and the coordinator recycles it after its columnar merge), so
+	// incremental growth here is pure serve-path overhead.
+	res := query.NewResultCap(len(keys))
 	if len(keys) == 0 {
 		return res, nil
 	}
