@@ -93,6 +93,14 @@ func main() {
 			Nodes: *nodes, Seed: *seed, PointsPerBlock: *points, Full: *full,
 		},
 	}
+	// With -json, sample the metrics registry through the run so the document
+	// can embed a timeline summary (windowed p99, rates, ratios) instead of
+	// only since-boot totals.
+	var tl *obs.TSDB
+	var tlStop func()
+	if *jsonOut != "" {
+		tl, tlStop = startTimeline()
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		if id == "" {
@@ -108,6 +116,10 @@ func main() {
 	}
 	doc.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	if tlStop != nil {
+		tlStop()
+		doc.Timeline = summarizeTimeline(tl, doc.ElapsedMS)
+	}
 	if *jsonOut != "" {
 		if err := writeReportsJSON(*jsonOut, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "stashbench: json output: %v\n", err)
@@ -128,11 +140,88 @@ func main() {
 // benchDocument is the `-json` output: one run's reports plus the knobs that
 // produced them, so BENCH_*.json files are comparable across PRs.
 type benchDocument struct {
-	Generated string         `json:"generated"`
-	Options   benchRunConfig `json:"options"`
-	Reports   []bench.Report `json:"reports"`
-	Failed    []string       `json:"failed,omitempty"`
-	ElapsedMS float64        `json:"elapsedMs"`
+	Generated string           `json:"generated"`
+	Options   benchRunConfig   `json:"options"`
+	Reports   []bench.Report   `json:"reports"`
+	Failed    []string         `json:"failed,omitempty"`
+	ElapsedMS float64          `json:"elapsedMs"`
+	Timeline  *timelineSummary `json:"timeline,omitempty"`
+}
+
+// timelineSummary condenses the run's sampled telemetry history: what the
+// whole run looked like as a trend, not just its final counter values.
+type timelineSummary struct {
+	Samples    int     `json:"samples"`
+	Series     int     `json:"series"`
+	IntervalMS float64 `json:"intervalMs"`
+	SpanMS     float64 `json:"spanMs"`
+	// QueryP99MS is the p99 of coordinator query latency across the run's
+	// observations (bucket delta between first and last sample).
+	QueryP99MS float64 `json:"queryP99Ms,omitempty"`
+	// QueryRate is coordinator queries per second across the run.
+	QueryRate float64 `json:"queryRate,omitempty"`
+	// CacheHitRatio is hits/(hits+misses) summed over all tiers.
+	CacheHitRatio float64 `json:"cacheHitRatio,omitempty"`
+	// ErrorRatio is error outcomes over all outcomes.
+	ErrorRatio float64 `json:"errorRatio,omitempty"`
+}
+
+// timelineInterval is the -json sampling cadence: fine enough to catch
+// per-experiment phases, coarse enough to stay invisible in the results.
+const timelineInterval = 250 * time.Millisecond
+
+// startTimeline begins sampling the process registry in the background and
+// returns the store plus a stop function that takes one final sample.
+func startTimeline() (*obs.TSDB, func()) {
+	t := obs.NewTSDB(nil, obs.TSDBConfig{History: 4096, Interval: timelineInterval})
+	t.Sample()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(t.Interval())
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t.Sample()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return t, func() {
+		close(stop)
+		<-done
+		t.Sample()
+	}
+}
+
+// summarizeTimeline folds the sampled history into the embedded summary.
+func summarizeTimeline(t *obs.TSDB, elapsedMS float64) *timelineSummary {
+	s := &timelineSummary{
+		Samples:    t.Samples(),
+		Series:     len(t.Names()),
+		IntervalMS: float64(t.Interval().Milliseconds()),
+		SpanMS:     elapsedMS,
+	}
+	if v, _, ok := t.QuantileOver("stash_query_duration_seconds", 0.99, 0); ok {
+		s.QueryP99MS = v * 1000
+	}
+	if v, ok := t.RateOver("stash_coord_queries_total", 0); ok {
+		s.QueryRate = v
+	}
+	hits, _ := t.DeltaOver("stash_cache_hits_total", 0)
+	misses, _ := t.DeltaOver("stash_cache_misses_total", 0)
+	if hits+misses > 0 {
+		s.CacheHitRatio = hits / (hits + misses)
+	}
+	errs, _ := t.DeltaOver(`stash_coord_queries_total{outcome="error"}`, 0)
+	total, _ := t.DeltaOver("stash_coord_queries_total", 0)
+	if total > 0 {
+		s.ErrorRatio = errs / total
+	}
+	return s
 }
 
 // benchRunConfig records the run's sizing knobs inside the JSON document.

@@ -38,6 +38,12 @@
 //	GET  /debug/slow     the slow-query ring: profiles over -slowms
 //	GET  /debug/hot      hot-key telemetry: the top-K most-requested cell keys,
 //	                     globally and per node (?n= bounds each list)
+//	GET  /debug/timeline the telemetry history: sampled time series per metric
+//	                     (?name= selects one series or family, ?window= bounds
+//	                     the lookback, ?step= downsamples; no ?name= lists the
+//	                     retained series)
+//	GET  /debug/alerts   SLO burn-rate alert states plus the recent transition
+//	                     ring
 //
 // Usage:
 //
@@ -60,6 +66,7 @@ import (
 
 	"stash"
 	"stash/internal/cell"
+	"stash/internal/cluster"
 	"stash/internal/obs"
 )
 
@@ -80,9 +87,15 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "default per-query deadline (0 = none; ?timeout= overrides per request)")
 		faults    = flag.Bool("faults", false, "enable the /faults chaos endpoint")
 		faultseed = flag.Int64("faultseed", 1, "seed for randomized fault decisions (reply-drop sequences)")
-		debug     = flag.Bool("debug", false, "serve net/http/pprof profiles and the /debug/queries, /debug/slow, /debug/hot introspection endpoints")
+		debug     = flag.Bool("debug", false, "serve net/http/pprof profiles and the /debug/queries, /debug/slow, /debug/hot, /debug/timeline, /debug/alerts introspection endpoints")
 		flightrec = flag.Int("flightrec", 512, "flight recorder capacity: keep the last N completed query profiles (0 disables)")
 		slowms    = flag.Int("slowms", 100, "slow-query threshold in milliseconds: profiles over it are logged to stderr and kept at /debug/slow (0 disables)")
+		history   = flag.Int("history", 600, "telemetry history: samples retained per metric series (0 disables the timeline, SLO alerts, and health watchdog)")
+		sampleInt = flag.Duration("sample-interval", obs.DefaultTSDBInterval, "telemetry history sampling cadence")
+		sloP99MS  = flag.Float64("slo-p99ms", 250, "SLO target: query p99 latency in milliseconds over the fast window (0 disables the objective)")
+		sloErr    = flag.Float64("slo-errratio", 0.01, "SLO target: max query error ratio (0 disables)")
+		sloHit    = flag.Float64("slo-hitratio", 0.5, "SLO target: min cache hit ratio, advisory — warns but never degrades (0 disables)")
+		sloCov    = flag.Float64("slo-coverage", 0.05, "SLO target: max partial-coverage ratio, answers shipped incomplete (0 disables)")
 	)
 	flag.Parse()
 
@@ -120,12 +133,27 @@ func main() {
 	sys.Start()
 	defer sys.Stop()
 
+	health := cluster.NewHealth(nil, cluster.HealthConfig{
+		History:  *history,
+		Interval: *sampleInt,
+		SLO: cluster.SLOThresholds{
+			QueryP99:     *sloP99MS / 1000,
+			ErrRatio:     *sloErr,
+			HitRatio:     *sloHit,
+			PartialRatio: *sloCov,
+		},
+		Structural: cluster.DefaultStructuralThresholds(),
+	})
+	health.Monitor.Start()
+	defer health.Monitor.Stop()
+
 	srv := &server{
 		sys:            sys,
 		faults:         fp,
 		defaultTimeout: *timeout,
 		rec:            obs.NewFlightRecorder(*flightrec),
 		slow:           obs.NewSlowLog(time.Duration(*slowms)*time.Millisecond, slowRingCapacity, os.Stderr),
+		health:         health,
 	}
 	mux := newMux(srv, *debug)
 
@@ -160,6 +188,8 @@ func newMux(srv *server, debug bool) *http.ServeMux {
 		mux.HandleFunc("GET /debug/queries", srv.handleDebugQueries)
 		mux.HandleFunc("GET /debug/slow", srv.handleDebugSlow)
 		mux.HandleFunc("GET /debug/hot", srv.handleDebugHot)
+		mux.HandleFunc("GET /debug/timeline", srv.handleDebugTimeline)
+		mux.HandleFunc("GET /debug/alerts", srv.handleDebugAlerts)
 	}
 	return mux
 }
@@ -179,6 +209,17 @@ type server struct {
 	// slow retains and logs profiles over the -slowms threshold; nil when
 	// disabled.
 	slow *obs.SlowLog
+	// health is the telemetry history pipeline (TSDB, SLO engine, watchdog);
+	// nil (or a Health with nil components, -history 0) disables it.
+	health *cluster.Health
+}
+
+// healthTSDB returns the server's history store, nil when disabled.
+func (s *server) healthTSDB() *obs.TSDB {
+	if s.health == nil {
+		return nil
+	}
+	return s.health.TSDB
 }
 
 // record finishes a query's profile with the given status and feeds it to the
@@ -187,6 +228,9 @@ type server struct {
 func (s *server) record(p *obs.QueryProfile, status string) obs.ProfileData {
 	p.Finish(status)
 	d := p.Data()
+	// One id correlates this query's slow-log line with its flight-recorder
+	// entry (?id= on /debug/queries and /debug/slow).
+	d.ID = obs.NextQueryID()
 	s.rec.Record(d)
 	s.slow.Observe(d)
 	return d
@@ -473,11 +517,24 @@ type HealthResponse struct {
 	FlightRecCap   int    `json:"flightRecCap,omitempty"`
 	SlowLogMS      int64  `json:"slowLogMs,omitempty"`
 	Coalescer      bool   `json:"coalescer"`
+	// Degraded/Reasons/Warnings carry the health watchdog's verdict (always
+	// false/empty when -history is 0: no watchdog, no opinion).
+	Degraded bool     `json:"degraded"`
+	Reasons  []string `json:"reasons,omitempty"`
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var verdict obs.Verdict
+	if s.health != nil {
+		verdict = s.health.Watchdog.Verdict()
+	}
+	status := "ok"
+	if verdict.Degraded {
+		status = "degraded"
+	}
 	writeJSON(w, HealthResponse{
-		Status:         "ok",
+		Status:         status,
 		Nodes:          s.sys.Ring().Size(),
 		Epoch:          s.sys.Epoch(),
 		IngestVersion:  s.sys.IngestVersion(),
@@ -485,6 +542,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		FlightRecCap:   s.rec.Cap(),
 		SlowLogMS:      s.slow.Threshold().Milliseconds(),
 		Coalescer:      s.sys.CoalescerEnabled(),
+		Degraded:       verdict.Degraded,
+		Reasons:        verdict.Reasons,
+		Warnings:       verdict.Warnings,
 	})
 }
 
@@ -573,6 +633,13 @@ func profileFilter(r *http.Request) (obs.ProfileFilter, error) {
 		}
 		f.N = v
 	}
+	if raw := q.Get("id"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil || v == 0 {
+			return f, fmt.Errorf("bad id %q", raw)
+		}
+		f.ID = v
+	}
 	return f, nil
 }
 
@@ -645,6 +712,86 @@ func (s *server) handleDebugHot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// TimelineResponse is the body of GET /debug/timeline. Without ?name= it
+// lists the retained series names; with one it carries the matching series'
+// sampled points (plus derived rates and windowed quantiles).
+type TimelineResponse struct {
+	IntervalMS float64          `json:"intervalMs"`
+	History    int              `json:"history"`
+	Samples    int              `json:"samples"`
+	Names      []string         `json:"names,omitempty"`
+	Series     []obs.SeriesData `json:"series,omitempty"`
+}
+
+func (s *server) handleDebugTimeline(w http.ResponseWriter, r *http.Request) {
+	t := s.healthTSDB()
+	if !t.Enabled() {
+		http.Error(w, "telemetry history disabled (start with -history N)", http.StatusConflict)
+		return
+	}
+	q := r.URL.Query()
+	resp := TimelineResponse{
+		IntervalMS: float64(t.Interval().Milliseconds()),
+		History:    t.History(),
+		Samples:    t.Samples(),
+	}
+	name := q.Get("name")
+	if name == "" {
+		resp.Names = t.Names()
+		writeJSON(w, resp)
+		return
+	}
+	var window time.Duration
+	if raw := q.Get("window"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad window "+raw, http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	step := 1
+	if raw := q.Get("step"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			http.Error(w, "bad step "+raw, http.StatusBadRequest)
+			return
+		}
+		step = v
+	}
+	series, ok := t.Query(name, window, step)
+	if !ok {
+		http.Error(w, "unknown series "+name, http.StatusNotFound)
+		return
+	}
+	resp.Series = series
+	writeJSON(w, resp)
+}
+
+// AlertsResponse is the body of GET /debug/alerts: every objective's current
+// burn-rate state plus the recent transition ring, newest first.
+type AlertsResponse struct {
+	Worst       string            `json:"worst"`
+	Alerts      []obs.AlertStatus `json:"alerts"`
+	Transitions []obs.Transition  `json:"transitions,omitempty"`
+}
+
+func (s *server) handleDebugAlerts(w http.ResponseWriter, _ *http.Request) {
+	var slo *obs.SLOEngine
+	if s.health != nil {
+		slo = s.health.SLO
+	}
+	if slo == nil {
+		http.Error(w, "SLO engine disabled (start with -history N)", http.StatusConflict)
+		return
+	}
+	writeJSON(w, AlertsResponse{
+		Worst:       slo.WorstState().String(),
+		Alerts:      slo.Current(),
+		Transitions: slo.Transitions(),
+	})
+}
+
 func hotEntries(entries []obs.TopEntry[cell.Key]) []HotKeyEntry {
 	if len(entries) == 0 {
 		return nil
@@ -657,9 +804,14 @@ func hotEntries(entries []obs.TopEntry[cell.Key]) []HotKeyEntry {
 }
 
 // handleMetrics serves the Prometheus text exposition of the process-global
-// registry.
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// registry. The mux's "GET /metrics" pattern also matches HEAD (net/http
+// treats HEAD as GET for routing); a HEAD probe gets the headers without the
+// exposition body being generated.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r.Method == http.MethodHead {
+		return
+	}
 	if err := obs.Default().WritePrometheus(w); err != nil {
 		log.Printf("stashd: metrics exposition: %v", err)
 	}

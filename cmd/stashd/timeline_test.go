@@ -1,0 +1,409 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stash/internal/cluster"
+	"stash/internal/obs"
+)
+
+// tickClock is a manually-advanced clock shared by the health pipeline under
+// test.
+type tickClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTickClock() *tickClock {
+	return &tickClock{t: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *tickClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *tickClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestMetricsContentTypeAndHead pins the exposition content type and HEAD
+// support through the real routing table.
+func TestMetricsContentTypeAndHead(t *testing.T) {
+	srv := testServer(t)
+	mux := newMux(srv, false)
+
+	const wantCT = "text/plain; version=0.0.4; charset=utf-8"
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != wantCT {
+		t.Fatalf("GET Content-Type %q, want %q", ct, wantCT)
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatal("GET /metrics body empty")
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HEAD /metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != wantCT {
+		t.Fatalf("HEAD Content-Type %q, want %q", ct, wantCT)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("HEAD /metrics carried a %d-byte body", rec.Body.Len())
+	}
+}
+
+// TestQueryIDCorrelation: the slow-log JSON line and the flight-recorder
+// entry for the same query share a monotonic id, and ?id= retrieves exactly
+// that profile.
+func TestQueryIDCorrelation(t *testing.T) {
+	srv, sink := obsServer(t)
+	for i := 0; i < 3; i++ {
+		if rec := postQuery(t, srv, "/query"); rec.Code != http.StatusOK {
+			t.Fatalf("query %d status %d", i, rec.Code)
+		}
+	}
+
+	// Every slow-log line (1ns threshold catches all) carries a nonzero id.
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("slow log emitted %d lines, want 3", len(lines))
+	}
+	var ids []uint64
+	for _, line := range lines {
+		var d obs.ProfileData
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("slow-log line not JSON: %v\n%s", err, line)
+		}
+		if d.ID == 0 {
+			t.Fatalf("slow-log line missing id: %s", line)
+		}
+		ids = append(ids, d.ID)
+	}
+	// Monotonic across the run.
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("ids not monotonic: %v", ids)
+		}
+	}
+
+	// ?id= on /debug/queries returns exactly the matching profile.
+	rec := httptest.NewRecorder()
+	srv.handleDebugQueries(rec, httptest.NewRequest(http.MethodGet,
+		fmt.Sprintf("/debug/queries?id=%d", ids[1]), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("?id= status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ProfilesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 || len(resp.Profiles) != 1 || resp.Profiles[0].ID != ids[1] {
+		t.Fatalf("?id=%d returned %+v", ids[1], resp)
+	}
+	// Same filter works on the slow ring.
+	rec = httptest.NewRecorder()
+	srv.handleDebugSlow(rec, httptest.NewRequest(http.MethodGet,
+		fmt.Sprintf("/debug/slow?id=%d", ids[2]), nil))
+	var slowResp ProfilesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &slowResp); err != nil {
+		t.Fatal(err)
+	}
+	if slowResp.Count != 1 || slowResp.Profiles[0].ID != ids[2] {
+		t.Fatalf("slow ?id=%d returned %+v", ids[2], slowResp)
+	}
+
+	// Unknown id matches nothing; malformed id is a client error.
+	rec = httptest.NewRecorder()
+	srv.handleDebugQueries(rec, httptest.NewRequest(http.MethodGet, "/debug/queries?id=999999999", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 0 {
+		t.Fatalf("unknown id matched %d profiles", resp.Count)
+	}
+	rec = httptest.NewRecorder()
+	srv.handleDebugQueries(rec, httptest.NewRequest(http.MethodGet, "/debug/queries?id=zap", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id status %d, want 400", rec.Code)
+	}
+}
+
+// healthHarness builds a deterministic health pipeline over its own registry
+// (so the process-global one stays untouched) and mounts it on a test server.
+type healthHarness struct {
+	srv  *server
+	reg  *obs.Registry
+	clk  *tickClock
+	hist *obs.Histogram
+	okC  *obs.Counter
+}
+
+func newHealthHarness(t *testing.T) *healthHarness {
+	t.Helper()
+	reg := obs.New()
+	clk := newTickClock()
+	health := cluster.NewHealth(reg, cluster.HealthConfig{
+		History:  256,
+		Interval: time.Second,
+		SLO:      cluster.SLOThresholds{QueryP99: 0.1, ErrRatio: 0.01, HitRatio: 0.5, PartialRatio: 0.05},
+		Burn: obs.BurnConfig{
+			FastWindow: 10 * time.Second,
+			SlowWindow: 60 * time.Second,
+			EnterAfter: 2,
+			ClearAfter: 3,
+		},
+		Structural: cluster.DefaultStructuralThresholds(),
+		Now:        clk.Now,
+	})
+	if health.TSDB == nil || health.SLO == nil || health.Watchdog == nil || health.Monitor == nil {
+		t.Fatal("NewHealth left components nil with positive history")
+	}
+	srv := testServer(t)
+	srv.health = health
+	return &healthHarness{
+		srv:  srv,
+		reg:  reg,
+		clk:  clk,
+		hist: reg.Histogram("stash_query_duration_seconds"),
+		okC:  reg.Counter("stash_coord_queries_total", "outcome", "ok"),
+	}
+}
+
+// tick injects one second of traffic at the given latency and runs one
+// monitor pass.
+func (h *healthHarness) tick(latency float64) {
+	for i := 0; i < 20; i++ {
+		h.hist.Observe(latency)
+		h.okC.Inc()
+	}
+	h.srv.health.Monitor.Tick()
+	h.clk.Advance(time.Second)
+}
+
+func (h *healthHarness) healthz(t *testing.T) HealthResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.srv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var resp HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHealthDegradationEndToEnd is the acceptance-criteria scenario: a
+// deterministic fake-clock latency regression travels from injected
+// observations through /debug/timeline, becomes a burn-rate alert at
+// /debug/alerts, flips /healthz to degraded, and recovers.
+func TestHealthDegradationEndToEnd(t *testing.T) {
+	h := newHealthHarness(t)
+
+	// Healthy phase: 5ms queries.
+	for i := 0; i < 12; i++ {
+		h.tick(0.005)
+	}
+	if resp := h.healthz(t); resp.Degraded || resp.Status != "ok" {
+		t.Fatalf("healthy phase: %+v", resp)
+	}
+
+	// Regression: 2s queries. p99 burn = 20x the 100ms target.
+	for i := 0; i < 4; i++ {
+		h.tick(2.0)
+	}
+	resp := h.healthz(t)
+	if !resp.Degraded || resp.Status != "degraded" {
+		t.Fatalf("regression not reflected: %+v", resp)
+	}
+	foundReason := false
+	for _, r := range resp.Reasons {
+		if strings.Contains(r, "query_p99_latency") {
+			foundReason = true
+		}
+	}
+	if !foundReason {
+		t.Fatalf("reasons %v missing the p99 objective", resp.Reasons)
+	}
+
+	// The timeline shows the regression: the histogram's windowed p99 points
+	// end high.
+	rec := httptest.NewRecorder()
+	h.srv.handleDebugTimeline(rec, httptest.NewRequest(http.MethodGet,
+		"/debug/timeline?name=stash_query_duration_seconds&window=10s", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("timeline status %d: %s", rec.Code, rec.Body.String())
+	}
+	var tl TimelineResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Series) != 1 || tl.Series[0].Kind != "histogram" {
+		t.Fatalf("timeline series: %+v", tl.Series)
+	}
+	p99 := tl.Series[0].Quantiles["p99"]
+	if len(p99) == 0 {
+		t.Fatal("timeline carries no p99 points")
+	}
+	if last := p99[len(p99)-1].V; last < 1.0 {
+		t.Fatalf("timeline p99 tail = %v, want >= 1s during regression", last)
+	}
+
+	// The alert surface agrees: the latency objective is critical and the
+	// transition into it is recorded.
+	rec = httptest.NewRecorder()
+	h.srv.handleDebugAlerts(rec, httptest.NewRequest(http.MethodGet, "/debug/alerts", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("alerts status %d", rec.Code)
+	}
+	var alerts AlertsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &alerts); err != nil {
+		t.Fatal(err)
+	}
+	if alerts.Worst != "critical" {
+		t.Fatalf("worst = %q, want critical (alerts %+v)", alerts.Worst, alerts.Alerts)
+	}
+	sawObjective := false
+	for _, a := range alerts.Alerts {
+		if a.Objective == "query_p99_latency" && a.State == obs.StateCritical {
+			sawObjective = true
+		}
+	}
+	if !sawObjective {
+		t.Fatalf("alerts %+v missing critical p99 objective", alerts.Alerts)
+	}
+	if len(alerts.Transitions) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+
+	// Recovery: healthy latencies until the fast window drains and hysteresis
+	// clears the alert.
+	recovered := false
+	for i := 0; i < 40; i++ {
+		h.tick(0.005)
+		if resp := h.healthz(t); !resp.Degraded {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("never recovered to degraded:false")
+	}
+	if resp := h.healthz(t); resp.Status != "ok" {
+		t.Fatalf("post-recovery status %q", resp.Status)
+	}
+}
+
+// TestDebugTimelineHandler covers the listing, filtering, and error paths.
+func TestDebugTimelineHandler(t *testing.T) {
+	h := newHealthHarness(t)
+	for i := 0; i < 5; i++ {
+		h.tick(0.01)
+	}
+
+	// No ?name=: a sorted listing of retained series.
+	rec := httptest.NewRecorder()
+	h.srv.handleDebugTimeline(rec, httptest.NewRequest(http.MethodGet, "/debug/timeline", nil))
+	var tl TimelineResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Samples != 5 || tl.History != 256 {
+		t.Fatalf("timeline meta: %+v", tl)
+	}
+	found := false
+	for _, n := range tl.Names {
+		if n == "stash_query_duration_seconds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("names %v missing the latency histogram", tl.Names)
+	}
+
+	// Family name matches labeled series; ?step= downsamples keeping newest.
+	rec = httptest.NewRecorder()
+	h.srv.handleDebugTimeline(rec, httptest.NewRequest(http.MethodGet,
+		"/debug/timeline?name=stash_coord_queries_total&step=2", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Series) != 1 {
+		t.Fatalf("family query returned %d series", len(tl.Series))
+	}
+	if got := len(tl.Series[0].Points); got != 3 {
+		t.Fatalf("step=2 over 5 samples kept %d points, want 3", got)
+	}
+	if last := tl.Series[0].Points[len(tl.Series[0].Points)-1].V; last != 100 {
+		t.Fatalf("newest point = %v, want 100", last)
+	}
+
+	// Error paths.
+	for target, want := range map[string]int{
+		"/debug/timeline?name=no_such_series":  http.StatusNotFound,
+		"/debug/timeline?name=x&window=banana": http.StatusBadRequest,
+		"/debug/timeline?name=x&step=0":        http.StatusBadRequest,
+	} {
+		rec = httptest.NewRecorder()
+		h.srv.handleDebugTimeline(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		if rec.Code != want {
+			t.Fatalf("%s status %d, want %d", target, rec.Code, want)
+		}
+	}
+}
+
+// TestTimelineAndAlertsDisabled: without -history the introspection endpoints
+// refuse with 409 (mirroring the recorder/slow-log gating convention), and
+// /healthz never claims degradation.
+func TestTimelineAndAlertsDisabled(t *testing.T) {
+	srv := testServer(t) // srv.health == nil
+	rec := httptest.NewRecorder()
+	srv.handleDebugTimeline(rec, httptest.NewRequest(http.MethodGet, "/debug/timeline", nil))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("timeline disabled status %d, want 409", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.handleDebugAlerts(rec, httptest.NewRequest(http.MethodGet, "/debug/alerts", nil))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("alerts disabled status %d, want 409", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var resp HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded || resp.Status != "ok" {
+		t.Fatalf("disabled watchdog verdict: %+v", resp)
+	}
+
+	// The same holds for a Health built with History 0: all components nil,
+	// nothing panics, nothing degrades.
+	srv.health = cluster.NewHealth(obs.New(), cluster.HealthConfig{History: 0})
+	if srv.health.TSDB != nil || srv.health.Monitor != nil {
+		t.Fatal("History 0 must produce nil components")
+	}
+	rec = httptest.NewRecorder()
+	srv.handleDebugTimeline(rec, httptest.NewRequest(http.MethodGet, "/debug/timeline", nil))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("nil-TSDB timeline status %d, want 409", rec.Code)
+	}
+}

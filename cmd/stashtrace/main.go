@@ -12,6 +12,8 @@
 //	stashtrace -replay session.jsonl -metrics metrics.prom
 //	stashtrace -replay session.jsonl -chrometrace replay.json  # Perfetto
 //	stashtrace -replay session.jsonl -explain                  # slowest-query profiles
+//	stashtrace -replay session.jsonl -snapshot after.json      # timestamped flat snapshot
+//	stashtrace -metrics-diff before.json after.json            # counter rates between two snapshots
 package main
 
 import (
@@ -36,21 +38,34 @@ import (
 
 func main() {
 	var (
-		record  = flag.String("record", "", "record a synthetic session to this file")
-		replay  = flag.String("replay", "", "replay a trace file")
-		session = flag.String("session", "panning", "synthetic session kind: panning|dicing|zoom")
-		steps   = flag.Int("steps", 12, "synthetic session length")
-		nodes   = flag.Int("nodes", 16, "cluster size")
-		seed    = flag.Int64("seed", 42, "workload/dataset seed")
-		points  = flag.Int("points", 512, "observations per storage block")
-		paced   = flag.Bool("paced", false, "honor recorded think-time during replay (capped at 2s)")
-		metrics = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file when done (\"-\" for stdout)")
-		chrome  = flag.String("chrometrace", "", "replay only: write the session's spans as Chrome trace-event JSON (Perfetto-loadable)")
-		explain = flag.Bool("explain", false, "replay only: profile every query and print the slowest EXPLAIN summaries")
+		record   = flag.String("record", "", "record a synthetic session to this file")
+		replay   = flag.String("replay", "", "replay a trace file")
+		session  = flag.String("session", "panning", "synthetic session kind: panning|dicing|zoom")
+		steps    = flag.Int("steps", 12, "synthetic session length")
+		nodes    = flag.Int("nodes", 16, "cluster size")
+		seed     = flag.Int64("seed", 42, "workload/dataset seed")
+		points   = flag.Int("points", 512, "observations per storage block")
+		paced    = flag.Bool("paced", false, "honor recorded think-time during replay (capped at 2s)")
+		metrics  = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file when done (\"-\" for stdout)")
+		snapshot = flag.String("snapshot", "", "write a timestamped flat JSON metrics snapshot to this file when done (\"-\" for stdout; diff two with -metrics-diff)")
+		diff     = flag.String("metrics-diff", "", "standalone: compute counter rates between this snapshot file (old) and the positional argument (new), then exit")
+		chrome   = flag.String("chrometrace", "", "replay only: write the session's spans as Chrome trace-event JSON (Perfetto-loadable)")
+		explain  = flag.Bool("explain", false, "replay only: profile every query and print the slowest EXPLAIN summaries")
 	)
 	flag.Parse()
 
 	switch {
+	case *diff != "":
+		if *record != "" || *replay != "" {
+			log.Fatal("stashtrace: -metrics-diff is a standalone mode")
+		}
+		if flag.NArg() != 1 {
+			log.Fatal("stashtrace: -metrics-diff OLD.json needs the new snapshot as its argument: stashtrace -metrics-diff old.json new.json")
+		}
+		if err := doMetricsDiff(*diff, flag.Arg(0)); err != nil {
+			log.Fatal(err)
+		}
+		return
 	case *record != "" && *replay != "":
 		log.Fatal("stashtrace: -record and -replay are mutually exclusive")
 	case *record != "":
@@ -62,13 +77,69 @@ func main() {
 			log.Fatal(err)
 		}
 	default:
-		log.Fatal("stashtrace: one of -record or -replay is required")
+		log.Fatal("stashtrace: one of -record, -replay, or -metrics-diff is required")
 	}
 	if *metrics != "" {
 		if err := writeMetricsSnapshot(*metrics); err != nil {
 			log.Fatal(err)
 		}
 	}
+	if *snapshot != "" {
+		if err := writeFlatSnapshot(*snapshot); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeFlatSnapshot dumps the process-global registry as a timestamped flat
+// JSON document — the -metrics-diff input format.
+func writeFlatSnapshot(path string) error {
+	doc := obs.TakeSnapshot(obs.Default(), time.Time{})
+	if path == "-" {
+		return obs.WriteSnapshotJSON(os.Stdout, doc)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.WriteSnapshotJSON(f, doc); err != nil {
+		return err
+	}
+	fmt.Printf("flat snapshot written to %s\n", path)
+	return nil
+}
+
+// doMetricsDiff loads two snapshot documents and prints per-series deltas and
+// per-second rates, fastest-moving first.
+func doMetricsDiff(oldPath, newPath string) error {
+	oldDoc, err := obs.ReadSnapshotFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := obs.ReadSnapshotFile(newPath)
+	if err != nil {
+		return err
+	}
+	rows, elapsed, err := obs.DiffSnapshots(oldDoc, newDoc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s -> %s: %v elapsed, %d comparable series\n",
+		oldPath, newPath, elapsed.Round(time.Millisecond), len(rows))
+	fmt.Printf("%12s %12s %14s  %s\n", "RATE/S", "DELTA", "NEW", "SERIES")
+	unchanged := 0
+	for _, r := range rows {
+		if r.Delta == 0 {
+			unchanged++
+			continue
+		}
+		fmt.Printf("%12.3f %12.1f %14.1f  %s\n", r.PerSec, r.Delta, r.New, r.Name)
+	}
+	if unchanged > 0 {
+		fmt.Printf("(%d unchanged series suppressed)\n", unchanged)
+	}
+	return nil
 }
 
 // writeMetricsSnapshot dumps the process-global registry in Prometheus text

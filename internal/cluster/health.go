@@ -1,0 +1,167 @@
+package cluster
+
+// Cluster health policy: the declared SLO objectives and structural watchdog
+// rules for a STASH deployment, bound to the metric names this package (and
+// the cache layer) already export. The obs package provides the mechanism —
+// TSDB, burn-rate engine, watchdog — and this file provides the policy, so
+// the thresholds live next to the metrics they judge.
+
+import (
+	"time"
+
+	"stash/internal/obs"
+)
+
+// SLOThresholds are the objective targets stashd exposes as flags. A zero
+// field disables that objective.
+type SLOThresholds struct {
+	// QueryP99 bounds the fast-window p99 of end-to-end query latency,
+	// in seconds.
+	QueryP99 float64
+	// ErrRatio bounds rate(error outcomes) / rate(all outcomes).
+	ErrRatio float64
+	// HitRatio floors rate(cache hits) / rate(hits+misses) across all
+	// tiers. Advisory: a cold cache legitimately starts at zero, so this
+	// objective caps at warning and never degrades the verdict by itself.
+	HitRatio float64
+	// PartialRatio bounds rate(partial outcomes) / rate(all outcomes) —
+	// how often answers ship with incomplete coverage.
+	PartialRatio float64
+}
+
+// DefaultSLOThresholds returns the stock targets (250ms p99, 1% errors,
+// 50% cache hits, 5% partial answers).
+func DefaultSLOThresholds() SLOThresholds {
+	return SLOThresholds{QueryP99: 0.25, ErrRatio: 0.01, HitRatio: 0.50, PartialRatio: 0.05}
+}
+
+// Objectives renders the thresholds as SLO objectives over the exported
+// metric families.
+func (t SLOThresholds) Objectives() []obs.Objective {
+	return []obs.Objective{
+		{
+			Name:     "query_p99_latency",
+			Series:   "stash_query_duration_seconds",
+			Quantile: 0.99,
+			Target:   t.QueryP99,
+			MinCount: 5,
+		},
+		{
+			Name: "error_ratio",
+			Num:  []string{`stash_coord_queries_total{outcome="error"}`},
+			Den:  []string{"stash_coord_queries_total"},
+			Goal: t.ErrRatio,
+			// MinCount is in denominator events over the fast window.
+			MinCount: 5,
+		},
+		{
+			Name:           "cache_hit_ratio",
+			Num:            []string{"stash_cache_hits_total"},
+			Den:            []string{"stash_cache_hits_total", "stash_cache_misses_total"},
+			Goal:           t.HitRatio,
+			HigherIsBetter: true,
+			MinCount:       20,
+			CapState:       obs.StateWarning,
+		},
+		{
+			Name:     "partial_coverage_ratio",
+			Num:      []string{`stash_coord_queries_total{outcome="partial"}`},
+			Den:      []string{"stash_coord_queries_total"},
+			Goal:     t.PartialRatio,
+			MinCount: 5,
+		},
+	}
+}
+
+// StructuralThresholds bound the watchdog's non-SLO signals. A zero field
+// disables that rule.
+type StructuralThresholds struct {
+	// QueueDepth bounds the summed pending fetch tasks across node queues
+	// (latest sample). Critical: a saturated queue is an outage in progress.
+	QueueDepth float64
+	// BreakerTripsPerSec bounds scatter circuit-breaker aborts. Critical:
+	// trips mean the failover ladder itself is giving up.
+	BreakerTripsPerSec float64
+	// RetriesPerSec bounds coordinator retry attempts. Advisory.
+	RetriesPerSec float64
+	// EpochChurn bounds membership epoch changes over the watchdog window.
+	// Advisory: rebalances are legitimate, sustained churn is not.
+	EpochChurn float64
+	// FlightRecDropsPerSec bounds flight-recorder ring evictions. Advisory:
+	// profiles aging out faster than anyone could read them.
+	FlightRecDropsPerSec float64
+}
+
+// DefaultStructuralThresholds returns the stock structural bounds.
+func DefaultStructuralThresholds() StructuralThresholds {
+	return StructuralThresholds{
+		QueueDepth:           1024,
+		BreakerTripsPerSec:   0.5,
+		RetriesPerSec:        10,
+		EpochChurn:           4,
+		FlightRecDropsPerSec: 100,
+	}
+}
+
+// Rules renders the thresholds as watchdog rules over the exported metric
+// families.
+func (t StructuralThresholds) Rules() []obs.Rule {
+	return []obs.Rule{
+		{Name: "node_queue_depth", Series: "stash_node_queue_depth",
+			Kind: obs.RuleLast, Threshold: t.QueueDepth, Critical: true},
+		{Name: "breaker_trip_rate", Series: "stash_coord_breaker_trips_total",
+			Kind: obs.RuleRate, Threshold: t.BreakerTripsPerSec, Critical: true},
+		{Name: "retry_rate", Series: "stash_coord_retries_total",
+			Kind: obs.RuleRate, Threshold: t.RetriesPerSec},
+		{Name: "epoch_churn", Series: "stash_cluster_epoch",
+			Kind: obs.RuleDelta, Threshold: t.EpochChurn},
+		{Name: "flightrec_drop_rate", Series: "stash_flightrec_dropped_total",
+			Kind: obs.RuleRate, Threshold: t.FlightRecDropsPerSec},
+	}
+}
+
+// HealthConfig assembles a full health pipeline.
+type HealthConfig struct {
+	// History is the TSDB ring capacity in samples; 0 disables the whole
+	// pipeline (nil everything, no goroutines, no allocations).
+	History int
+	// Interval is the sampling period (default obs.DefaultTSDBInterval).
+	Interval time.Duration
+	// SLO targets; zero-valued fields disable their objectives.
+	SLO SLOThresholds
+	// Structural watchdog bounds; zero-valued fields disable their rules.
+	Structural StructuralThresholds
+	// Burn tunes SLO windows and hysteresis (defaults inside obs).
+	Burn obs.BurnConfig
+	// Watchdog tunes structural windows and hysteresis.
+	Watchdog obs.WatchdogConfig
+	// Now overrides the clock everywhere (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// Health is the assembled pipeline. Fields are nil when disabled; every
+// component is nil-safe, so callers use them without guards.
+type Health struct {
+	TSDB     *obs.TSDB
+	SLO      *obs.SLOEngine
+	Watchdog *obs.Watchdog
+	Monitor  *obs.Monitor
+}
+
+// NewHealth builds the TSDB → SLO engine → watchdog chain over reg (nil =
+// the process-global registry). History <= 0 returns a Health with all-nil
+// components.
+func NewHealth(reg *obs.Registry, cfg HealthConfig) *Health {
+	if cfg.Now != nil {
+		cfg.Burn.Now = cfg.Now
+		cfg.Watchdog.Now = cfg.Now
+	}
+	t := obs.NewTSDB(reg, obs.TSDBConfig{
+		History:  cfg.History,
+		Interval: cfg.Interval,
+		Now:      cfg.Now,
+	})
+	slo := obs.NewSLOEngine(t, cfg.SLO.Objectives(), cfg.Burn)
+	dog := obs.NewWatchdog(t, slo, cfg.Structural.Rules(), cfg.Watchdog)
+	return &Health{TSDB: t, SLO: slo, Watchdog: dog, Monitor: obs.NewMonitor(t, slo, dog)}
+}

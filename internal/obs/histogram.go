@@ -100,13 +100,16 @@ func (h *Histogram) Snapshot() HistSnapshot {
 // Quantile estimates the q-quantile (0 < q < 1) from the bucket layout:
 // the target bucket is found by cumulative rank, then the position inside
 // it is linearly interpolated. Values in the +Inf bucket report the highest
-// finite bound; an empty histogram reports 0.
+// finite bound. An empty histogram (zero observations) reports exactly 0 —
+// never NaN or garbage — so downstream consumers (flat snapshots, SLO burn
+// rates, timeline quantiles) can fold quantiles without NaN guards; a NaN q
+// likewise reports 0.
 func (s HistSnapshot) Quantile(q float64) float64 {
 	var total uint64
 	for _, c := range s.Counts {
 		total += c
 	}
-	if total == 0 || len(s.Bounds) == 0 {
+	if total == 0 || len(s.Bounds) == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q < 0 {

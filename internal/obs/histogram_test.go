@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Regression pin: a zero-count histogram must report exactly 0 for every
+// quantile — never NaN, never a bucket bound. Flat snapshots, SLO burn
+// rates, and timeline quantiles all fold quantiles without NaN guards on the
+// strength of this.
+func TestQuantileEmptyHistogramIsZero(t *testing.T) {
+	h := newHistogram(nil)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// The snapshot path too, including a snapshot with no bounds at all.
+	if got := (HistSnapshot{}).Quantile(0.99); got != 0 {
+		t.Fatalf("zero-value snapshot Quantile = %v, want 0", got)
+	}
+	if got := (HistSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 0}}).Quantile(0.5); got != 0 {
+		t.Fatalf("zero-count snapshot Quantile = %v, want 0", got)
+	}
+	// And it must be a plain 0, not a NaN that formats like one.
+	if v := h.Quantile(0.99); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("empty histogram Quantile not finite: %v", v)
+	}
+}
+
+func TestQuantileNaNInput(t *testing.T) {
+	h := newHistogram(nil)
+	h.Observe(0.5)
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("Quantile(NaN) = %v, want 0", got)
+	}
+}
+
+// The empty-quantile pin must hold through the registry surfaces where the
+// value is consumed.
+func TestEmptyHistogramThroughSnapshots(t *testing.T) {
+	reg := New()
+	reg.Histogram("empty_seconds")
+	flat := reg.FlatSnapshot()
+	for _, k := range []string{"empty_seconds_p50", "empty_seconds_p95", "empty_seconds_p99"} {
+		v, ok := flat[k]
+		if !ok {
+			t.Fatalf("flat snapshot missing %s", k)
+		}
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("%s = %v, want 0", k, v)
+		}
+	}
+	// And through the TSDB's windowed extraction on a histogram that has
+	// samples but no observations.
+	clk := newFakeClock()
+	ts := NewTSDB(reg, TSDBConfig{History: 8, Interval: time.Second, Now: clk.Now})
+	ts.Sample()
+	clk.Advance(time.Second)
+	ts.Sample()
+	v, count, ok := ts.QuantileOver("empty_seconds", 0.99, 0)
+	if !ok {
+		t.Fatal("QuantileOver on sampled empty histogram not ok")
+	}
+	if v != 0 || count != 0 {
+		t.Fatalf("QuantileOver = (%v, %d), want (0, 0)", v, count)
+	}
+}

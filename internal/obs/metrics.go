@@ -256,6 +256,10 @@ type Metric struct {
 	Count     uint64
 	Sum       float64
 	Quantiles map[string]float64 // "p50", "p95", "p99"
+	// Hist carries the full bucket snapshot for histograms (nil otherwise) —
+	// the telemetry history store needs cumulative bucket counts to extract
+	// windowed quantiles, not just the since-boot ones above.
+	Hist *HistSnapshot
 }
 
 // Snapshot returns every series' current value, sorted by name then labels.
@@ -276,6 +280,7 @@ func (r *Registry) Snapshot() []Metric {
 				m.Value = float64(snap.Count)
 				m.Count = snap.Count
 				m.Sum = snap.Sum
+				m.Hist = &snap
 				m.Quantiles = map[string]float64{
 					"p50": snap.Quantile(0.50),
 					"p95": snap.Quantile(0.95),

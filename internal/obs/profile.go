@@ -405,6 +405,11 @@ type NodeContact struct {
 // recorder and slow-query log. Field order is the wire order (golden-file
 // pinned); slices are sorted so repeated snapshots are byte-identical.
 type ProfileData struct {
+	// ID is the process-monotonic query id the serve path assigns (see
+	// NextQueryID); it correlates a slow-log line with the same query's
+	// entry in the flight recorder (?id= on /debug/queries). Zero when the
+	// recording layer did not assign one, and then omitted from the JSON.
+	ID                 uint64        `json:"id,omitempty"`
 	Query              string        `json:"query,omitempty"`
 	Start              time.Time     `json:"start"`
 	TotalMS            float64       `json:"totalMs"`

@@ -32,6 +32,14 @@ func recCounter(name, help string) *Counter {
 	return r.Counter(name)
 }
 
+// queryIDCounter backs NextQueryID.
+var queryIDCounter atomic.Uint64
+
+// NextQueryID returns the next process-monotonic query id (starting at 1).
+// The serve path stamps it into each recorded ProfileData so the slow-query
+// log line and the flight-recorder entry for the same query share an id.
+func NextQueryID() uint64 { return queryIDCounter.Add(1) }
+
 // flightStripes is the fixed stripe count of a FlightRecorder; recording
 // round-robins across stripes so concurrent recorders contend 1/8th as often
 // as a single-lock ring.
@@ -117,6 +125,8 @@ type ProfileFilter struct {
 	MinMS float64
 	// Level keeps only profiles at this hierarchy level (0 = any).
 	Level int
+	// ID keeps only the profile with this query id (0 = any).
+	ID uint64
 	// N truncates the result to the newest N profiles (0 = all).
 	N int
 }
@@ -138,6 +148,9 @@ func (r *FlightRecorder) Snapshot(f ProfileFilter) []ProfileData {
 				continue
 			}
 			if f.Level != 0 && d.Level != f.Level {
+				continue
+			}
+			if f.ID != 0 && d.ID != f.ID {
 				continue
 			}
 			out = append(out, d)

@@ -1,0 +1,431 @@
+package obs
+
+// SLO engine: declared service-level objectives evaluated against the
+// telemetry history with multi-window burn rates. Each objective compares an
+// observed value — a windowed latency quantile or a counter-rate ratio —
+// against its target over a fast window (reacts in minutes) and a slow window
+// (filters noise): a fast-window breach alone is a warning, a fast-window
+// breach at critical burn that the slow window corroborates is critical.
+// State changes carry hysteresis — an objective must hold a new level for
+// several consecutive evaluations before the alert moves — so a single bad
+// sample never flaps an alert, and every transition lands in a bounded ring
+// for /debug/alerts.
+//
+// A nil *SLOEngine is the disabled engine: every method is a no-op.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AlertState is an objective's typed alert level.
+type AlertState int
+
+// The alert levels, in escalation order.
+const (
+	StateOK AlertState = iota
+	StateWarning
+	StateCritical
+)
+
+func (s AlertState) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateWarning:
+		return "warning"
+	case StateCritical:
+		return "critical"
+	}
+	return "unknown"
+}
+
+// MarshalText renders the state as its name in JSON surfaces.
+func (s AlertState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a state name (tests round-trip alert JSON).
+func (s *AlertState) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "warning":
+		*s = StateWarning
+	case "critical":
+		*s = StateCritical
+	default:
+		*s = StateOK
+	}
+	return nil
+}
+
+// Objective declares one SLO. Two shapes share the struct:
+//
+//   - Latency: Series names a histogram series; the objective holds when the
+//     Quantile of the observations in the window stays at or under Target
+//     (seconds). Burn = observed / Target.
+//   - Ratio: Num and Den name counter series (flat names or bare families,
+//     summed); the objective tracks rate(Num)/rate(Den) against Goal. With
+//     HigherIsBetter false the ratio must stay at or under Goal (error
+//     ratio; burn = ratio/Goal), with it true the ratio must stay at or
+//     above Goal (hit ratio; burn = Goal/ratio).
+//
+// Series != "" selects the latency shape.
+type Objective struct {
+	Name string
+
+	// Latency shape.
+	Series   string
+	Quantile float64
+	Target   float64 // seconds
+
+	// Ratio shape.
+	Num, Den       []string
+	Goal           float64
+	HigherIsBetter bool
+
+	// MinCount is the traffic guard: fewer observations (latency) or
+	// denominator events (ratio) than this inside the fast window and the
+	// objective evaluates as ok — no data is not an outage. Zero defaults
+	// to 1.
+	MinCount float64
+
+	// CapState bounds how far this objective can escalate (zero = no cap,
+	// i.e. critical allowed). Advisory objectives — e.g. cache hit ratio,
+	// which legitimately collapses on a cold start — cap at warning so they
+	// inform /debug/alerts without ever flipping the watchdog verdict.
+	CapState AlertState
+}
+
+// BurnConfig tunes the engine's windows and hysteresis.
+type BurnConfig struct {
+	// FastWindow is the reactive window (default 5m); SlowWindow the
+	// corroborating one (default 1h).
+	FastWindow, SlowWindow time.Duration
+	// WarnBurn and CritBurn are the burn-rate thresholds (default 1.0 and
+	// 2.0): warning when the fast-window burn reaches WarnBurn, critical
+	// when it reaches CritBurn while the slow window is also burning (>= 1).
+	WarnBurn, CritBurn float64
+	// EnterAfter is how many consecutive evaluations a *higher* level must
+	// hold before the alert escalates (default 2); ClearAfter the same for
+	// de-escalation (default 3). Hysteresis: one bad or good sample never
+	// moves an alert.
+	EnterAfter, ClearAfter int
+	// Transitions bounds the transition ring (default 64).
+	Transitions int
+	// Now is the clock; nil uses time.Now.
+	Now func() time.Time
+}
+
+func (c BurnConfig) withDefaults() BurnConfig {
+	if c.FastWindow <= 0 {
+		c.FastWindow = 5 * time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = time.Hour
+	}
+	if c.WarnBurn <= 0 {
+		c.WarnBurn = 1.0
+	}
+	if c.CritBurn <= 0 {
+		c.CritBurn = 2.0
+	}
+	if c.EnterAfter <= 0 {
+		c.EnterAfter = 2
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 3
+	}
+	if c.Transitions <= 0 {
+		c.Transitions = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// AlertStatus is one objective's current evaluation.
+type AlertStatus struct {
+	Objective string     `json:"objective"`
+	State     AlertState `json:"state"`
+	// Value is the fast-window observed value (seconds for latency
+	// objectives, a ratio otherwise); Target the declared bound.
+	Value    float64   `json:"value"`
+	Target   float64   `json:"target"`
+	FastBurn float64   `json:"fastBurn"`
+	SlowBurn float64   `json:"slowBurn"`
+	Since    time.Time `json:"since"`
+}
+
+// Transition is one recorded alert state change.
+type Transition struct {
+	Objective string     `json:"objective"`
+	From      AlertState `json:"from"`
+	To        AlertState `json:"to"`
+	At        time.Time  `json:"at"`
+	Value     float64    `json:"value"`
+}
+
+type objState struct {
+	state       AlertState
+	since       time.Time
+	pending     AlertState
+	pendingRuns int
+	last        AlertStatus
+}
+
+// SLOEngine evaluates declared objectives against a TSDB. Safe for
+// concurrent use; all methods no-op on a nil receiver.
+type SLOEngine struct {
+	tsdb       *TSDB
+	cfg        BurnConfig
+	objectives []Objective
+
+	mu        sync.Mutex
+	states    map[string]*objState
+	trans     []Transition
+	transNext int
+	transN    int
+	evals     int
+}
+
+// NewSLOEngine returns an engine over t. A nil t (history disabled) or an
+// empty objective list returns nil — the disabled engine.
+func NewSLOEngine(t *TSDB, objectives []Objective, cfg BurnConfig) *SLOEngine {
+	if t == nil || len(objectives) == 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	e := &SLOEngine{
+		tsdb:       t,
+		cfg:        cfg,
+		objectives: objectives,
+		states:     make(map[string]*objState, len(objectives)),
+		trans:      make([]Transition, cfg.Transitions),
+	}
+	now := cfg.Now()
+	for _, o := range objectives {
+		e.states[o.Name] = &objState{since: now, last: AlertStatus{
+			Objective: o.Name, Target: o.target(), Since: now,
+		}}
+	}
+	return e
+}
+
+// target returns the objective's declared bound in status units.
+func (o Objective) target() float64 {
+	if o.Series != "" {
+		return o.Target
+	}
+	return o.Goal
+}
+
+// Evaluate runs one evaluation pass over every objective and returns the
+// resulting statuses. Call it after each TSDB sample (a Monitor does).
+func (e *SLOEngine) Evaluate() []AlertStatus {
+	if e == nil {
+		return nil
+	}
+	now := e.cfg.Now()
+	type eval struct {
+		o      Objective
+		status AlertStatus
+		want   AlertState
+	}
+	evals := make([]eval, 0, len(e.objectives))
+	for _, o := range e.objectives {
+		st, want := e.evaluateObjective(o)
+		evals = append(evals, eval{o: o, status: st, want: want})
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evals++
+	out := make([]AlertStatus, 0, len(evals))
+	for _, ev := range evals {
+		s := e.states[ev.o.Name]
+		want := ev.want
+		if ev.o.CapState != 0 && want > ev.o.CapState {
+			want = ev.o.CapState
+		}
+		if want == s.state {
+			s.pendingRuns = 0
+		} else {
+			if want != s.pending {
+				s.pending = want
+				s.pendingRuns = 0
+			}
+			s.pendingRuns++
+			need := e.cfg.EnterAfter
+			if want < s.state {
+				need = e.cfg.ClearAfter
+			}
+			if s.pendingRuns >= need {
+				e.recordTransitionLocked(Transition{
+					Objective: ev.o.Name, From: s.state, To: want, At: now, Value: ev.status.Value,
+				})
+				s.state = want
+				s.since = now
+				s.pendingRuns = 0
+			}
+		}
+		ev.status.State = s.state
+		ev.status.Since = s.since
+		s.last = ev.status
+		out = append(out, ev.status)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Objective < out[j].Objective })
+	return out
+}
+
+// evaluateObjective computes the raw (pre-hysteresis) desired state.
+func (e *SLOEngine) evaluateObjective(o Objective) (AlertStatus, AlertState) {
+	st := AlertStatus{Objective: o.Name, Target: o.target()}
+	minCount := o.MinCount
+	if minCount <= 0 {
+		minCount = 1
+	}
+	var fastBurn, slowBurn float64
+	var traffic float64
+	if o.Series != "" {
+		vFast, cFast, okF := e.tsdb.QuantileOver(o.Series, o.Quantile, e.cfg.FastWindow)
+		vSlow, _, okS := e.tsdb.QuantileOver(o.Series, o.Quantile, e.cfg.SlowWindow)
+		if !okF || o.Target <= 0 {
+			return st, StateOK
+		}
+		st.Value = vFast
+		traffic = float64(cFast)
+		fastBurn = vFast / o.Target
+		if okS {
+			slowBurn = vSlow / o.Target
+		}
+	} else {
+		if o.Goal <= 0 {
+			return st, StateOK
+		}
+		ratio := func(window time.Duration) (float64, float64, bool) {
+			var num, den float64
+			for _, n := range o.Num {
+				if v, ok := e.tsdb.RateOver(n, window); ok {
+					num += v
+				}
+			}
+			okAny := false
+			for _, n := range o.Den {
+				if v, ok := e.tsdb.RateOver(n, window); ok {
+					den += v
+					okAny = true
+				}
+			}
+			if !okAny || den <= 0 {
+				return 0, 0, false
+			}
+			return num / den, den, true
+		}
+		rFast, denFast, okF := ratio(e.cfg.FastWindow)
+		rSlow, _, okS := ratio(e.cfg.SlowWindow)
+		if !okF {
+			return st, StateOK
+		}
+		st.Value = rFast
+		traffic = denFast * e.cfg.FastWindow.Seconds()
+		fastBurn = ratioBurn(rFast, o.Goal, o.HigherIsBetter)
+		if okS {
+			slowBurn = ratioBurn(rSlow, o.Goal, o.HigherIsBetter)
+		}
+	}
+	st.FastBurn = round3(fastBurn)
+	st.SlowBurn = round3(slowBurn)
+	if traffic < minCount {
+		return st, StateOK
+	}
+	switch {
+	case fastBurn >= e.cfg.CritBurn && slowBurn >= 1:
+		return st, StateCritical
+	case fastBurn >= e.cfg.WarnBurn:
+		return st, StateWarning
+	}
+	return st, StateOK
+}
+
+// ratioBurn converts an observed ratio into a burn factor against its goal.
+func ratioBurn(observed, goal float64, higherIsBetter bool) float64 {
+	if !higherIsBetter {
+		return observed / goal
+	}
+	if observed <= 0 {
+		return math.Inf(1)
+	}
+	return goal / observed
+}
+
+func round3(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return v
+	}
+	return math.Round(v*1000) / 1000
+}
+
+func (e *SLOEngine) recordTransitionLocked(tr Transition) {
+	e.trans[e.transNext] = tr
+	e.transNext = (e.transNext + 1) % len(e.trans)
+	if e.transN < len(e.trans) {
+		e.transN++
+	}
+}
+
+// Current returns the latest status of every objective, sorted by name.
+func (e *SLOEngine) Current() []AlertStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]AlertStatus, 0, len(e.states))
+	for _, s := range e.states {
+		out = append(out, s.last)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Objective < out[j].Objective })
+	return out
+}
+
+// WorstState returns the highest current alert level across objectives.
+func (e *SLOEngine) WorstState() AlertState {
+	if e == nil {
+		return StateOK
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	worst := StateOK
+	for _, s := range e.states {
+		if s.state > worst {
+			worst = s.state
+		}
+	}
+	return worst
+}
+
+// Transitions returns the recorded state changes, newest first.
+func (e *SLOEngine) Transitions() []Transition {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Transition, 0, e.transN)
+	for i := 0; i < e.transN; i++ {
+		idx := (e.transNext - 1 - i + 2*len(e.trans)) % len(e.trans)
+		out = append(out, e.trans[idx])
+	}
+	return out
+}
+
+// Evaluations returns how many Evaluate passes have run.
+func (e *SLOEngine) Evaluations() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}

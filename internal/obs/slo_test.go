@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sloHarness is a registry + TSDB + engine driven by one fake clock.
+type sloHarness struct {
+	reg *Registry
+	ts  *TSDB
+	eng *SLOEngine
+	clk *fakeClock
+}
+
+func newSLOHarness(t *testing.T, objectives []Objective) *sloHarness {
+	t.Helper()
+	reg := New()
+	clk := newFakeClock()
+	ts := NewTSDB(reg, TSDBConfig{History: 256, Interval: time.Second, Now: clk.Now})
+	eng := NewSLOEngine(ts, objectives, BurnConfig{
+		FastWindow: 10 * time.Second,
+		SlowWindow: 60 * time.Second,
+		EnterAfter: 2,
+		ClearAfter: 3,
+		Now:        clk.Now,
+	})
+	if eng == nil {
+		t.Fatal("NewSLOEngine returned nil")
+	}
+	return &sloHarness{reg: reg, ts: ts, eng: eng, clk: clk}
+}
+
+// tick samples and evaluates once, then advances the clock one interval.
+func (h *sloHarness) tick() []AlertStatus {
+	h.ts.Sample()
+	out := h.eng.Evaluate()
+	h.clk.Advance(time.Second)
+	return out
+}
+
+func stateOf(t *testing.T, statuses []AlertStatus, name string) AlertState {
+	t.Helper()
+	for _, s := range statuses {
+		if s.Objective == name {
+			return s.State
+		}
+	}
+	t.Fatalf("objective %q not in statuses", name)
+	return StateOK
+}
+
+func TestSLOEngineDisabled(t *testing.T) {
+	if e := NewSLOEngine(nil, []Objective{{Name: "x"}}, BurnConfig{}); e != nil {
+		t.Fatal("nil TSDB must return the nil engine")
+	}
+	if e := NewSLOEngine(&TSDB{}, nil, BurnConfig{}); e != nil {
+		t.Fatal("no objectives must return the nil engine")
+	}
+	var e *SLOEngine
+	if e.Evaluate() != nil || e.Current() != nil || e.Transitions() != nil {
+		t.Fatal("nil engine must return empty results")
+	}
+	if e.WorstState() != StateOK {
+		t.Fatal("nil engine WorstState != ok")
+	}
+}
+
+func TestSLOLatencyRegressionAndRecovery(t *testing.T) {
+	obj := Objective{
+		Name: "p99", Series: "lat_seconds", Quantile: 0.99, Target: 0.1, MinCount: 5,
+	}
+	h := newSLOHarness(t, []Objective{obj})
+	hist := h.reg.Histogram("lat_seconds")
+
+	observe := func(v float64) {
+		for i := 0; i < 20; i++ {
+			hist.Observe(v)
+		}
+	}
+
+	// Healthy: p99 ~5ms, far under the 100ms target.
+	for i := 0; i < 12; i++ {
+		observe(0.005)
+		if got := stateOf(t, h.tick(), "p99"); got != StateOK {
+			t.Fatalf("healthy tick %d: state %v, want ok", i, got)
+		}
+	}
+
+	// Regression: p99 jumps to ~1s. Burn = 10x: critical — but only after
+	// EnterAfter=2 consecutive evaluations (hysteresis).
+	observe(1.0)
+	if got := stateOf(t, h.tick(), "p99"); got != StateOK {
+		t.Fatalf("first bad eval escalated immediately to %v; hysteresis broken", got)
+	}
+	observe(1.0)
+	if got := stateOf(t, h.tick(), "p99"); got != StateCritical {
+		t.Fatalf("second bad eval: state %v, want critical", got)
+	}
+	if h.eng.WorstState() != StateCritical {
+		t.Fatal("WorstState != critical during regression")
+	}
+
+	// Recovery: fast observations again. The fast window still contains bad
+	// samples for a while; once it clears, OK requires ClearAfter=3 evals.
+	recovered := -1
+	for i := 0; i < 30; i++ {
+		observe(0.005)
+		if got := stateOf(t, h.tick(), "p99"); got == StateOK {
+			recovered = i
+			break
+		}
+	}
+	if recovered < 0 {
+		t.Fatal("never recovered to ok")
+	}
+
+	// The journey must be recorded: ok -> critical -> ok transitions.
+	trs := h.eng.Transitions()
+	if len(trs) < 2 {
+		t.Fatalf("transitions = %d, want >= 2", len(trs))
+	}
+	// Newest first: last recovery first.
+	if trs[0].To != StateOK {
+		t.Fatalf("newest transition to %v, want ok", trs[0].To)
+	}
+	sawCritical := false
+	for _, tr := range trs {
+		if tr.To == StateCritical {
+			sawCritical = true
+		}
+	}
+	if !sawCritical {
+		t.Fatal("no transition into critical recorded")
+	}
+}
+
+func TestSLONoFlappingOnSingleBadSample(t *testing.T) {
+	obj := Objective{
+		Name: "p99", Series: "lat_seconds", Quantile: 0.99, Target: 0.1, MinCount: 5,
+	}
+	h := newSLOHarness(t, []Objective{obj})
+	hist := h.reg.Histogram("lat_seconds")
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 50; j++ {
+			hist.Observe(0.005)
+		}
+		h.tick()
+	}
+	// One slow burst, then immediately healthy traffic heavy enough to pull
+	// the windowed p99 back under target within one tick.
+	hist.Observe(5.0)
+	if got := stateOf(t, h.tick(), "p99"); got != StateOK {
+		t.Fatalf("single bad sample moved the alert to %v", got)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 200; j++ {
+			hist.Observe(0.005)
+		}
+		if got := stateOf(t, h.tick(), "p99"); got != StateOK {
+			t.Fatalf("tick %d after single bad sample: %v, want ok (no flap)", i, got)
+		}
+	}
+	if len(h.eng.Transitions()) != 0 {
+		t.Fatalf("transitions recorded for a single bad sample: %v", h.eng.Transitions())
+	}
+}
+
+func TestSLOErrorRatioObjective(t *testing.T) {
+	obj := Objective{
+		Name: "errs",
+		Num:  []string{`q_total{outcome="error"}`},
+		Den:  []string{"q_total"},
+		Goal: 0.05, MinCount: 5,
+	}
+	h := newSLOHarness(t, []Objective{obj})
+	okC := h.reg.Counter("q_total", "outcome", "ok")
+	errC := h.reg.Counter("q_total", "outcome", "error")
+
+	// 1% errors: healthy.
+	for i := 0; i < 12; i++ {
+		okC.Add(99)
+		errC.Add(1)
+		if got := stateOf(t, h.tick(), "errs"); got != StateOK {
+			t.Fatalf("1%% errors tick %d: %v", i, got)
+		}
+	}
+	// 50% errors: burn 10x, critical after hysteresis.
+	var last AlertState
+	for i := 0; i < 15; i++ {
+		okC.Add(50)
+		errC.Add(50)
+		last = stateOf(t, h.tick(), "errs")
+		if last == StateCritical {
+			break
+		}
+	}
+	if last != StateCritical {
+		t.Fatalf("50%% errors never reached critical: %v", last)
+	}
+}
+
+func TestSLOHitRatioCapsAtWarning(t *testing.T) {
+	obj := Objective{
+		Name:           "hit",
+		Num:            []string{"hits_total"},
+		Den:            []string{"hits_total", "misses_total"},
+		Goal:           0.5,
+		HigherIsBetter: true,
+		MinCount:       5,
+		CapState:       StateWarning,
+	}
+	h := newSLOHarness(t, []Objective{obj})
+	h.reg.Counter("hits_total") // series exists, never incremented
+	misses := h.reg.Counter("misses_total")
+	// 0% hit ratio forever: burn is infinite, but the cap holds it at
+	// warning — a cold cache must never flip the verdict to degraded.
+	var last AlertState
+	for i := 0; i < 20; i++ {
+		misses.Add(50)
+		last = stateOf(t, h.tick(), "hit")
+		if last == StateCritical {
+			t.Fatalf("capped objective escalated to critical at tick %d", i)
+		}
+	}
+	if last != StateWarning {
+		t.Fatalf("0%% hit ratio settled at %v, want warning", last)
+	}
+}
+
+func TestSLOTrafficGuard(t *testing.T) {
+	obj := Objective{
+		Name: "errs",
+		Num:  []string{`g_total{outcome="error"}`},
+		Den:  []string{"g_total"},
+		Goal: 0.05, MinCount: 100,
+	}
+	h := newSLOHarness(t, []Objective{obj})
+	errC := h.reg.Counter("g_total", "outcome", "error")
+	// 100% errors but only ~2 events/s: far under MinCount=100 per fast
+	// window, so the objective stays ok — no data is not an outage.
+	for i := 0; i < 15; i++ {
+		errC.Add(2)
+		if got := stateOf(t, h.tick(), "errs"); got != StateOK {
+			t.Fatalf("under-traffic objective alerted: %v", got)
+		}
+	}
+}

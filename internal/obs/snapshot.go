@@ -1,0 +1,103 @@
+package obs
+
+// Snapshot documents: a flat metrics snapshot with a timestamp, written as
+// JSON by stashtrace -snapshot and diffed by stashtrace -metrics-diff to
+// turn two point-in-time scrapes into counter rates.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SnapshotDoc is a timestamped flat metrics snapshot.
+type SnapshotDoc struct {
+	TakenAt time.Time          `json:"takenAt"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// TakeSnapshot captures r's flat snapshot at now (time.Now when zero).
+func TakeSnapshot(r *Registry, now time.Time) SnapshotDoc {
+	if now.IsZero() {
+		now = time.Now()
+	}
+	return SnapshotDoc{TakenAt: now, Metrics: r.FlatSnapshot()}
+}
+
+// WriteSnapshotJSON writes doc as indented JSON.
+func WriteSnapshotJSON(w io.Writer, doc SnapshotDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadSnapshotFile parses a snapshot document from path.
+func ReadSnapshotFile(path string) (SnapshotDoc, error) {
+	var doc SnapshotDoc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Metrics == nil {
+		return doc, fmt.Errorf("%s: no metrics map", path)
+	}
+	return doc, nil
+}
+
+// RateRow is one series in a snapshot diff.
+type RateRow struct {
+	Name   string  `json:"name"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	Delta  float64 `json:"delta"`
+	PerSec float64 `json:"perSec"`
+}
+
+// DiffSnapshots computes per-series deltas and per-second rates between two
+// snapshots, sorted by |PerSec| descending (name ascending on ties). Series
+// missing from either side are skipped, as are derived histogram quantile
+// keys (_p50/_p95/_p99) whose deltas are meaningless; elapsed comes from the
+// documents' timestamps and must be positive.
+func DiffSnapshots(oldDoc, newDoc SnapshotDoc) ([]RateRow, time.Duration, error) {
+	elapsed := newDoc.TakenAt.Sub(oldDoc.TakenAt)
+	if elapsed <= 0 {
+		return nil, 0, fmt.Errorf("snapshots not in order: old %s, new %s",
+			oldDoc.TakenAt.Format(time.RFC3339), newDoc.TakenAt.Format(time.RFC3339))
+	}
+	sec := elapsed.Seconds()
+	var rows []RateRow
+	for name, nv := range newDoc.Metrics {
+		if isQuantileKey(name) {
+			continue
+		}
+		ov, ok := oldDoc.Metrics[name]
+		if !ok {
+			continue
+		}
+		d := nv - ov
+		rows = append(rows, RateRow{Name: name, Old: ov, New: nv, Delta: d, PerSec: d / sec})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ai, aj := math.Abs(rows[i].PerSec), math.Abs(rows[j].PerSec)
+		if ai != aj {
+			return ai > aj
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows, elapsed, nil
+}
+
+// isQuantileKey reports whether a flat key is a derived histogram quantile.
+func isQuantileKey(name string) bool {
+	return strings.HasSuffix(name, "_p50") ||
+		strings.HasSuffix(name, "_p95") ||
+		strings.HasSuffix(name, "_p99")
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTripAndDiff(t *testing.T) {
+	reg := New()
+	c := reg.Counter("reqs_total", "outcome", "ok")
+	g := reg.Gauge("depth")
+	h := reg.Histogram("lat_seconds")
+
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	c.Add(100)
+	g.Set(7)
+	h.Observe(0.01)
+	oldDoc := TakeSnapshot(reg, t0)
+
+	c.Add(50)
+	g.Set(3)
+	h.Observe(0.02)
+	newDoc := TakeSnapshot(reg, t0.Add(10*time.Second))
+
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	var buf bytes.Buffer
+	if err := WriteSnapshotJSON(&buf, oldDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oldPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.TakenAt.Equal(oldDoc.TakenAt) || len(got.Metrics) != len(oldDoc.Metrics) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, oldDoc)
+	}
+
+	rows, elapsed, err := DiffSnapshots(oldDoc, newDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 10*time.Second {
+		t.Fatalf("elapsed = %v, want 10s", elapsed)
+	}
+	byName := map[string]RateRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	cr, ok := byName[`reqs_total{outcome="ok"}`]
+	if !ok {
+		t.Fatalf("counter row missing from %v", rows)
+	}
+	if cr.Delta != 50 || cr.PerSec != 5 {
+		t.Fatalf("counter row = %+v, want delta 50, 5/s", cr)
+	}
+	gr := byName["depth"]
+	if gr.Delta != -4 {
+		t.Fatalf("gauge row delta = %v, want -4", gr.Delta)
+	}
+	// Derived quantile keys are meaningless as rates and must be skipped.
+	for name := range byName {
+		if isQuantileKey(name) {
+			t.Fatalf("quantile key %s leaked into the diff", name)
+		}
+	}
+	// Histogram count/sum keys do participate.
+	if _, ok := byName["lat_seconds_count"]; !ok {
+		t.Fatal("histogram _count row missing")
+	}
+	// Rows sort by |PerSec| descending.
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if abs(a.PerSec) < abs(b.PerSec) {
+			t.Fatalf("rows not sorted by |PerSec|: %v before %v", a, b)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestDiffSnapshotsRejectsOutOfOrder(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	a := SnapshotDoc{TakenAt: t0, Metrics: map[string]float64{}}
+	b := SnapshotDoc{TakenAt: t0.Add(time.Second), Metrics: map[string]float64{}}
+	if _, _, err := DiffSnapshots(b, a); err == nil {
+		t.Fatal("reversed snapshots must error")
+	}
+	if _, _, err := DiffSnapshots(a, a); err == nil {
+		t.Fatal("identical timestamps must error")
+	}
+}
+
+func TestReadSnapshotFileErrors(t *testing.T) {
+	if _, err := ReadSnapshotFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	p := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(p, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(p); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	// Valid JSON but no metrics map.
+	if err := os.WriteFile(p, []byte(`{"takenAt":"2026-08-01T12:00:00Z"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(p); err == nil {
+		t.Fatal("document without metrics must error")
+	}
+}
+
+func TestAlertStateJSON(t *testing.T) {
+	b, err := json.Marshal(struct {
+		S AlertState `json:"s"`
+	}{StateCritical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"s":"critical"}` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var out struct {
+		S AlertState `json:"s"`
+	}
+	if err := json.Unmarshal([]byte(`{"s":"warning"}`), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.S != StateWarning {
+		t.Fatalf("unmarshal = %v", out.S)
+	}
+}

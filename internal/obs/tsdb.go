@@ -1,0 +1,528 @@
+package obs
+
+// Telemetry history: a zero-dependency, in-process time-series store. A TSDB
+// samples a Registry's Snapshot on a fixed cadence into per-series ring
+// buffers, so the process can answer "how has this been trending" — not just
+// "what is it right now" — without an external Prometheus. Memory is bounded
+// by construction: O(series × history) slots, allocated once per series and
+// reused forever; a steady-state Sample performs no allocation beyond the
+// registry snapshot itself.
+//
+// Counters are stored raw (cumulative) and differentiated at query time
+// (RateOver / DeltaOver), histograms keep their cumulative per-bucket counts
+// so quantiles can be extracted over any trailing window from bucket deltas —
+// the windowed p99 an SLO burn rate needs, as opposed to the since-boot
+// quantiles /metrics exposes.
+//
+// The clock is injectable, so tests drive a deterministic timeline; a nil
+// *TSDB is a valid disabled store (History <= 0): every method is an
+// allocation-free no-op, and no goroutine exists anywhere in the layer.
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TSDBConfig sizes a telemetry history store.
+type TSDBConfig struct {
+	// History is the ring capacity: samples retained per series. <= 0
+	// disables the store entirely (NewTSDB returns nil).
+	History int
+	// Interval is the nominal sampling cadence. It is metadata for the
+	// store itself (Sample is caller-driven) and the tick period a Monitor
+	// uses. Zero defaults to one second.
+	Interval time.Duration
+	// Now is the clock; nil uses time.Now. Tests inject a fake clock to
+	// drive deterministic timelines.
+	Now func() time.Time
+}
+
+// DefaultTSDBInterval is the sampling cadence used when none is configured.
+const DefaultTSDBInterval = time.Second
+
+// TSDB is the in-memory time-series store. All methods are safe for
+// concurrent use and are no-ops (or empty results) on a nil receiver.
+type TSDB struct {
+	reg      *Registry
+	history  int
+	interval time.Duration
+	now      func() time.Time
+
+	mu      sync.RWMutex
+	series  map[string]*tsRing
+	names   []string // kept sorted for deterministic listings
+	samples int
+}
+
+// NewTSDB returns a history store sampling reg (nil selects the process
+// default registry). cfg.History <= 0 returns nil — the disabled store.
+func NewTSDB(reg *Registry, cfg TSDBConfig) *TSDB {
+	if cfg.History <= 0 {
+		return nil
+	}
+	if reg == nil {
+		reg = Default()
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultTSDBInterval
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &TSDB{
+		reg:      reg,
+		history:  cfg.History,
+		interval: cfg.Interval,
+		now:      cfg.Now,
+		series:   map[string]*tsRing{},
+	}
+}
+
+// tsRing is one series' ring: parallel timestamp/value arrays plus, for
+// histograms, per-slot cumulative bucket counts (each slot's slice is
+// allocated once and overwritten in place on wrap).
+type tsRing struct {
+	kind    Kind
+	ts      []int64   // unix milliseconds
+	val     []float64 // counter/gauge value; histogram cumulative count
+	sum     []float64 // histogram cumulative sum, nil otherwise
+	counts  [][]uint64
+	bounds  []float64
+	n, next int
+}
+
+func newTSRing(history int, m Metric) *tsRing {
+	r := &tsRing{
+		kind: m.Kind,
+		ts:   make([]int64, history),
+		val:  make([]float64, history),
+	}
+	if m.Kind == KindHistogram && m.Hist != nil {
+		r.bounds = m.Hist.Bounds
+		r.sum = make([]float64, history)
+		r.counts = make([][]uint64, history)
+	}
+	return r
+}
+
+func (r *tsRing) push(tsMilli int64, m Metric) {
+	slot := r.next
+	r.ts[slot] = tsMilli
+	if r.kind == KindHistogram && m.Hist != nil {
+		r.val[slot] = float64(m.Count)
+		r.sum[slot] = m.Sum
+		if r.counts[slot] == nil {
+			r.counts[slot] = make([]uint64, len(m.Hist.Counts))
+		}
+		copy(r.counts[slot], m.Hist.Counts)
+	} else {
+		r.val[slot] = m.Value
+	}
+	r.next = (r.next + 1) % len(r.ts)
+	if r.n < len(r.ts) {
+		r.n++
+	}
+}
+
+// slotIdx maps i in [0, n) — oldest first — to the backing array index.
+func (r *tsRing) slotIdx(i int) int {
+	return (r.next - r.n + i + 2*len(r.ts)) % len(r.ts)
+}
+
+// Enabled reports whether the store exists (the -history 0 probe).
+func (t *TSDB) Enabled() bool { return t != nil }
+
+// History returns the per-series ring capacity (0 when disabled).
+func (t *TSDB) History() int {
+	if t == nil {
+		return 0
+	}
+	return t.history
+}
+
+// Interval returns the nominal sampling cadence (0 when disabled).
+func (t *TSDB) Interval() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.interval
+}
+
+// Samples returns how many Sample calls have run.
+func (t *TSDB) Samples() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.samples
+}
+
+// Names returns every retained series name, sorted.
+func (t *TSDB) Names() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// flatSeriesName renders a Metric's flat series key: name or name{labels},
+// matching FlatSnapshot's base keys.
+func flatSeriesName(m Metric) string {
+	if lb := renderLabels(m.Labels); lb != "" {
+		return m.Name + "{" + lb + "}"
+	}
+	return m.Name
+}
+
+// Sample takes one sample of every registered series at the clock's current
+// time. Series appearing after construction (new families, new label sets)
+// join the store on the sample that first sees them.
+func (t *TSDB) Sample() {
+	if t == nil {
+		return
+	}
+	nowMilli := t.now().UnixMilli()
+	snap := t.reg.Snapshot()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.samples++
+	for _, m := range snap {
+		key := flatSeriesName(m)
+		r := t.series[key]
+		if r == nil {
+			r = newTSRing(t.history, m)
+			t.series[key] = r
+			i := sort.SearchStrings(t.names, key)
+			t.names = append(t.names, "")
+			copy(t.names[i+1:], t.names[i:])
+			t.names[i] = key
+		}
+		r.push(nowMilli, m)
+	}
+}
+
+// Point is one sample of one series.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// SeriesData is one series' retained timeline, as served by /debug/timeline.
+// Points carry the raw sampled values (cumulative for counters and histogram
+// counts, instantaneous for gauges). Rate carries the per-second derivative
+// between consecutive retained points for counters and histogram counts.
+// Quantiles carries, for histograms, the latency quantiles of the
+// observations recorded between consecutive retained points — with ?step=k
+// each point therefore summarizes a k×interval window.
+type SeriesData struct {
+	Name      string             `json:"name"`
+	Kind      string             `json:"kind"`
+	Points    []Point            `json:"points"`
+	Rate      []Point            `json:"rate,omitempty"`
+	Quantiles map[string][]Point `json:"quantiles,omitempty"`
+}
+
+// seriesFamily returns the metric family of a flat series name (the part
+// before the label block).
+func seriesFamily(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// match returns the rings matching name: an exact flat series name, or a bare
+// family name matching every labeled series of that family. Caller holds at
+// least the read lock.
+func (t *TSDB) matchLocked(name string) []*tsRing {
+	if r := t.series[name]; r != nil {
+		return []*tsRing{r}
+	}
+	var out []*tsRing
+	for _, key := range t.names {
+		if seriesFamily(key) == name {
+			out = append(out, t.series[key])
+		}
+	}
+	return out
+}
+
+// matchNamesLocked is matchLocked returning the names instead.
+func (t *TSDB) matchNamesLocked(name string) []string {
+	if t.series[name] != nil {
+		return []string{name}
+	}
+	var out []string
+	for _, key := range t.names {
+		if seriesFamily(key) == name {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// Query returns the retained timeline of every series matching name (exact
+// flat name, or bare family name). window > 0 restricts to the trailing
+// window (measured from the newest sample); step > 1 downsamples, always
+// keeping the newest sample. ok is false when nothing matches.
+func (t *TSDB) Query(name string, window time.Duration, step int) ([]SeriesData, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if step < 1 {
+		step = 1
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	names := t.matchNamesLocked(name)
+	if len(names) == 0 {
+		return nil, false
+	}
+	out := make([]SeriesData, 0, len(names))
+	for _, key := range names {
+		out = append(out, t.seriesDataLocked(key, t.series[key], window, step))
+	}
+	return out, true
+}
+
+func (t *TSDB) seriesDataLocked(name string, r *tsRing, window time.Duration, step int) SeriesData {
+	d := SeriesData{Name: name, Kind: r.kind.String()}
+	if r.n == 0 {
+		return d
+	}
+	newest := r.ts[r.slotIdx(r.n-1)]
+	cutoff := int64(math.MinInt64)
+	if window > 0 {
+		cutoff = newest - window.Milliseconds()
+	}
+	// Select retained indices newest-backwards so the newest sample always
+	// survives downsampling, then reverse into chronological order.
+	var idxs []int
+	for i := r.n - 1; i >= 0; i -= step {
+		if r.ts[r.slotIdx(i)] < cutoff {
+			break
+		}
+		idxs = append(idxs, i)
+	}
+	for lo, hi := 0, len(idxs)-1; lo < hi; lo, hi = lo+1, hi-1 {
+		idxs[lo], idxs[hi] = idxs[hi], idxs[lo]
+	}
+	for _, i := range idxs {
+		slot := r.slotIdx(i)
+		d.Points = append(d.Points, Point{T: time.UnixMilli(r.ts[slot]), V: r.val[slot]})
+	}
+	cumulative := r.kind == KindCounter || r.kind == KindHistogram
+	if cumulative && len(idxs) >= 2 {
+		for k := 1; k < len(idxs); k++ {
+			a, b := r.slotIdx(idxs[k-1]), r.slotIdx(idxs[k])
+			dt := float64(r.ts[b]-r.ts[a]) / 1000
+			delta := r.val[b] - r.val[a]
+			rate := 0.0
+			if dt > 0 && delta > 0 {
+				rate = delta / dt
+			}
+			d.Rate = append(d.Rate, Point{T: time.UnixMilli(r.ts[b]), V: rate})
+		}
+	}
+	if r.kind == KindHistogram && r.counts != nil && len(idxs) >= 2 {
+		d.Quantiles = map[string][]Point{}
+		for _, q := range [...]struct {
+			name string
+			q    float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			pts := make([]Point, 0, len(idxs)-1)
+			for k := 1; k < len(idxs); k++ {
+				a, b := r.slotIdx(idxs[k-1]), r.slotIdx(idxs[k])
+				v := bucketDeltaQuantile(r.bounds, r.counts[a], r.counts[b], q.q)
+				pts = append(pts, Point{T: time.UnixMilli(r.ts[b]), V: v})
+			}
+			d.Quantiles[q.name] = pts
+		}
+	}
+	return d
+}
+
+// bucketDeltaQuantile extracts a quantile from the observations recorded
+// between two cumulative bucket snapshots.
+func bucketDeltaQuantile(bounds []float64, older, newer []uint64, q float64) float64 {
+	if older == nil || newer == nil {
+		return 0
+	}
+	delta := make([]uint64, len(newer))
+	for i := range newer {
+		if i < len(older) && newer[i] >= older[i] {
+			delta[i] = newer[i] - older[i]
+		}
+	}
+	return HistSnapshot{Bounds: bounds, Counts: delta}.Quantile(q)
+}
+
+// windowEndpoints returns the baseline and newest array slots for a trailing
+// window: the baseline is the newest sample at or before the window start
+// (so the delta covers at least the window when history allows), falling
+// back to the oldest retained sample. ok is false with fewer than 2 samples.
+func (r *tsRing) windowEndpoints(window time.Duration) (a, b int, ok bool) {
+	if r.n < 2 {
+		return 0, 0, false
+	}
+	last := r.n - 1
+	b = r.slotIdx(last)
+	cutoff := r.ts[b] - window.Milliseconds()
+	first := 0
+	if window > 0 {
+		for i := last - 1; i >= 0; i-- {
+			if r.ts[r.slotIdx(i)] <= cutoff {
+				first = i
+				break
+			}
+		}
+	}
+	a = r.slotIdx(first)
+	if r.ts[b] <= r.ts[a] {
+		return 0, 0, false
+	}
+	return a, b, true
+}
+
+// DeltaOver returns the summed value change of every series matching name
+// (exact or family) over the trailing window (0 = whole retained history).
+// ok is false when no matching series has two samples.
+func (t *TSDB) DeltaOver(name string, window time.Duration) (float64, bool) {
+	d, _, ok := t.deltaSpan(name, window)
+	return d, ok
+}
+
+// RateOver returns the summed per-second rate of change over the trailing
+// window. Negative per-series deltas (a gauge falling, a counter family
+// re-registered) clamp to zero, keeping the result a rate of increase.
+func (t *TSDB) RateOver(name string, window time.Duration) (float64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total float64
+	found := false
+	for _, r := range t.matchLocked(name) {
+		a, b, ok := r.windowEndpoints(window)
+		if !ok {
+			continue
+		}
+		found = true
+		if delta := r.val[b] - r.val[a]; delta > 0 {
+			total += delta / (float64(r.ts[b]-r.ts[a]) / 1000)
+		}
+	}
+	return total, found
+}
+
+func (t *TSDB) deltaSpan(name string, window time.Duration) (delta, spanSec float64, ok bool) {
+	if t == nil {
+		return 0, 0, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.matchLocked(name) {
+		a, b, eok := r.windowEndpoints(window)
+		if !eok {
+			continue
+		}
+		ok = true
+		delta += r.val[b] - r.val[a]
+		if s := float64(r.ts[b]-r.ts[a]) / 1000; s > spanSec {
+			spanSec = s
+		}
+	}
+	return delta, spanSec, ok
+}
+
+// LastValue returns the newest sample of the series (summed across a family
+// match). ok is false when nothing matches or nothing was sampled yet.
+func (t *TSDB) LastValue(name string) (float64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total float64
+	found := false
+	for _, r := range t.matchLocked(name) {
+		if r.n == 0 {
+			continue
+		}
+		found = true
+		total += r.val[r.slotIdx(r.n-1)]
+	}
+	return total, found
+}
+
+// AvgOver returns the mean of the samples inside the trailing window, summed
+// across a family match — the right reduction for level gauges like queue
+// depth. ok is false when nothing matched.
+func (t *TSDB) AvgOver(name string, window time.Duration) (float64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total float64
+	found := false
+	for _, r := range t.matchLocked(name) {
+		if r.n == 0 {
+			continue
+		}
+		newest := r.ts[r.slotIdx(r.n-1)]
+		cutoff := int64(math.MinInt64)
+		if window > 0 {
+			cutoff = newest - window.Milliseconds()
+		}
+		var sum float64
+		var cnt int
+		for i := r.n - 1; i >= 0; i-- {
+			slot := r.slotIdx(i)
+			if r.ts[slot] < cutoff {
+				break
+			}
+			sum += r.val[slot]
+			cnt++
+		}
+		if cnt > 0 {
+			found = true
+			total += sum / float64(cnt)
+		}
+	}
+	return total, found
+}
+
+// QuantileOver extracts the q-quantile of the observations a histogram series
+// recorded during the trailing window (bucket-count delta between the window
+// endpoints), plus how many observations that window held. ok is false when
+// the series is not a sampled histogram or has fewer than two samples.
+func (t *TSDB) QuantileOver(name string, q float64, window time.Duration) (v float64, count uint64, ok bool) {
+	if t == nil {
+		return 0, 0, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rs := t.matchLocked(name)
+	if len(rs) != 1 || rs[0].kind != KindHistogram || rs[0].counts == nil {
+		return 0, 0, false
+	}
+	r := rs[0]
+	a, b, eok := r.windowEndpoints(window)
+	if !eok {
+		return 0, 0, false
+	}
+	if d := r.val[b] - r.val[a]; d > 0 {
+		count = uint64(d)
+	}
+	return bucketDeltaQuantile(r.bounds, r.counts[a], r.counts[b], q), count, true
+}

@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic, manually-advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTSDB(t *testing.T, history int) (*Registry, *TSDB, *fakeClock) {
+	t.Helper()
+	reg := New()
+	clk := newFakeClock()
+	ts := NewTSDB(reg, TSDBConfig{History: history, Interval: time.Second, Now: clk.Now})
+	if ts == nil {
+		t.Fatal("NewTSDB returned nil for positive history")
+	}
+	return reg, ts, clk
+}
+
+func TestTSDBDisabled(t *testing.T) {
+	if ts := NewTSDB(New(), TSDBConfig{History: 0}); ts != nil {
+		t.Fatal("History 0 must return the nil (disabled) store")
+	}
+	var ts *TSDB
+	if ts.Enabled() {
+		t.Fatal("nil TSDB reports enabled")
+	}
+	ts.Sample() // must not panic
+	if _, ok := ts.Query("x", 0, 1); ok {
+		t.Fatal("nil Query reported ok")
+	}
+	if _, ok := ts.RateOver("x", time.Minute); ok {
+		t.Fatal("nil RateOver reported ok")
+	}
+	if _, ok := ts.LastValue("x"); ok {
+		t.Fatal("nil LastValue reported ok")
+	}
+	if _, _, ok := ts.QuantileOver("x", 0.99, time.Minute); ok {
+		t.Fatal("nil QuantileOver reported ok")
+	}
+	if ts.Names() != nil || ts.Samples() != 0 || ts.History() != 0 {
+		t.Fatal("nil accessors must return zero values")
+	}
+}
+
+// The disabled path must be allocation-free: -history 0 means every call the
+// serve path could make against the (nil) store costs nothing.
+func TestTSDBDisabledZeroAlloc(t *testing.T) {
+	var ts *TSDB
+	var slo *SLOEngine
+	var dog *Watchdog
+	var mon *Monitor
+	allocs := testing.AllocsPerRun(100, func() {
+		ts.Sample()
+		ts.RateOver("stash_coord_queries_total", time.Minute)
+		ts.LastValue("stash_node_queue_depth")
+		slo.Evaluate()
+		slo.Current()
+		slo.WorstState()
+		dog.Check()
+		dog.Verdict()
+		mon.Tick()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry path allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestTSDBCounterRateAndDelta(t *testing.T) {
+	reg, ts, clk := newTestTSDB(t, 64)
+	c := reg.Counter("reqs_total")
+	for i := 0; i < 10; i++ {
+		c.Add(5) // 5 per second
+		ts.Sample()
+		clk.Advance(time.Second)
+	}
+	if got := ts.Samples(); got != 10 {
+		t.Fatalf("Samples = %d, want 10", got)
+	}
+	rate, ok := ts.RateOver("reqs_total", 5*time.Second)
+	if !ok {
+		t.Fatal("RateOver found nothing")
+	}
+	if rate < 4.9 || rate > 5.1 {
+		t.Fatalf("rate = %v, want ~5/s", rate)
+	}
+	delta, ok := ts.DeltaOver("reqs_total", 5*time.Second)
+	if !ok || delta < 25 || delta > 30 {
+		t.Fatalf("delta = %v ok=%v, want ~25 over 5s", delta, ok)
+	}
+	// Whole-history window: 45 added across the 9 intervals after the first
+	// sample.
+	delta, ok = ts.DeltaOver("reqs_total", 0)
+	if !ok || delta != 45 {
+		t.Fatalf("full-history delta = %v ok=%v, want 45", delta, ok)
+	}
+}
+
+func TestTSDBFamilySumsAcrossLabels(t *testing.T) {
+	reg, ts, clk := newTestTSDB(t, 16)
+	okC := reg.Counter("outcomes_total", "outcome", "ok")
+	errC := reg.Counter("outcomes_total", "outcome", "error")
+	for i := 0; i < 5; i++ {
+		okC.Add(9)
+		errC.Add(1)
+		ts.Sample()
+		clk.Advance(time.Second)
+	}
+	total, ok := ts.RateOver("outcomes_total", 0)
+	if !ok || total < 9.9 || total > 10.1 {
+		t.Fatalf("family rate = %v ok=%v, want ~10/s", total, ok)
+	}
+	errOnly, ok := ts.RateOver(`outcomes_total{outcome="error"}`, 0)
+	if !ok || errOnly < 0.9 || errOnly > 1.1 {
+		t.Fatalf("exact-series rate = %v ok=%v, want ~1/s", errOnly, ok)
+	}
+	if _, ok := ts.RateOver("no_such_series", 0); ok {
+		t.Fatal("unknown series reported ok")
+	}
+}
+
+func TestTSDBGaugeLastValue(t *testing.T) {
+	reg, ts, clk := newTestTSDB(t, 8)
+	g := reg.Gauge("depth")
+	for _, v := range []int64{3, 7, 2} {
+		g.Set(v)
+		ts.Sample()
+		clk.Advance(time.Second)
+	}
+	v, ok := ts.LastValue("depth")
+	if !ok || v != 2 {
+		t.Fatalf("LastValue = %v ok=%v, want 2", v, ok)
+	}
+	avg, ok := ts.AvgOver("depth", 0)
+	if !ok || avg != 4 {
+		t.Fatalf("AvgOver = %v ok=%v, want 4", avg, ok)
+	}
+}
+
+func TestTSDBWraparoundBoundedMemory(t *testing.T) {
+	reg, ts, clk := newTestTSDB(t, 4)
+	c := reg.Counter("wrap_total")
+	for i := 0; i < 20; i++ {
+		c.Inc()
+		ts.Sample()
+		clk.Advance(time.Second)
+	}
+	series, ok := ts.Query("wrap_total", 0, 1)
+	if !ok || len(series) != 1 {
+		t.Fatalf("Query ok=%v len=%d", ok, len(series))
+	}
+	pts := series[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("ring retained %d points, want history=4", len(pts))
+	}
+	// The retained window is the newest 4 samples: values 17..20, ascending
+	// in time.
+	for i, p := range pts {
+		if want := float64(17 + i); p.V != want {
+			t.Fatalf("point %d = %v, want %v", i, p.V, want)
+		}
+		if i > 0 && !pts[i-1].T.Before(p.T) {
+			t.Fatalf("points not chronological at %d", i)
+		}
+	}
+}
+
+func TestTSDBQueryWindowAndStep(t *testing.T) {
+	reg, ts, clk := newTestTSDB(t, 64)
+	c := reg.Counter("step_total")
+	for i := 0; i < 30; i++ {
+		c.Add(2)
+		ts.Sample()
+		clk.Advance(time.Second)
+	}
+	// window=10s keeps the newest ~11 samples; step=5 keeps every 5th going
+	// backwards from the newest.
+	series, ok := ts.Query("step_total", 10*time.Second, 5)
+	if !ok {
+		t.Fatal("Query found nothing")
+	}
+	pts := series[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("downsampled to %d points, want 3", len(pts))
+	}
+	// Newest must always survive downsampling.
+	if pts[len(pts)-1].V != 60 {
+		t.Fatalf("newest point = %v, want 60", pts[len(pts)-1].V)
+	}
+	// Rates are per-second between retained points: 2/s regardless of step.
+	for _, r := range series[0].Rate {
+		if r.V < 1.9 || r.V > 2.1 {
+			t.Fatalf("rate point = %v, want ~2/s", r.V)
+		}
+	}
+}
+
+func TestTSDBHistogramWindowedQuantiles(t *testing.T) {
+	reg, ts, clk := newTestTSDB(t, 64)
+	h := reg.Histogram("lat_seconds")
+	// Phase 1: 5 ticks of fast observations.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 20; j++ {
+			h.Observe(0.005)
+		}
+		ts.Sample()
+		clk.Advance(time.Second)
+	}
+	// Phase 2: 5 ticks of slow observations.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 20; j++ {
+			h.Observe(2.0)
+		}
+		ts.Sample()
+		clk.Advance(time.Second)
+	}
+	// A window covering only phase 2 must see the slow p99; the since-boot
+	// quantile would be dragged down by phase 1's observations.
+	p99, count, ok := ts.QuantileOver("lat_seconds", 0.99, 4*time.Second)
+	if !ok {
+		t.Fatal("QuantileOver found nothing")
+	}
+	if count == 0 {
+		t.Fatal("windowed count = 0")
+	}
+	if p99 < 1.0 {
+		t.Fatalf("windowed p99 = %v, want >= 1s (slow phase only)", p99)
+	}
+	// The full-history window mixes both phases; its p50 must be fast-ish
+	// or slow depending on mix — here exactly half the points are slow, so
+	// p50 sits at the fast/slow boundary and p99 is slow.
+	p99All, _, ok := ts.QuantileOver("lat_seconds", 0.99, 0)
+	if !ok || p99All < 1.0 {
+		t.Fatalf("full p99 = %v ok=%v, want >= 1s", p99All, ok)
+	}
+	// Timeline quantiles ride Query.
+	series, ok := ts.Query("lat_seconds", 0, 1)
+	if !ok || series[0].Quantiles == nil {
+		t.Fatal("histogram Query missing quantiles")
+	}
+	if len(series[0].Quantiles["p99"]) == 0 {
+		t.Fatal("no p99 points")
+	}
+}
+
+func TestTSDBLateSeriesJoin(t *testing.T) {
+	reg, ts, clk := newTestTSDB(t, 16)
+	reg.Counter("early_total").Inc()
+	ts.Sample()
+	clk.Advance(time.Second)
+	// A series registered after the store exists joins on the next sample.
+	late := reg.Counter("late_total")
+	late.Add(3)
+	ts.Sample()
+	names := ts.Names()
+	want := []string{"early_total", "late_total"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	v, ok := ts.LastValue("late_total")
+	if !ok || v != 3 {
+		t.Fatalf("late series LastValue = %v ok=%v, want 3", v, ok)
+	}
+}
+
+// TestTSDBConcurrentSampleAndRead exercises the ring buffers under -race:
+// sampling, registration of new series, and every read path run concurrently.
+func TestTSDBConcurrentSampleAndRead(t *testing.T) {
+	reg, ts, clk := newTestTSDB(t, 32)
+	c := reg.Counter("conc_total")
+	h := reg.Histogram("conc_seconds")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // writer: metrics churn + new series
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			h.Observe(0.01)
+			if i%50 == 0 {
+				reg.Counter("conc_labeled_total", "i", fmt.Sprint(i)).Inc()
+			}
+			i++
+		}
+	}()
+	go func() { // sampler
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ts.Sample()
+			clk.Advance(time.Millisecond)
+		}
+	}()
+	go func() { // timeline reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ts.Query("conc_total", time.Second, 2)
+			ts.Query("conc_seconds", 0, 1)
+			ts.Names()
+		}
+	}()
+	go func() { // scalar readers
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ts.RateOver("conc_total", time.Second)
+			ts.QuantileOver("conc_seconds", 0.99, time.Second)
+			ts.LastValue("conc_labeled_total")
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkTimelineOff measures the cost a disabled history adds to the serve
+// path's bookkeeping: it must be 0 allocs/op (CI-gated).
+func BenchmarkTimelineOff(b *testing.B) {
+	var ts *TSDB
+	var slo *SLOEngine
+	var dog *Watchdog
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts.Sample()
+		ts.RateOver("stash_coord_queries_total", time.Minute)
+		slo.Evaluate()
+		dog.Check()
+	}
+}

@@ -1,0 +1,315 @@
+package obs
+
+// Cluster health watchdog: folds the SLO engine's alert states with
+// structural signals the cluster already exports — queue-depth gauges,
+// breaker trips, retry storms, epoch churn, flight-recorder drops — into a
+// single degradation verdict that /healthz can report. Structural rules get
+// the same hysteresis treatment as SLOs: a rule must breach on consecutive
+// checks before it contributes to the verdict and must stay clean for
+// several checks before it clears.
+//
+// A nil *Watchdog is the disabled watchdog: Check returns a healthy verdict.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RuleKind selects how a structural Rule reads its series.
+type RuleKind int
+
+// The rule kinds.
+const (
+	// RuleRate breaches when the counter family's per-second rate over the
+	// window reaches Threshold.
+	RuleRate RuleKind = iota
+	// RuleLast breaches when the series' most recent sample reaches
+	// Threshold (gauges: queue depth).
+	RuleLast
+	// RuleDelta breaches when the series' change over the window reaches
+	// Threshold (epoch churn).
+	RuleDelta
+)
+
+// Rule is one structural health signal.
+type Rule struct {
+	// Name labels the rule in verdict reasons.
+	Name string
+	// Series is the flat series name or bare family (summed across labels).
+	Series string
+	Kind   RuleKind
+	// Threshold is the breach bound; values at or above it breach.
+	// Threshold <= 0 disables the rule.
+	Threshold float64
+	// Window for RuleRate/RuleDelta; zero uses WatchdogConfig.Window.
+	Window time.Duration
+	// Critical rules flip the verdict to degraded; advisory (false) rules
+	// only surface as warnings.
+	Critical bool
+}
+
+// WatchdogConfig tunes the watchdog.
+type WatchdogConfig struct {
+	// Window is the default lookback for rate/delta rules (default 5m).
+	Window time.Duration
+	// EnterAfter consecutive breaching checks activate a rule (default 2);
+	// ClearAfter consecutive clean checks deactivate it (default 3).
+	EnterAfter, ClearAfter int
+	// Now is the clock; nil uses time.Now.
+	Now func() time.Time
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Minute
+	}
+	if c.EnterAfter <= 0 {
+		c.EnterAfter = 2
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// RuleStatus is one rule's state inside a Verdict.
+type RuleStatus struct {
+	Rule      string  `json:"rule"`
+	Active    bool    `json:"active"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+}
+
+// Verdict is the watchdog's folded health assessment.
+type Verdict struct {
+	// Degraded is true when any SLO objective is critical or any critical
+	// structural rule is active.
+	Degraded bool `json:"degraded"`
+	// Reasons explains each degrading input; empty when healthy.
+	Reasons []string `json:"reasons,omitempty"`
+	// Warnings lists non-degrading concerns (SLO warnings, advisory rules).
+	Warnings  []string     `json:"warnings,omitempty"`
+	CheckedAt time.Time    `json:"checkedAt"`
+	Checks    []RuleStatus `json:"checks,omitempty"`
+}
+
+type ruleState struct {
+	active     bool
+	breachRuns int
+	clearRuns  int
+	lastValue  float64
+}
+
+// Watchdog folds SLO and structural signals into a Verdict. Safe for
+// concurrent use; nil-safe.
+type Watchdog struct {
+	tsdb  *TSDB
+	slo   *SLOEngine
+	cfg   WatchdogConfig
+	rules []Rule
+
+	mu     sync.Mutex
+	states []ruleState
+	last   Verdict
+	checks int
+}
+
+// NewWatchdog returns a watchdog over t and (optionally nil) slo. A nil t
+// returns nil — the disabled watchdog.
+func NewWatchdog(t *TSDB, slo *SLOEngine, rules []Rule, cfg WatchdogConfig) *Watchdog {
+	if t == nil {
+		return nil
+	}
+	return &Watchdog{
+		tsdb:   t,
+		slo:    slo,
+		cfg:    cfg.withDefaults(),
+		rules:  rules,
+		states: make([]ruleState, len(rules)),
+		last:   Verdict{},
+	}
+}
+
+// Check runs one watchdog pass and returns the verdict. Call it after each
+// SLO evaluation (a Monitor does).
+func (w *Watchdog) Check() Verdict {
+	if w == nil {
+		return Verdict{}
+	}
+	now := w.cfg.Now()
+	// Read rule inputs before taking the lock: TSDB reads take the TSDB's
+	// own lock and must not nest inside ours.
+	type reading struct {
+		value  float64
+		breach bool
+	}
+	readings := make([]reading, len(w.rules))
+	for i, r := range w.rules {
+		if r.Threshold <= 0 {
+			continue
+		}
+		window := r.Window
+		if window <= 0 {
+			window = w.cfg.Window
+		}
+		var v float64
+		var ok bool
+		switch r.Kind {
+		case RuleRate:
+			v, ok = w.tsdb.RateOver(r.Series, window)
+		case RuleLast:
+			v, ok = w.tsdb.LastValue(r.Series)
+		case RuleDelta:
+			v, ok = w.tsdb.DeltaOver(r.Series, window)
+		}
+		if !ok {
+			continue
+		}
+		readings[i] = reading{value: v, breach: v >= r.Threshold}
+	}
+	sloStatuses := w.slo.Current()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checks++
+	v := Verdict{CheckedAt: now}
+	for _, st := range sloStatuses {
+		switch st.State {
+		case StateCritical:
+			v.Degraded = true
+			v.Reasons = append(v.Reasons, fmt.Sprintf(
+				"slo %s critical: value %.4g vs target %.4g (fast burn %.2f)",
+				st.Objective, st.Value, st.Target, st.FastBurn))
+		case StateWarning:
+			v.Warnings = append(v.Warnings, fmt.Sprintf(
+				"slo %s warning: value %.4g vs target %.4g (fast burn %.2f)",
+				st.Objective, st.Value, st.Target, st.FastBurn))
+		}
+	}
+	for i, r := range w.rules {
+		s := &w.states[i]
+		rd := readings[i]
+		s.lastValue = rd.value
+		if rd.breach {
+			s.breachRuns++
+			s.clearRuns = 0
+			if !s.active && s.breachRuns >= w.cfg.EnterAfter {
+				s.active = true
+			}
+		} else {
+			s.clearRuns++
+			s.breachRuns = 0
+			if s.active && s.clearRuns >= w.cfg.ClearAfter {
+				s.active = false
+			}
+		}
+		v.Checks = append(v.Checks, RuleStatus{
+			Rule: r.Name, Active: s.active, Value: rd.value, Threshold: r.Threshold,
+		})
+		if !s.active {
+			continue
+		}
+		msg := fmt.Sprintf("%s: %.4g >= %.4g", r.Name, rd.value, r.Threshold)
+		if r.Critical {
+			v.Degraded = true
+			v.Reasons = append(v.Reasons, msg)
+		} else {
+			v.Warnings = append(v.Warnings, msg)
+		}
+	}
+	sort.Strings(v.Reasons)
+	sort.Strings(v.Warnings)
+	w.last = v
+	return v
+}
+
+// Verdict returns the most recent check result (healthy before any check).
+func (w *Watchdog) Verdict() Verdict {
+	if w == nil {
+		return Verdict{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.last
+}
+
+// Checks returns how many Check passes have run.
+func (w *Watchdog) Checks() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.checks
+}
+
+// Monitor drives a TSDB + SLO engine + watchdog off one ticker: every
+// interval it samples the registry, evaluates objectives, and refreshes the
+// verdict. A nil *Monitor (history disabled) starts no goroutine.
+type Monitor struct {
+	tsdb *TSDB
+	slo  *SLOEngine
+	dog  *Watchdog
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewMonitor bundles the three stages. A nil tsdb returns nil.
+func NewMonitor(t *TSDB, slo *SLOEngine, dog *Watchdog) *Monitor {
+	if t == nil {
+		return nil
+	}
+	return &Monitor{tsdb: t, slo: slo, dog: dog}
+}
+
+// Tick runs one sample→evaluate→check pass synchronously. Tests (and the
+// deterministic fake-clock e2e) drive the monitor with Tick instead of
+// Start.
+func (m *Monitor) Tick() {
+	if m == nil {
+		return
+	}
+	m.tsdb.Sample()
+	m.slo.Evaluate()
+	m.dog.Check()
+}
+
+// Start launches the background sampling goroutine at the TSDB's interval.
+// No-op on nil.
+func (m *Monitor) Start() {
+	if m == nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.tsdb.Interval())
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.Tick()
+			case <-m.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. No-op on nil
+// or if Start was never called.
+func (m *Monitor) Stop() {
+	if m == nil || m.stop == nil {
+		return
+	}
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWatchdogDisabled(t *testing.T) {
+	if w := NewWatchdog(nil, nil, nil, WatchdogConfig{}); w != nil {
+		t.Fatal("nil TSDB must return the nil watchdog")
+	}
+	var w *Watchdog
+	if v := w.Check(); v.Degraded {
+		t.Fatal("nil watchdog degraded")
+	}
+	if v := w.Verdict(); v.Degraded || len(v.Reasons) != 0 {
+		t.Fatal("nil watchdog verdict not healthy")
+	}
+	var m *Monitor
+	m.Tick() // must not panic
+	m.Start()
+	m.Stop()
+}
+
+// TestWatchdogStateTransitions drives the full ok → warning → critical →
+// recovery ladder through structural rules with a fake clock, asserting
+// hysteresis at each edge.
+func TestWatchdogStateTransitions(t *testing.T) {
+	reg := New()
+	clk := newFakeClock()
+	ts := NewTSDB(reg, TSDBConfig{History: 128, Interval: time.Second, Now: clk.Now})
+	rules := []Rule{
+		{Name: "queue_depth", Series: "depth", Kind: RuleLast, Threshold: 100, Critical: true},
+		{Name: "retry_rate", Series: "retries_total", Kind: RuleRate, Threshold: 10, Window: 10 * time.Second},
+	}
+	dog := NewWatchdog(ts, nil, rules, WatchdogConfig{
+		Window: 10 * time.Second, EnterAfter: 2, ClearAfter: 3, Now: clk.Now,
+	})
+	depth := reg.Gauge("depth")
+	retries := reg.Counter("retries_total")
+
+	tick := func(queue int64, retryStep int64) Verdict {
+		depth.Set(queue)
+		retries.Add(retryStep)
+		ts.Sample()
+		v := dog.Check()
+		clk.Advance(time.Second)
+		return v
+	}
+
+	type phase struct {
+		name       string
+		ticks      int
+		queue      int64
+		retryStep  int64
+		wantFinal  bool // degraded at the end of the phase
+		wantReason string
+	}
+	phases := []phase{
+		// Healthy baseline.
+		{name: "ok", ticks: 12, queue: 5, retryStep: 1, wantFinal: false},
+		// Advisory breach only (retry storm): warnings, not degraded.
+		{name: "warning", ticks: 12, queue: 5, retryStep: 50, wantFinal: false},
+		// Critical breach (queue saturation): degraded after EnterAfter.
+		{name: "critical", ticks: 12, queue: 500, retryStep: 50, wantFinal: true,
+			wantReason: "queue_depth"},
+		// Recovery: both signals clean; clears after the windows drain and
+		// ClearAfter consecutive clean checks.
+		{name: "recovery", ticks: 25, queue: 5, retryStep: 0, wantFinal: false},
+	}
+	for _, ph := range phases {
+		var v Verdict
+		for i := 0; i < ph.ticks; i++ {
+			v = tick(ph.queue, ph.retryStep)
+		}
+		if v.Degraded != ph.wantFinal {
+			t.Fatalf("phase %s: degraded = %v (reasons %v), want %v",
+				ph.name, v.Degraded, v.Reasons, ph.wantFinal)
+		}
+		if ph.wantReason != "" {
+			found := false
+			for _, r := range v.Reasons {
+				if strings.Contains(r, ph.wantReason) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("phase %s: reasons %v missing %q", ph.name, v.Reasons, ph.wantReason)
+			}
+		}
+		if ph.name == "warning" {
+			if len(v.Warnings) == 0 {
+				t.Fatalf("phase warning: no warnings surfaced (verdict %+v)", v)
+			}
+		}
+	}
+	if v := dog.Verdict(); v.Degraded {
+		t.Fatalf("final verdict still degraded: %v", v.Reasons)
+	}
+}
+
+// TestWatchdogHysteresisNoFlap: a single breaching check must not activate a
+// rule, and a single clean check must not deactivate one.
+func TestWatchdogHysteresisNoFlap(t *testing.T) {
+	reg := New()
+	clk := newFakeClock()
+	ts := NewTSDB(reg, TSDBConfig{History: 64, Interval: time.Second, Now: clk.Now})
+	dog := NewWatchdog(ts, nil, []Rule{
+		{Name: "depth", Series: "depth", Kind: RuleLast, Threshold: 100, Critical: true},
+	}, WatchdogConfig{EnterAfter: 2, ClearAfter: 3, Now: clk.Now})
+	depth := reg.Gauge("depth")
+
+	tick := func(v int64) Verdict {
+		depth.Set(v)
+		ts.Sample()
+		out := dog.Check()
+		clk.Advance(time.Second)
+		return out
+	}
+
+	for i := 0; i < 5; i++ {
+		tick(5)
+	}
+	// One bad sample: no activation.
+	if v := tick(500); v.Degraded {
+		t.Fatal("single breaching check activated the rule")
+	}
+	if v := tick(5); v.Degraded {
+		t.Fatal("degraded after breach cleared immediately")
+	}
+	// Sustained breach: activates on the 2nd consecutive check.
+	tick(500)
+	if v := tick(500); !v.Degraded {
+		t.Fatal("sustained breach did not activate")
+	}
+	// One clean sample: stays active (ClearAfter=3).
+	if v := tick(5); !v.Degraded {
+		t.Fatal("single clean check deactivated the rule")
+	}
+	tick(5)
+	if v := tick(5); v.Degraded {
+		t.Fatal("rule still active after ClearAfter clean checks")
+	}
+}
+
+// TestWatchdogFoldsSLOStates: a critical SLO objective degrades the verdict;
+// a warning objective only warns.
+func TestWatchdogFoldsSLOStates(t *testing.T) {
+	obj := Objective{
+		Name: "errs",
+		Num:  []string{`w_total{outcome="error"}`},
+		Den:  []string{"w_total"},
+		Goal: 0.05, MinCount: 5,
+	}
+	reg := New()
+	clk := newFakeClock()
+	ts := NewTSDB(reg, TSDBConfig{History: 256, Interval: time.Second, Now: clk.Now})
+	eng := NewSLOEngine(ts, []Objective{obj}, BurnConfig{
+		FastWindow: 10 * time.Second, SlowWindow: 60 * time.Second,
+		EnterAfter: 2, ClearAfter: 3, Now: clk.Now,
+	})
+	dog := NewWatchdog(ts, eng, nil, WatchdogConfig{Now: clk.Now})
+	okC := reg.Counter("w_total", "outcome", "ok")
+	errC := reg.Counter("w_total", "outcome", "error")
+
+	tick := func(okN, errN int64) Verdict {
+		okC.Add(okN)
+		errC.Add(errN)
+		ts.Sample()
+		eng.Evaluate()
+		v := dog.Check()
+		clk.Advance(time.Second)
+		return v
+	}
+
+	for i := 0; i < 12; i++ {
+		if v := tick(99, 1); v.Degraded {
+			t.Fatalf("healthy tick %d degraded: %v", i, v.Reasons)
+		}
+	}
+	var v Verdict
+	for i := 0; i < 15; i++ {
+		v = tick(50, 50)
+		if v.Degraded {
+			break
+		}
+	}
+	if !v.Degraded {
+		t.Fatal("critical SLO never degraded the verdict")
+	}
+	found := false
+	for _, r := range v.Reasons {
+		if strings.Contains(r, "slo errs critical") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reasons %v missing the SLO explanation", v.Reasons)
+	}
+}
+
+// TestMonitorTick drives the bundled pipeline end to end once.
+func TestMonitorTick(t *testing.T) {
+	reg := New()
+	clk := newFakeClock()
+	ts := NewTSDB(reg, TSDBConfig{History: 16, Interval: time.Second, Now: clk.Now})
+	eng := NewSLOEngine(ts, []Objective{{
+		Name: "p99", Series: "m_seconds", Quantile: 0.99, Target: 1,
+	}}, BurnConfig{Now: clk.Now})
+	dog := NewWatchdog(ts, eng, nil, WatchdogConfig{Now: clk.Now})
+	mon := NewMonitor(ts, eng, dog)
+	if mon == nil {
+		t.Fatal("NewMonitor returned nil for a live TSDB")
+	}
+	reg.Histogram("m_seconds").Observe(0.01)
+	mon.Tick()
+	if ts.Samples() != 1 {
+		t.Fatalf("Samples = %d after one Tick", ts.Samples())
+	}
+	if eng.Evaluations() != 1 {
+		t.Fatalf("Evaluations = %d after one Tick", eng.Evaluations())
+	}
+	if dog.Checks() != 1 {
+		t.Fatalf("Checks = %d after one Tick", dog.Checks())
+	}
+	if NewMonitor(nil, nil, nil) != nil {
+		t.Fatal("NewMonitor(nil) must return nil")
+	}
+}
+
+// TestMonitorStartStop exercises the real ticker path briefly.
+func TestMonitorStartStop(t *testing.T) {
+	reg := New()
+	ts := NewTSDB(reg, TSDBConfig{History: 16, Interval: time.Millisecond})
+	mon := NewMonitor(ts, nil, nil)
+	mon.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for ts.Samples() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	mon.Stop()
+	if ts.Samples() == 0 {
+		t.Fatal("monitor never sampled")
+	}
+}
